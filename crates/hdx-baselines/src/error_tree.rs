@@ -1,0 +1,390 @@
+//! Combined-tree subgroup identification: one decision tree over *all*
+//! attributes, partitioning the dataset into non-overlapping subgroups.
+//!
+//! This is the tree-based alternative the paper's §V-A Discussion argues
+//! against (and the approach of Slice Finder's tree mode and the Error
+//! Analysis dashboard, refs. 4 and 18): it captures attribute interactions,
+//! but (i) the granularity of individual attributes cannot be controlled,
+//! (ii) it yields no per-attribute item hierarchy, and (iii) its subgroups
+//! are disjoint, so a point belongs to exactly one subgroup — unlike the
+//! overlapping lattice H-DivExplorer explores. Implemented here as a
+//! faithful comparison baseline.
+
+use hdx_data::{AttrId, AttributeKind, DataFrame, NULL_CODE};
+use hdx_stats::{Outcome, StatAccum};
+
+/// Combined-tree parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CombinedTreeConfig {
+    /// Minimum subgroup (node) support, as a fraction of the dataset.
+    pub min_support: f64,
+    /// Optional depth cap.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for CombinedTreeConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 0.05,
+            max_depth: None,
+        }
+    }
+}
+
+/// One leaf of the combined tree: a non-overlapping subgroup.
+#[derive(Debug, Clone)]
+pub struct CombinedLeaf {
+    /// Conjunction of the split conditions on the path, e.g.
+    /// `age<=27 & sex=F`.
+    pub label: String,
+    /// Fraction of dataset rows in the leaf.
+    pub support: f64,
+    /// The statistic over the leaf.
+    pub statistic: Option<f64>,
+    /// Divergence from the whole dataset.
+    pub divergence: Option<f64>,
+    /// Welch t-value of the divergence.
+    pub t_value: f64,
+}
+
+/// The combined-tree explorer.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedTreeExplorer {
+    config: CombinedTreeConfig,
+}
+
+enum Split {
+    Num { attr: AttrId, threshold: f64 },
+    Cat { attr: AttrId, code: u32 },
+}
+
+impl CombinedTreeExplorer {
+    /// Creates an explorer.
+    pub fn new(config: CombinedTreeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Grows the tree and returns its leaves sorted by descending
+    /// divergence.
+    ///
+    /// # Panics
+    /// Panics when `outcomes.len() != df.n_rows()` or the support is not in
+    /// `(0, 1)`.
+    pub fn explore(&self, df: &DataFrame, outcomes: &[Outcome]) -> Vec<CombinedLeaf> {
+        assert_eq!(outcomes.len(), df.n_rows(), "outcomes not parallel");
+        assert!(
+            self.config.min_support > 0.0 && self.config.min_support < 1.0,
+            "min_support must be in (0, 1)"
+        );
+        let n = df.n_rows();
+        let min_count = (self.config.min_support * n as f64).ceil().max(1.0) as usize;
+        let global = StatAccum::from_outcomes(outcomes);
+
+        let mut leaves = Vec::new();
+        let rows: Vec<usize> = (0..n).collect();
+        self.grow(
+            df,
+            outcomes,
+            &global,
+            rows,
+            String::new(),
+            0,
+            min_count,
+            &mut leaves,
+        );
+        leaves.sort_by(|a, b| {
+            b.divergence
+                .unwrap_or(f64::NEG_INFINITY)
+                .partial_cmp(&a.divergence.unwrap_or(f64::NEG_INFINITY))
+                .expect("finite")
+        });
+        leaves
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursion context, not an API
+    fn grow(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+        global: &StatAccum,
+        rows: Vec<usize>,
+        path: String,
+        depth: usize,
+        min_count: usize,
+        leaves: &mut Vec<CombinedLeaf>,
+    ) {
+        let at_depth_cap = self.config.max_depth.is_some_and(|m| depth >= m);
+        let split = if at_depth_cap {
+            None
+        } else {
+            self.best_split(df, outcomes, &rows, min_count)
+        };
+        let Some((split, cond_left, cond_right)) = split else {
+            // Leaf.
+            let mut acc = StatAccum::new();
+            for &r in &rows {
+                acc.push(outcomes[r]);
+            }
+            leaves.push(CombinedLeaf {
+                label: if path.is_empty() {
+                    "(all)".into()
+                } else {
+                    path
+                },
+                support: rows.len() as f64 / df.n_rows() as f64,
+                statistic: acc.statistic(),
+                divergence: acc.divergence(global),
+                t_value: acc.t_value(global),
+            });
+            return;
+        };
+        let (left, right): (Vec<usize>, Vec<usize>) = match split {
+            Split::Num { attr, threshold } => {
+                let vals = df.continuous(attr).values();
+                rows.into_iter().partition(|&r| vals[r] <= threshold)
+            }
+            Split::Cat { attr, code } => {
+                let codes = df.categorical(attr).codes();
+                rows.into_iter().partition(|&r| codes[r] == code)
+            }
+        };
+        let join = |path: &str, cond: &str| {
+            if path.is_empty() {
+                cond.to_string()
+            } else {
+                format!("{path} & {cond}")
+            }
+        };
+        self.grow(
+            df,
+            outcomes,
+            global,
+            left,
+            join(&path, &cond_left),
+            depth + 1,
+            min_count,
+            leaves,
+        );
+        self.grow(
+            df,
+            outcomes,
+            global,
+            right,
+            join(&path, &cond_right),
+            depth + 1,
+            min_count,
+            leaves,
+        );
+    }
+
+    /// Best divergence-gain split across all attributes, or `None` when no
+    /// admissible split has positive gain.
+    fn best_split(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+        rows: &[usize],
+        min_count: usize,
+    ) -> Option<(Split, String, String)> {
+        if rows.len() < 2 * min_count {
+            return None;
+        }
+        let n_dataset = df.n_rows() as f64;
+        let mut node_acc = StatAccum::new();
+        for &r in rows {
+            node_acc.push(outcomes[r]);
+        }
+        let parent_mean = node_acc.statistic()?;
+
+        let gain_of = |a: &StatAccum, b: &StatAccum| -> f64 {
+            let term = |acc: &StatAccum| {
+                acc.statistic().map_or(0.0, |m| {
+                    acc.count() as f64 / n_dataset * (m - parent_mean).abs()
+                })
+            };
+            term(a) + term(b)
+        };
+
+        let mut best: Option<(f64, Split, String, String)> = None;
+        for (attr, attribute) in df.schema().iter() {
+            match attribute.kind() {
+                AttributeKind::Continuous => {
+                    let vals = df.continuous(attr).values();
+                    let mut sorted: Vec<usize> = rows
+                        .iter()
+                        .copied()
+                        .filter(|&r| !vals[r].is_nan())
+                        .collect();
+                    if sorted.len() < 2 * min_count {
+                        continue;
+                    }
+                    sorted.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("no NaNs"));
+                    // Prefix sums over the sorted order make each boundary's
+                    // gain O(1).
+                    let m = sorted.len();
+                    let mut pref_valid = vec![0.0; m + 1];
+                    let mut pref_sum = vec![0.0; m + 1];
+                    for (i, &r) in sorted.iter().enumerate() {
+                        let (dv, ds) = outcomes[r].value().map_or((0.0, 0.0), |v| (1.0, v));
+                        pref_valid[i + 1] = pref_valid[i] + dv;
+                        pref_sum[i + 1] = pref_sum[i] + ds;
+                    }
+                    let side_gain = |count: usize, valid: f64, sum: f64| {
+                        if valid > 0.0 {
+                            count as f64 / n_dataset * (sum / valid - parent_mean).abs()
+                        } else {
+                            0.0
+                        }
+                    };
+                    for k in min_count..=(m - min_count) {
+                        if vals[sorted[k - 1]] >= vals[sorted[k]] {
+                            continue;
+                        }
+                        let g = side_gain(k, pref_valid[k], pref_sum[k])
+                            + side_gain(
+                                m - k,
+                                pref_valid[m] - pref_valid[k],
+                                pref_sum[m] - pref_sum[k],
+                            );
+                        if best.as_ref().is_none_or(|(bg, _, _, _)| g > *bg) && g > 1e-12 {
+                            let t = vals[sorted[k - 1]];
+                            let name = attribute.name();
+                            // Match the trimmed bound formatting of items.
+                            let shown = hdx_items::Interval::at_most(t).to_string();
+                            best = Some((
+                                g,
+                                Split::Num { attr, threshold: t },
+                                format!("{name}{shown}"),
+                                format!("{name}>{}", shown.trim_start_matches("<=")),
+                            ));
+                        }
+                    }
+                }
+                AttributeKind::Categorical => {
+                    let col = df.categorical(attr);
+                    let codes = col.codes();
+                    let mut per_level: Vec<StatAccum> = vec![StatAccum::new(); col.n_levels()];
+                    for &r in rows {
+                        if codes[r] != NULL_CODE {
+                            per_level[codes[r] as usize].push(outcomes[r]);
+                        }
+                    }
+                    for (code, acc) in per_level.iter().enumerate() {
+                        let in_count = acc.count() as usize;
+                        if in_count < min_count || rows.len() - in_count < min_count {
+                            continue;
+                        }
+                        // StatAccum has no subtraction; rebuild the
+                        // complement (levels are few, rows scanned once per
+                        // level).
+                        let mut rest = StatAccum::new();
+                        for &r in rows {
+                            if codes[r] != code as u32 {
+                                rest.push(outcomes[r]);
+                            }
+                        }
+                        let g = gain_of(acc, &rest);
+                        if best.as_ref().is_none_or(|(bg, _, _, _)| g > *bg) && g > 1e-12 {
+                            let name = attribute.name();
+                            let level = col.level(code as u32);
+                            best = Some((
+                                g,
+                                Split::Cat {
+                                    attr,
+                                    code: code as u32,
+                                },
+                                format!("{name}={level}"),
+                                format!("{name}!={level}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, split, l, r)| (split, l, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::{DataFrameBuilder, Value};
+
+    fn setup() -> (DataFrame, Vec<Outcome>) {
+        let mut b = DataFrameBuilder::new();
+        b.add_continuous("x").unwrap();
+        b.add_categorical("g").unwrap();
+        let mut outcomes = Vec::new();
+        for i in 0..400 {
+            let x = (i % 100) as f64;
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            b.push_row(vec![Value::Num(x), Value::Cat(g.into())])
+                .unwrap();
+            outcomes.push(Outcome::Bool(x > 60.0 && g == "b" && i % 8 != 0));
+        }
+        (b.finish(), outcomes)
+    }
+
+    #[test]
+    fn leaves_partition_the_dataset() {
+        let (df, outcomes) = setup();
+        let leaves = CombinedTreeExplorer::new(CombinedTreeConfig {
+            min_support: 0.1,
+            max_depth: None,
+        })
+        .explore(&df, &outcomes);
+        let total: f64 = leaves.iter().map(|l| l.support).sum();
+        assert!((total - 1.0).abs() < 1e-9, "supports sum to 1, got {total}");
+        assert!(leaves.len() >= 2);
+        for leaf in &leaves {
+            assert!(leaf.support >= 0.1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn finds_the_error_cluster() {
+        let (df, outcomes) = setup();
+        let leaves = CombinedTreeExplorer::new(CombinedTreeConfig {
+            min_support: 0.05,
+            max_depth: None,
+        })
+        .explore(&df, &outcomes);
+        let top = &leaves[0];
+        assert!(top.label.contains("x>"), "top = {}", top.label);
+        assert!(top.label.contains("g=b") || top.label.contains("g!=a"));
+        assert!(top.divergence.unwrap() > 0.3);
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let (df, outcomes) = setup();
+        let leaves = CombinedTreeExplorer::new(CombinedTreeConfig {
+            min_support: 0.01,
+            max_depth: Some(1),
+        })
+        .explore(&df, &outcomes);
+        assert!(leaves.len() <= 2);
+        // Depth 1 → at most one condition in the label.
+        for leaf in &leaves {
+            assert!(!leaf.label.contains('&'), "{}", leaf.label);
+        }
+    }
+
+    #[test]
+    fn pure_noise_yields_single_leaf() {
+        let mut b = DataFrameBuilder::new();
+        b.add_continuous("x").unwrap();
+        let mut outcomes = Vec::new();
+        for i in 0..100 {
+            b.push_row(vec![Value::Num((i % 10) as f64)]).unwrap();
+            outcomes.push(Outcome::Bool(i % 2 == 0)); // uncorrelated with x
+        }
+        let df = b.finish();
+        let leaves = CombinedTreeExplorer::default().explore(&df, &outcomes);
+        // Gains are ~0 → (almost) no splits; the root leaf covers all rows.
+        assert!(
+            leaves.iter().map(|l| l.support).sum::<f64>() > 0.999,
+            "partition preserved"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # hdx-baselines
+//!
+//! The two prior-work subgroup identification systems the paper compares
+//! against in §VI-G, implemented from their original descriptions:
+//!
+//! * [`SliceFinder`] (Chung et al., ICDE'19 / TKDE'20): lattice search over
+//!   slices ranked by **effect size** of the loss against the slice's
+//!   counterpart, stopping as soon as `k` slices exceed the effect-size
+//!   threshold — notably *without* any support control, the limitation
+//!   Fig. 6b illustrates;
+//! * [`SliceLine`] (Sagadeeva & Boehm, SIGMOD'21): level-wise enumeration of
+//!   slices scored by
+//!   `sc(S) = α·(ē_S/ē − 1) − (1−α)·(n/|S| − 1)`,
+//!   with a minimum-size constraint and sound upper-bound pruning.
+//!
+//! Both operate on *leaf* items (a fixed, non-hierarchical discretization),
+//! exactly like base DivExplorer — which is the point of the comparison.
+//!
+//! A third baseline, [`CombinedTreeExplorer`], implements the combined
+//! decision-tree alternative the paper's §V-A Discussion contrasts with:
+//! one tree over all attributes jointly, yielding disjoint subgroups.
+
+mod error_tree;
+mod slice_finder;
+mod sliceline;
+
+pub use error_tree::{CombinedLeaf, CombinedTreeConfig, CombinedTreeExplorer};
+pub use slice_finder::{SliceFinder, SliceFinderConfig, SliceFinderResult};
+pub use sliceline::{SliceLine, SliceLineConfig, SliceLineResult};

@@ -1,0 +1,285 @@
+//! Slice Finder: lattice search for slices with large loss effect size.
+//!
+//! Following Chung et al., a slice `S` is *problematic* when the effect size
+//! of its loss distribution against its counterpart `¬S` exceeds a threshold
+//! `T` (default 0.4). The lattice search scans slices level by level (larger
+//! slices first within a level) and **stops as soon as `k` problematic
+//! slices are found** — there is no minimum-support constraint, which is the
+//! failure mode §VI-G / Fig. 6 demonstrates.
+
+use hdx_data::DataFrame;
+use hdx_items::{item_cover, Bitset, ItemCatalog, ItemId, Itemset};
+use hdx_stats::MeanVar;
+
+/// Slice Finder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceFinderConfig {
+    /// Effect-size threshold `T` (default 0.4, per the original paper).
+    pub effect_size_threshold: f64,
+    /// Number of problematic slices to return (default 1).
+    pub k: usize,
+    /// Maximum slice length (lattice depth; default 3).
+    pub max_len: usize,
+    /// Minimum Welch t-value for a slice to count as significant
+    /// (default 2.0 ≈ 95% two-sided).
+    pub min_t: f64,
+}
+
+impl Default for SliceFinderConfig {
+    fn default() -> Self {
+        Self {
+            effect_size_threshold: 0.4,
+            k: 1,
+            max_len: 3,
+            min_t: 2.0,
+        }
+    }
+}
+
+/// A slice returned by Slice Finder.
+#[derive(Debug, Clone)]
+pub struct SliceFinderResult {
+    /// The slice's itemset.
+    pub itemset: Itemset,
+    /// Display label.
+    pub label: String,
+    /// Number of rows in the slice.
+    pub size: usize,
+    /// Effect size of the slice's loss vs its counterpart.
+    pub effect_size: f64,
+    /// Mean loss within the slice.
+    pub mean_loss: f64,
+}
+
+/// The Slice Finder baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SliceFinder {
+    config: SliceFinderConfig,
+}
+
+/// Effect size (Cohen's d with unpooled average variance):
+/// `(μ_S − μ_¬S) / sqrt((σ_S² + σ_¬S²) / 2)`.
+fn effect_size(slice: &MeanVar, rest: &MeanVar) -> f64 {
+    let denom = ((slice.variance() + rest.variance()) / 2.0).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (slice.mean() - rest.mean()) / denom
+}
+
+impl SliceFinder {
+    /// Creates a Slice Finder with the given configuration.
+    pub fn new(config: SliceFinderConfig) -> Self {
+        Self { config }
+    }
+
+    /// Searches for the top-`k` problematic slices over the given items.
+    ///
+    /// `losses` is the per-row loss (e.g. 0/1 classification error).
+    ///
+    /// # Panics
+    /// Panics when `losses.len() != df.n_rows()`.
+    pub fn find(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        items: &[ItemId],
+        losses: &[f64],
+    ) -> Vec<SliceFinderResult> {
+        assert_eq!(losses.len(), df.n_rows(), "losses not parallel to rows");
+        let n = df.n_rows();
+        let covers: Vec<(ItemId, Bitset)> = items
+            .iter()
+            .map(|&i| (i, item_cover(df, catalog, i)))
+            .collect();
+
+        let mut results: Vec<SliceFinderResult> = Vec::new();
+        // Level-wise frontier: (itemset, cover).
+        let mut frontier: Vec<(Itemset, Bitset)> = vec![(Itemset::empty(), Bitset::all_set(n))];
+        for _level in 1..=self.config.max_len {
+            // Expand.
+            let mut next: Vec<(Itemset, Bitset)> = Vec::new();
+            let mut seen: std::collections::HashSet<Itemset> = std::collections::HashSet::new();
+            for (itemset, cover) in &frontier {
+                let last = itemset.items().last().copied();
+                for (item, icover) in &covers {
+                    if let Some(l) = last {
+                        if *item <= l {
+                            continue; // canonical order
+                        }
+                    }
+                    let Some(extended) = itemset.with_item(*item, catalog) else {
+                        continue;
+                    };
+                    if !seen.insert(extended.clone()) {
+                        continue;
+                    }
+                    let joint = cover.and(icover);
+                    if joint.count() == 0 {
+                        continue;
+                    }
+                    next.push((extended, joint));
+                }
+            }
+            // Rank this level by slice size descending (Slice Finder scans
+            // larger slices first) and collect problematic ones.
+            next.sort_by_key(|e| std::cmp::Reverse(e.1.count()));
+            for (itemset, cover) in &next {
+                let mut slice = MeanVar::new();
+                let mut rest = MeanVar::new();
+                let mut in_slice = vec![false; n];
+                for row in cover.iter_ones() {
+                    in_slice[row] = true;
+                }
+                for (row, &loss) in losses.iter().enumerate() {
+                    if in_slice[row] {
+                        slice.push(loss);
+                    } else {
+                        rest.push(loss);
+                    }
+                }
+                let eff = effect_size(&slice, &rest);
+                let t = hdx_stats::welch_t(
+                    slice.mean(),
+                    slice.variance(),
+                    slice.count(),
+                    rest.mean(),
+                    rest.variance(),
+                    rest.count(),
+                );
+                if eff >= self.config.effect_size_threshold && t.abs() >= self.config.min_t {
+                    results.push(SliceFinderResult {
+                        label: itemset.display(catalog).to_string(),
+                        itemset: itemset.clone(),
+                        size: cover.count(),
+                        effect_size: eff,
+                        mean_loss: slice.mean(),
+                    });
+                    if results.len() >= self.config.k {
+                        return results;
+                    }
+                }
+            }
+            // Recurse only on the slices not yet problematic.
+            frontier = next;
+        }
+        results
+    }
+
+    /// Like [`find`](Self::find), but keeps searching all levels and returns
+    /// the single slice with the highest effect size (used to report "the
+    /// itemset with the highest effect size", Fig. 6).
+    pub fn find_best(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        items: &[ItemId],
+        losses: &[f64],
+    ) -> Option<SliceFinderResult> {
+        let exhaustive = SliceFinder::new(SliceFinderConfig {
+            k: usize::MAX,
+            ..self.config
+        });
+        exhaustive
+            .find(df, catalog, items, losses)
+            .into_iter()
+            .max_by(|a, b| a.effect_size.partial_cmp(&b.effect_size).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::{DataFrameBuilder, Value};
+    use hdx_items::{Interval, Item};
+
+    /// x in 0..100 (two bins), g in {a,b}; loss high for x>50 & g=b, and a
+    /// *tiny* extreme slice x>90 & g=a with loss 1.
+    fn setup() -> (DataFrame, ItemCatalog, Vec<ItemId>, Vec<f64>) {
+        let mut b = DataFrameBuilder::new();
+        let x = b.add_continuous("x").unwrap();
+        let g = b.add_categorical("g").unwrap();
+        let mut losses = Vec::new();
+        for i in 0..400 {
+            let xv = (i % 100) as f64;
+            let gv = if i % 2 == 0 { "a" } else { "b" };
+            b.push_row(vec![Value::Num(xv), Value::Cat(gv.into())])
+                .unwrap();
+            let loss = if xv > 50.0 && gv == "b" {
+                0.9
+            } else if i % 16 == 0 {
+                0.5
+            } else {
+                0.05
+            };
+            losses.push(loss);
+        }
+        let df = b.finish();
+        let mut catalog = ItemCatalog::new();
+        let items = vec![
+            catalog.intern(Item::range(x, Interval::at_most(50.0), "x")),
+            catalog.intern(Item::range(x, Interval::greater_than(50.0), "x")),
+            catalog.intern(Item::cat_eq(g, 0, "g", "a")),
+            catalog.intern(Item::cat_eq(g, 1, "g", "b")),
+        ];
+        (df, catalog, items, losses)
+    }
+
+    #[test]
+    fn default_search_stops_at_first_problematic_slice() {
+        let (df, catalog, items, losses) = setup();
+        let sf = SliceFinder::default();
+        let results = sf.find(&df, &catalog, &items, &losses);
+        assert_eq!(results.len(), 1);
+        // A single-literal slice already clears T = 0.4, so the search stops
+        // at level 1 (the paper's Fig. 6a behaviour).
+        assert_eq!(results[0].itemset.len(), 1);
+        assert!(results[0].effect_size >= 0.4);
+    }
+
+    #[test]
+    fn higher_threshold_forces_deeper_slices() {
+        let (df, catalog, items, losses) = setup();
+        let sf = SliceFinder::new(SliceFinderConfig {
+            effect_size_threshold: 2.0,
+            ..SliceFinderConfig::default()
+        });
+        let results = sf.find(&df, &catalog, &items, &losses);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].itemset.len() >= 2, "needs an intersection");
+        assert!(results[0].label.contains("x>50") && results[0].label.contains("g=b"));
+    }
+
+    #[test]
+    fn no_support_control() {
+        // Slice Finder happily returns very small slices.
+        let (df, catalog, items, losses) = setup();
+        let sf = SliceFinder::new(SliceFinderConfig {
+            effect_size_threshold: 1.3,
+            ..SliceFinderConfig::default()
+        });
+        let best = sf.find_best(&df, &catalog, &items, &losses).unwrap();
+        // The best slice is allowed to be small relative to the data.
+        assert!(best.size < df.n_rows() / 2);
+    }
+
+    #[test]
+    fn k_limits_result_count() {
+        let (df, catalog, items, losses) = setup();
+        let sf = SliceFinder::new(SliceFinderConfig {
+            k: 3,
+            effect_size_threshold: 0.1,
+            ..SliceFinderConfig::default()
+        });
+        let results = sf.find(&df, &catalog, &items, &losses);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn uniform_loss_finds_nothing() {
+        let (df, catalog, items, _) = setup();
+        let losses = vec![0.5; df.n_rows()];
+        let results = SliceFinder::default().find(&df, &catalog, &items, &losses);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Discretization benchmarks (§VI-F: "the time required by the
+//! discretization process is always negligible compared to exploration"):
+//! tree discretization under both gain criteria vs the quantile baseline,
+//! across dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdx_core::OutcomeFn;
+use hdx_datasets::synthetic_peak;
+use hdx_discretize::{quantile_hierarchy, GainCriterion, TreeDiscretizer};
+use hdx_items::ItemCatalog;
+use std::hint::black_box;
+
+fn bench_discretization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretization");
+    group.sample_size(20);
+    for n in [2_500usize, 10_000] {
+        let d = synthetic_peak(n, 3);
+        let outcomes = d.classification_outcomes(OutcomeFn::ErrorRate);
+        let attr = d.frame.schema().id("a").unwrap();
+        for criterion in [GainCriterion::Divergence, GainCriterion::Entropy] {
+            let discretizer = TreeDiscretizer::with_support(0.1, criterion);
+            group.bench_with_input(
+                BenchmarkId::new(format!("tree/{criterion:?}"), n),
+                &d,
+                |b, d| {
+                    b.iter(|| {
+                        let mut catalog = ItemCatalog::new();
+                        black_box(discretizer.discretize_attribute(
+                            &d.frame,
+                            attr,
+                            &outcomes,
+                            &mut catalog,
+                        ))
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("quantile/8bins", n), &d, |b, d| {
+            b.iter(|| {
+                let mut catalog = ItemCatalog::new();
+                black_box(quantile_hierarchy(&d.frame, attr, 8, &mut catalog))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discretization);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Mining-algorithm benchmarks (ablation for Fig. 2b's execution-time
+//! panel): Apriori vs FP-Growth vs the vertical miner, on base and
+//! generalized transactions of synthetic-peak and compas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdx_bench::experiments::{outcomes_for, pipeline_for};
+use hdx_core::HDivExplorerConfig;
+use hdx_datasets::{compas, synthetic_peak};
+use hdx_mining::{mine, MiningAlgorithm, MiningConfig, Transactions};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let datasets = vec![synthetic_peak(2_500, 1), compas(1_543, 1)];
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(20);
+    for dataset in &datasets {
+        let outcomes = outcomes_for(dataset);
+        let pipeline = pipeline_for(dataset, HDivExplorerConfig::default());
+        let (catalog, hierarchies, _) = pipeline.discretize(&dataset.frame, &outcomes);
+        for (kind, transactions) in [
+            (
+                "base",
+                Transactions::encode_base(&dataset.frame, &catalog, &hierarchies, &outcomes),
+            ),
+            (
+                "generalized",
+                Transactions::encode_generalized(&dataset.frame, &catalog, &hierarchies, &outcomes),
+            ),
+        ] {
+            for algorithm in [
+                MiningAlgorithm::Apriori,
+                MiningAlgorithm::FpGrowth,
+                MiningAlgorithm::Vertical,
+                MiningAlgorithm::VerticalParallel,
+            ] {
+                let config = MiningConfig {
+                    min_support: 0.05,
+                    max_len: None,
+                    algorithm,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{kind}", dataset.name), format!("{algorithm:?}")),
+                    &transactions,
+                    |b, t| b.iter(|| black_box(mine(t, &catalog, &config).itemsets.len())),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! End-to-end pipeline benchmarks (Fig. 2b's execution-time panel): base vs
+//! hierarchical exploration across supports, and an ablation of the
+//! accumulate-during-mining design against a second-pass divergence
+//! computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdx_bench::experiments::{outcomes_for, run_exploration};
+use hdx_core::{ExplorationMode, HDivExplorerConfig};
+use hdx_datasets::{compas, synthetic_peak};
+use hdx_items::{item_cover, Bitset};
+use hdx_mining::{mine, MiningConfig, Transactions};
+use hdx_stats::StatAccum;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let datasets = vec![synthetic_peak(2_500, 4), compas(1_543, 4)];
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for dataset in &datasets {
+        for s in [0.05, 0.1] {
+            let config = HDivExplorerConfig {
+                min_support: s,
+                ..HDivExplorerConfig::default()
+            };
+            for (mode, name) in [
+                (ExplorationMode::Base, "base"),
+                (ExplorationMode::Generalized, "hier"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{name}", dataset.name), s),
+                    dataset,
+                    |b, d| b.iter(|| black_box(run_exploration(d, config, mode).1.max_divergence)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: divergence accumulated during mining (the paper's design) vs a
+/// second pass over the dataset per frequent itemset.
+fn bench_accumulation_ablation(c: &mut Criterion) {
+    let dataset = synthetic_peak(2_500, 5);
+    let outcomes = outcomes_for(&dataset);
+    let pipeline = hdx_bench::experiments::pipeline_for(&dataset, HDivExplorerConfig::default());
+    let (catalog, hierarchies, _) = pipeline.discretize(&dataset.frame, &outcomes);
+    let transactions =
+        Transactions::encode_generalized(&dataset.frame, &catalog, &hierarchies, &outcomes);
+    let config = MiningConfig {
+        min_support: 0.05,
+        ..MiningConfig::default()
+    };
+
+    let mut group = c.benchmark_group("accumulation-ablation");
+    group.sample_size(10);
+    group.bench_function("integrated", |b| {
+        b.iter(|| {
+            let result = mine(&transactions, &catalog, &config);
+            let best = result
+                .itemsets
+                .iter()
+                .filter_map(|fi| fi.accum.divergence(&result.global))
+                .fold(f64::NEG_INFINITY, f64::max);
+            black_box(best)
+        })
+    });
+    group.bench_function("second-pass", |b| {
+        b.iter(|| {
+            let result = mine(&transactions, &catalog, &config);
+            // Recompute each itemset's statistics from scratch via covers.
+            let global = StatAccum::from_outcomes(&outcomes);
+            let best = result
+                .itemsets
+                .iter()
+                .filter_map(|fi| {
+                    let mut cover: Option<Bitset> = None;
+                    for &item in fi.itemset.items() {
+                        let ic = item_cover(&dataset.frame, &catalog, item);
+                        cover = Some(match cover {
+                            None => ic,
+                            Some(c) => c.and(&ic),
+                        });
+                    }
+                    let mut acc = StatAccum::new();
+                    for row in cover?.iter_ones() {
+                        acc.push(outcomes[row]);
+                    }
+                    acc.divergence(&global)
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_accumulation_ablation);
+criterion_main!(benches);

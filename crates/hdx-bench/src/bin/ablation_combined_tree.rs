@@ -1,0 +1,6 @@
+//! Ablation: combined tree vs lattice exploration (paper §V-A Discussion).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::ablation::run(args));
+}

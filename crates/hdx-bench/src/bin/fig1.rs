@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1 (see `hdx_bench::experiments::fig1`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::fig1::run(args));
+}

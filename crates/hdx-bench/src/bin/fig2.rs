@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 (see `hdx_bench::experiments::fig2`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::fig2::run(args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 (see `hdx_bench::experiments::table1`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::table1::run(args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 (see `hdx_bench::experiments::table2`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::table2::run(args));
+}

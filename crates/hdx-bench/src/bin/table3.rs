@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 (see `hdx_bench::experiments::table3`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::table3::run(args));
+}

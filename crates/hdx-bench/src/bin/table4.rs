@@ -1,0 +1,6 @@
+//! Regenerates the paper's table4 (see `hdx_bench::experiments::table4`).
+
+fn main() {
+    let args = hdx_bench::Args::from_env();
+    print!("{}", hdx_bench::experiments::table4::run(args));
+}

@@ -1,0 +1,74 @@
+//! Shared experiment plumbing.
+
+use hdx_core::{ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult, OutcomeFn};
+use hdx_datasets::Dataset;
+use hdx_stats::Outcome;
+
+/// The outcome function each dataset is analysed with in the paper:
+/// FPR divergence for compas (§VI-B), income divergence for folktables,
+/// error-rate divergence for everything else (including synthetic-peak).
+pub fn outcomes_for(dataset: &Dataset) -> Vec<Outcome> {
+    match dataset.name.as_str() {
+        "compas" => dataset.classification_outcomes(OutcomeFn::Fpr),
+        "folktables" => dataset.target_outcomes(),
+        _ => dataset.classification_outcomes(OutcomeFn::ErrorRate),
+    }
+}
+
+/// Builds the H-DivExplorer pipeline for a dataset, attaching its
+/// taxonomies.
+pub fn pipeline_for(dataset: &Dataset, config: HDivExplorerConfig) -> HDivExplorer {
+    let mut pipeline = HDivExplorer::new(config);
+    for (attr, taxonomy) in &dataset.taxonomies {
+        pipeline = pipeline.with_taxonomy(attr.clone(), taxonomy.clone());
+    }
+    pipeline
+}
+
+/// Condensed result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Highest divergence found (`0.0` when nothing was mined).
+    pub max_divergence: f64,
+    /// Mining wall-clock seconds (excludes discretization).
+    pub elapsed_secs: f64,
+    /// Discretization wall-clock seconds.
+    pub discretization_secs: f64,
+    /// The top subgroup's label.
+    pub top_label: String,
+    /// The top subgroup's support.
+    pub top_support: f64,
+    /// The top subgroup's statistic.
+    pub top_statistic: f64,
+    /// The top subgroup's Welch t-value.
+    pub top_t: f64,
+    /// Number of frequent subgroups explored.
+    pub n_subgroups: usize,
+}
+
+/// Runs a full pipeline exploration on a dataset and condenses the result.
+pub fn run_exploration(
+    dataset: &Dataset,
+    config: HDivExplorerConfig,
+    mode: ExplorationMode,
+) -> (HDivResult, RunStats) {
+    let outcomes = outcomes_for(dataset);
+    let result = pipeline_for(dataset, config).fit_mode(&dataset.frame, &outcomes, mode);
+    let stats = condense(&result);
+    (result, stats)
+}
+
+/// Condenses an [`HDivResult`] into [`RunStats`].
+pub fn condense(result: &HDivResult) -> RunStats {
+    let top = result.report.top();
+    RunStats {
+        max_divergence: result.report.max_divergence().unwrap_or(0.0),
+        elapsed_secs: result.report.elapsed.as_secs_f64(),
+        discretization_secs: result.discretization_time.as_secs_f64(),
+        top_label: top.map_or_else(|| "-".to_string(), |r| r.label.clone()),
+        top_support: top.map_or(0.0, |r| r.support),
+        top_statistic: top.and_then(|r| r.statistic).unwrap_or(f64::NAN),
+        top_t: top.map_or(0.0, |r| r.t_value),
+        n_subgroups: result.report.records.len(),
+    }
+}

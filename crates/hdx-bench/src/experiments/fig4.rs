@@ -1,0 +1,98 @@
+//! Fig. 4: complete vs polarity-pruned hierarchical exploration — (a) the
+//! highest divergence is (nearly always) preserved, (b) the pruned search is
+//! substantially faster.
+
+use hdx_core::{ExplorationMode, HDivExplorerConfig};
+use hdx_datasets::classification_suite;
+
+use crate::experiments::common::run_exploration;
+use crate::experiments::fig2::SUPPORTS;
+use crate::util::{fmt_table, Args};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Dataset name.
+    pub dataset: String,
+    /// Exploration support.
+    pub s: f64,
+    /// Complete-search max divergence.
+    pub full_div: f64,
+    /// Polarity-pruned max divergence.
+    pub pruned_div: f64,
+    /// Complete-search mining seconds.
+    pub full_secs: f64,
+    /// Pruned-search mining seconds.
+    pub pruned_secs: f64,
+    /// Subgroups explored by the complete search.
+    pub full_subgroups: usize,
+    /// Subgroups surviving polarity pruning.
+    pub pruned_subgroups: usize,
+}
+
+/// Computes the sweep.
+pub fn points(args: Args) -> Vec<Point> {
+    let mut out = Vec::new();
+    for dataset in classification_suite(args.scale, args.seed) {
+        for s in SUPPORTS {
+            let mk = |polarity_pruning| HDivExplorerConfig {
+                min_support: s,
+                polarity_pruning,
+                ..HDivExplorerConfig::default()
+            };
+            let (_, full) = run_exploration(&dataset, mk(false), ExplorationMode::Generalized);
+            let (_, pruned) = run_exploration(&dataset, mk(true), ExplorationMode::Generalized);
+            out.push(Point {
+                dataset: dataset.name.clone(),
+                s,
+                full_div: full.max_divergence,
+                pruned_div: pruned.max_divergence,
+                full_secs: full.elapsed_secs,
+                pruned_secs: pruned.elapsed_secs,
+                full_subgroups: full.n_subgroups,
+                pruned_subgroups: pruned.n_subgroups,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Fig. 4.
+pub fn run(args: Args) -> String {
+    let body: Vec<Vec<String>> = points(args)
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                format!("{}", p.s),
+                format!("{:.3}", p.full_div),
+                format!("{:.3}", p.pruned_div),
+                format!("{:.4}", p.full_secs),
+                format!("{:.4}", p.pruned_secs),
+                format!("{:.1}x", p.full_secs / p.pruned_secs.max(1e-9)),
+                format!("{}", p.full_subgroups),
+                format!("{}", p.pruned_subgroups),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 4 — complete vs polarity-pruned hierarchical exploration (st = 0.1)\n\
+         paper reference: pruning preserves the max divergence (differs slightly in only\n\
+         4 of all cases) while cutting execution time (mean speedups ×1.4 adult – ×27.6\n\
+         wine, peak ×116.8 at s = 0.01)\n\n{}",
+        fmt_table(
+            &[
+                "dataset",
+                "s",
+                "maxΔ full",
+                "maxΔ pruned",
+                "t full (s)",
+                "t pruned (s)",
+                "speedup",
+                "#subgroups full",
+                "#subgroups pruned",
+            ],
+            &body
+        ),
+    )
+}

@@ -1,0 +1,93 @@
+//! Fig. 5: the attribute ranges of the most divergent synthetic-peak
+//! itemset, base vs generalized exploration, `s ∈ {0.05, 0.025}`.
+//!
+//! The paper's headline: at `s = 0.05` the base exploration can only afford
+//! an itemset over *one* attribute (Δerror ≈ 0.045), while the hierarchical
+//! exploration constrains all three coordinates around the anomaly centre
+//! `[0, 1, 2]` (Δerror ≈ 0.229) — over four times as divergent.
+
+use hdx_core::{ExplorationMode, HDivExplorerConfig};
+use hdx_datasets::{default_rows, synthetic_peak};
+use hdx_items::Interval;
+
+use crate::experiments::common::run_exploration;
+use crate::util::{fmt_table, Args};
+
+/// The best itemset of one run, as per-attribute ranges.
+#[derive(Debug, Clone)]
+pub struct BestItemset {
+    /// Exploration support.
+    pub s: f64,
+    /// `"base"` or `"generalized"`.
+    pub mode: &'static str,
+    /// Per-attribute constrained range (attribute order a, b, c; `None` =
+    /// unconstrained).
+    pub ranges: [Option<Interval>; 3],
+    /// The itemset's error-rate divergence.
+    pub divergence: f64,
+    /// The itemset's support.
+    pub support: f64,
+}
+
+/// Computes Fig. 5's four panels.
+pub fn best_itemsets(args: Args) -> Vec<BestItemset> {
+    let d = synthetic_peak(args.rows(default_rows::SYNTHETIC_PEAK), args.seed);
+    let mut out = Vec::new();
+    for s in [0.05, 0.025] {
+        for (mode, name) in [
+            (ExplorationMode::Base, "base"),
+            (ExplorationMode::Generalized, "generalized"),
+        ] {
+            let config = HDivExplorerConfig {
+                min_support: s,
+                tree_min_support: 0.1,
+                ..HDivExplorerConfig::default()
+            };
+            let (result, stats) = run_exploration(&d, config, mode);
+            let mut ranges: [Option<Interval>; 3] = [None, None, None];
+            if let Some(top) = result.report.top() {
+                for &item in top.itemset.items() {
+                    let attr = result.catalog.attr_of(item);
+                    if let Some(j) = result.catalog.item(item).interval() {
+                        ranges[attr.index()] = Some(*j);
+                    }
+                }
+            }
+            out.push(BestItemset {
+                s,
+                mode: name,
+                ranges,
+                divergence: stats.max_divergence,
+                support: stats.top_support,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Fig. 5.
+pub fn run(args: Args) -> String {
+    let fmt_range =
+        |r: &Option<Interval>| r.map_or_else(|| "(unconstrained)".to_string(), |j| j.to_string());
+    let body: Vec<Vec<String>> = best_itemsets(args)
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{}", b.s),
+                b.mode.to_string(),
+                fmt_range(&b.ranges[0]),
+                fmt_range(&b.ranges[1]),
+                fmt_range(&b.ranges[2]),
+                format!("{:.3}", b.support),
+                format!("{:+.3}", b.divergence),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 5 — ranges of the highest-divergence synthetic-peak itemset\n\
+         paper reference: s=0.05: base constrains b only (Δ 0.045) vs generalized\n\
+         constraining a, b and c around [0, 1, 2] (Δ 0.229);\n\
+         s=0.025: base Δ 0.212 (b and c) vs generalized Δ 0.297 (a, b, c)\n\n{}",
+        fmt_table(&["s", "mode", "a", "b", "c", "sup", "Δerror"], &body),
+    )
+}

@@ -1,0 +1,164 @@
+//! Fig. 6 / §VI-G: prior approaches on synthetic-peak.
+//!
+//! * Slice Finder with default parameters stops at a single-attribute slice
+//!   (a one-term slice already clears the default effect-size threshold);
+//!   raising the threshold to 1 makes it return a three-term slice — but
+//!   with a vanishing support, because Slice Finder has no support control.
+//! * SliceLine's best slices (α swept) match the base DivExplorer itemsets
+//!   of Fig. 5 — base exploration is the shared limitation.
+
+use hdx_baselines::{
+    SliceFinder, SliceFinderConfig, SliceFinderResult, SliceLine, SliceLineConfig, SliceLineResult,
+};
+use hdx_core::{ExplorationMode, HDivExplorerConfig, OutcomeFn};
+use hdx_datasets::{default_rows, synthetic_peak, Dataset};
+use hdx_items::{ItemCatalog, ItemId};
+use hdx_stats::Outcome;
+
+use crate::experiments::common::{pipeline_for, run_exploration};
+use crate::util::{fmt_table, Args};
+
+/// The shared leaf-item discretization (tree leaves, st = 0.1, as in §VI-C).
+fn leaf_items(d: &Dataset) -> (ItemCatalog, Vec<ItemId>, Vec<f64>) {
+    let outcomes: Vec<Outcome> = d.classification_outcomes(OutcomeFn::ErrorRate);
+    let pipeline = pipeline_for(d, HDivExplorerConfig::default());
+    let (catalog, hierarchies, _) = pipeline.discretize(&d.frame, &outcomes);
+    let items = hierarchies.leaf_items();
+    let losses: Vec<f64> = outcomes.iter().map(|o| o.value().unwrap_or(0.0)).collect();
+    (catalog, items, losses)
+}
+
+/// Structured Fig. 6 results.
+#[derive(Debug)]
+pub struct Fig6Results {
+    /// Slice Finder, default parameters (T = 0.4): the slice the search
+    /// stops at.
+    pub sf_default: Option<SliceFinderResult>,
+    /// Slice Finder with effect-size threshold 1.
+    pub sf_threshold_1: Option<SliceFinderResult>,
+    /// SliceLine best slices per (α, σ-as-support) combination.
+    pub sliceline: Vec<(f64, f64, SliceLineResult)>,
+    /// Base DivExplorer top itemsets at s = 0.05 / 0.025 for comparison.
+    pub divexplorer_base: Vec<(f64, String, f64)>,
+    /// Dataset size.
+    pub n_rows: usize,
+}
+
+/// Runs the comparison.
+pub fn results(args: Args) -> Fig6Results {
+    let d = synthetic_peak(args.rows(default_rows::SYNTHETIC_PEAK), args.seed);
+    let (catalog, items, losses) = leaf_items(&d);
+    let n = d.n_rows();
+
+    let sf_default =
+        SliceFinder::new(SliceFinderConfig::default()).find(&d.frame, &catalog, &items, &losses);
+    let sf_t1 = SliceFinder::new(SliceFinderConfig {
+        effect_size_threshold: 1.0,
+        ..SliceFinderConfig::default()
+    })
+    .find_best(&d.frame, &catalog, &items, &losses);
+
+    let mut sliceline = Vec::new();
+    for s in [0.05, 0.025] {
+        for alpha in [0.85, 0.9, 0.95, 0.99] {
+            let sl = SliceLine::new(SliceLineConfig {
+                alpha,
+                min_size: (s * n as f64).ceil() as usize,
+                k: 1,
+                ..SliceLineConfig::default()
+            });
+            if let Some(best) = sl
+                .find(&d.frame, &catalog, &items, &losses)
+                .into_iter()
+                .next()
+            {
+                sliceline.push((alpha, s, best));
+            }
+        }
+    }
+
+    let mut divexplorer_base = Vec::new();
+    for s in [0.05, 0.025] {
+        let (_, stats) = run_exploration(
+            &d,
+            HDivExplorerConfig {
+                min_support: s,
+                ..HDivExplorerConfig::default()
+            },
+            ExplorationMode::Base,
+        );
+        divexplorer_base.push((s, stats.top_label, stats.max_divergence));
+    }
+
+    Fig6Results {
+        sf_default: sf_default.into_iter().next(),
+        sf_threshold_1: sf_t1,
+        sliceline,
+        divexplorer_base,
+        n_rows: n,
+    }
+}
+
+/// Renders Fig. 6 / §VI-G.
+pub fn run(args: Args) -> String {
+    let r = results(args);
+    let mut out = String::from(
+        "Fig. 6 / §VI-G — prior approaches on synthetic-peak (leaf items, st = 0.1)\n\
+         paper reference: SF default stops at a 1-term slice (effect size 0.79 > 0.4);\n\
+         SF with threshold 1 returns a 3-term slice of support 0.0013 (13 instances);\n\
+         SliceLine's best slices match base DivExplorer's itemsets\n\n",
+    );
+    let n_rows = r.n_rows;
+    let fmt_sf = move |r: &Option<SliceFinderResult>| {
+        r.as_ref().map_or_else(
+            || "(none found)".to_string(),
+            |s| {
+                format!(
+                    "{}  size={} (sup {:.4})  effect={:.2}  mean-loss={:.2}",
+                    s.label,
+                    s.size,
+                    s.size as f64 / n_rows as f64,
+                    s.effect_size,
+                    s.mean_loss
+                )
+            },
+        )
+    };
+    out.push_str(&format!(
+        "Slice Finder, default (T=0.4):  {}\n",
+        fmt_sf(&r.sf_default)
+    ));
+    out.push_str(&format!(
+        "Slice Finder, T=1.0 (best):     {}\n\n",
+        fmt_sf(&r.sf_threshold_1)
+    ));
+
+    let sl_rows: Vec<Vec<String>> = r
+        .sliceline
+        .iter()
+        .map(|(alpha, s, best)| {
+            vec![
+                format!("{alpha}"),
+                format!("{s}"),
+                best.label.clone(),
+                format!("{:.4}", best.size as f64 / r.n_rows as f64),
+                format!("{:.3}", best.mean_error),
+            ]
+        })
+        .collect();
+    out.push_str(&fmt_table(
+        &["α", "min-sup", "SliceLine best slice", "sup", "mean error"],
+        &sl_rows,
+    ));
+    out.push('\n');
+    let dx_rows: Vec<Vec<String>> = r
+        .divexplorer_base
+        .iter()
+        .map(|(s, label, div)| vec![format!("{s}"), label.clone(), format!("{div:+.3}")])
+        .collect();
+    out.push_str(&fmt_table(
+        &["s", "base DivExplorer top itemset", "Δerror"],
+        &dx_rows,
+    ));
+    out
+}

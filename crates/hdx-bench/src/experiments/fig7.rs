@@ -1,0 +1,154 @@
+//! Fig. 7: unsupervised quantile discretization (best over 2–10 bins,
+//! explored by base DivExplorer) vs the tree-based hierarchical exploration,
+//! on synthetic-peak.
+//!
+//! Extension beyond the paper: a third series runs the Fayyad–Irani MDLP
+//! supervised discretizer (§II, ref. 23) with base exploration, showing that
+//! even a supervised flat discretization is dominated by the hierarchy.
+
+use hdx_core::{DivExplorer, ExplorationConfig, ExplorationMode, HDivExplorerConfig, OutcomeFn};
+use hdx_datasets::{default_rows, synthetic_peak};
+use hdx_discretize::{mdlp_hierarchy, quantile_hierarchy};
+use hdx_items::{HierarchySet, ItemCatalog};
+
+use crate::experiments::common::run_exploration;
+use crate::plot::line_chart;
+use crate::util::{fmt_table, Args};
+
+/// The support sweep of Fig. 7.
+pub const SUPPORTS: [f64; 4] = [0.01, 0.025, 0.05, 0.07];
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Exploration support.
+    pub s: f64,
+    /// Best base-exploration divergence over quantile discretizations with
+    /// 2–10 bins.
+    pub quantile_div: f64,
+    /// The bin count achieving it.
+    pub best_bins: usize,
+    /// MDLP (supervised, flat) + base exploration divergence (extension).
+    pub mdlp_div: f64,
+    /// Hierarchical (tree) exploration divergence.
+    pub tree_div: f64,
+}
+
+/// Computes the sweep.
+pub fn points(args: Args) -> Vec<Point> {
+    let d = synthetic_peak(args.rows(default_rows::SYNTHETIC_PEAK), args.seed);
+    let outcomes = d.classification_outcomes(OutcomeFn::ErrorRate);
+    let continuous = d.frame.schema().continuous_ids();
+
+    // Pre-build a quantile hierarchy set per bin count.
+    let per_bins: Vec<(usize, ItemCatalog, HierarchySet)> = (2..=10)
+        .map(|k| {
+            let mut catalog = ItemCatalog::new();
+            let mut hs = HierarchySet::new();
+            for &attr in &continuous {
+                hs.push(quantile_hierarchy(&d.frame, attr, k, &mut catalog));
+            }
+            (k, catalog, hs)
+        })
+        .collect();
+
+    // MDLP hierarchy is support-independent; build once.
+    let mut mdlp_catalog = ItemCatalog::new();
+    let mut mdlp_hs = HierarchySet::new();
+    for &attr in &continuous {
+        let h = mdlp_hierarchy(&d.frame, attr, &outcomes, &mut mdlp_catalog);
+        if !h.is_empty() {
+            mdlp_hs.push(h);
+        }
+    }
+
+    SUPPORTS
+        .iter()
+        .map(|&s| {
+            let explorer = DivExplorer::new(ExplorationConfig {
+                min_support: s,
+                ..ExplorationConfig::default()
+            });
+            let mdlp_div = if mdlp_hs.is_empty() {
+                0.0
+            } else {
+                explorer
+                    .explore(&d.frame, &mdlp_catalog, &mdlp_hs, &outcomes)
+                    .max_divergence()
+                    .unwrap_or(0.0)
+            };
+            let (best_bins, quantile_div) = per_bins
+                .iter()
+                .map(|(k, catalog, hs)| {
+                    let report = explorer.explore(&d.frame, catalog, hs, &outcomes);
+                    (*k, report.max_divergence().unwrap_or(0.0))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite divergences"))
+                .expect("bin range non-empty");
+            let (_, tree) = run_exploration(
+                &d,
+                HDivExplorerConfig {
+                    min_support: s,
+                    ..HDivExplorerConfig::default()
+                },
+                ExplorationMode::Generalized,
+            );
+            Point {
+                s,
+                quantile_div,
+                best_bins,
+                mdlp_div,
+                tree_div: tree.max_divergence,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 7.
+pub fn run(args: Args) -> String {
+    let pts = points(args);
+    let body: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.s),
+                format!("{:.3}", p.quantile_div),
+                format!("{}", p.best_bins),
+                format!("{:.3}", p.mdlp_div),
+                format!("{:.3}", p.tree_div),
+            ]
+        })
+        .collect();
+    let x_labels: Vec<String> = pts.iter().map(|p| format!("{}", p.s)).collect();
+    let chart = line_chart(
+        &x_labels,
+        &[
+            (
+                "quantile (best)",
+                pts.iter().map(|p| p.quantile_div).collect(),
+            ),
+            ("MDLP", pts.iter().map(|p| p.mdlp_div).collect()),
+            (
+                "tree hierarchical",
+                pts.iter().map(|p| p.tree_div).collect(),
+            ),
+        ],
+        10,
+    );
+    format!(
+        "Fig. 7 — quantile discretization (best of 2–10 bins, base exploration) vs\n\
+         tree-based hierarchical exploration, synthetic-peak\n\
+         paper reference: the hierarchical exploration dominates at every support\n\n{}\n{}",
+        fmt_table(
+            &[
+                "s",
+                "maxΔ quantile (best)",
+                "best #bins",
+                "maxΔ MDLP (ext.)",
+                "maxΔ tree hierarchical"
+            ],
+            &body
+        ),
+        chart,
+    )
+}

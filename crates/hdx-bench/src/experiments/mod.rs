@@ -1,0 +1,22 @@
+//! Experiment runners, one submodule per paper table/figure.
+//!
+//! Every runner takes [`Args`](crate::Args) and returns the printable
+//! artifact; binaries are thin wrappers, and the integration tests assert on
+//! the structured results.
+
+pub mod ablation;
+mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use common::{outcomes_for, pipeline_for, run_exploration, RunStats};

@@ -1,0 +1,78 @@
+//! Table IV: top income-divergent folktables itemsets, base vs generalized
+//! exploration (tree discretization, divergence criterion — the only one
+//! applicable to a real-valued outcome), `s ∈ {0.05, 0.025, 0.01}`.
+
+use hdx_core::{ExplorationMode, HDivExplorerConfig};
+use hdx_datasets::{default_rows, folktables};
+use hdx_discretize::GainCriterion;
+
+use crate::experiments::common::{run_exploration, RunStats};
+use crate::util::{fmt_table, Args};
+
+/// One Table IV row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Exploration support.
+    pub s: f64,
+    /// `"base"` or `"generalized"`.
+    pub itemset_type: &'static str,
+    /// Condensed run result.
+    pub stats: RunStats,
+}
+
+/// Computes all Table IV rows.
+pub fn rows(args: Args) -> Vec<Row> {
+    let d = folktables(args.rows(default_rows::FOLKTABLES), args.seed);
+    let mut out = Vec::new();
+    for s in [0.05, 0.025, 0.01] {
+        let config = HDivExplorerConfig {
+            min_support: s,
+            tree_min_support: 0.1,
+            criterion: GainCriterion::Divergence,
+            // The paper's Table IV itemsets have ≤ 4 items; capping the
+            // pattern length keeps the s = 0.01 sweep tractable without
+            // affecting the reported maxima.
+            max_len: Some(4),
+            ..HDivExplorerConfig::default()
+        };
+        for (mode, itemset_type) in [
+            (ExplorationMode::Base, "base"),
+            (ExplorationMode::Generalized, "generalized"),
+        ] {
+            let (result, _) = run_exploration(&d, config, mode);
+            out.push(Row {
+                s,
+                itemset_type,
+                stats: crate::experiments::common::condense(&result),
+            });
+        }
+    }
+    out
+}
+
+/// Renders Table IV.
+pub fn run(args: Args) -> String {
+    let body: Vec<Vec<String>> = rows(args)
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.s),
+                r.itemset_type.to_string(),
+                r.stats.top_label.clone(),
+                format!("{:.2}", r.stats.top_support),
+                format!("{:+.1}k", r.stats.max_divergence / 1_000.0),
+                format!("{:.1}", r.stats.top_t),
+            ]
+        })
+        .collect();
+    format!(
+        "Table IV — folktables top income-divergent itemsets (st = 0.1)\n\
+         paper reference (Δincome): s=0.05: base 81.0k < generalized 90.2k;\n\
+         s=0.025: 105.3k < 119.3k;  s=0.01: 163.5k < 172.3k\n\
+         (generalized itemsets use non-leaf items such as OCCP=MGR and AGEP≥35)\n\n{}",
+        fmt_table(
+            &["s", "Itemset type", "Itemset", "Sup", "Δincome", "t"],
+            &body
+        ),
+    )
+}

@@ -1,0 +1,23 @@
+//! # hdx-bench
+//!
+//! Experiment harness regenerating **every table and figure** of the paper's
+//! evaluation (§VI). Each `src/bin/<exp>.rs` binary prints the rows/series
+//! of one paper artifact; the library holds the shared runners so the
+//! integration tests and Criterion benches exercise the same code.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p hdx-bench --bin table3 -- --scale 0.25
+//! ```
+//!
+//! `--scale` shrinks every dataset relative to the paper's row counts
+//! (Table II); `--seed` changes the generator seed. Absolute numbers shift
+//! with scale, but the comparisons the paper makes (hierarchical ≥ base,
+//! polarity pruning lossless, …) hold at any scale.
+
+pub mod experiments;
+pub mod plot;
+pub mod util;
+
+pub use util::{fmt_table, Args};

@@ -1,0 +1,152 @@
+//! Minimal ASCII line charts for the figure binaries.
+//!
+//! The paper's figures are line plots of divergence/time vs support; the
+//! harness prints the exact numbers as tables and, via this module, a
+//! terminal rendering of the same series so the *shape* (who dominates,
+//! where curves cross) is visible at a glance.
+
+/// Symbols assigned to series, in order.
+const SYMBOLS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders series sharing an x-axis as an ASCII chart.
+///
+/// * `x_labels` — tick labels, one per x position;
+/// * `series` — `(name, ys)` pairs; `ys.len()` must equal `x_labels.len()`;
+///   non-finite values are skipped.
+/// * `height` — plot rows (≥ 2).
+///
+/// # Panics
+/// Panics on mismatched lengths, no series, or `height < 2`.
+pub fn line_chart(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usize) -> String {
+    assert!(!series.is_empty(), "at least one series");
+    assert!(height >= 2, "height must be at least 2");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), x_labels.len(), "series `{name}` length mismatch");
+    }
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return "(no finite data)\n".to_string();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+
+    let col_width = 7usize;
+    let width = x_labels.len() * col_width;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let symbol = SYMBOLS[si % SYMBOLS.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            if !y.is_finite() {
+                continue;
+            }
+            let row = ((hi - y) / span * (height - 1) as f64).round() as usize;
+            let col = xi * col_width + col_width / 2;
+            grid[row.min(height - 1)][col] = symbol;
+        }
+    }
+
+    let y_label_width = 9;
+    let mut out = String::new();
+    for (row, line) in grid.iter().enumerate() {
+        let y_val = hi - span * row as f64 / (height - 1) as f64;
+        let label = if row == 0 || row == height - 1 || row == (height - 1) / 2 {
+            format!("{y_val:>8.3}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("{label} |"));
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&" ".repeat(y_label_width + 1));
+    for label in x_labels {
+        out.push_str(&format!("{label:^col_width$}"));
+    }
+    out.push('\n');
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {name}", SYMBOLS[si % SYMBOLS.len()]))
+        .collect();
+    out.push_str(&format!(
+        "{}{}\n",
+        " ".repeat(y_label_width + 1),
+        legend.join("   ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let chart = line_chart(
+            &labels(&["0.05", "0.1", "0.2"]),
+            &[
+                ("base", vec![0.1, 0.08, 0.02]),
+                ("hier", vec![0.3, 0.25, 0.2]),
+            ],
+            8,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* base"));
+        assert!(chart.contains("o hier"));
+        assert!(chart.contains("0.05"));
+        // Max and min appear as y labels.
+        assert!(chart.contains("0.300"));
+        assert!(chart.contains("0.020"));
+    }
+
+    #[test]
+    fn dominant_series_sits_above() {
+        let chart = line_chart(
+            &labels(&["a", "b"]),
+            &[("low", vec![0.0, 0.0]), ("high", vec![1.0, 1.0])],
+            5,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        let row_of = |sym: char| lines.iter().position(|l| l.contains(sym)).unwrap();
+        assert!(row_of('o') < row_of('*'), "high (o) above low (*)\n{chart}");
+    }
+
+    #[test]
+    fn constant_series_and_nan_handled() {
+        let chart = line_chart(
+            &labels(&["a", "b", "c"]),
+            &[("flat", vec![0.5, f64::NAN, 0.5])],
+            4,
+        );
+        // Count symbols in the plot area only (the legend repeats one).
+        let plot_area: String = chart.lines().take(4).collect();
+        assert_eq!(
+            plot_area.matches('*').count(),
+            2,
+            "NaN point skipped\n{chart}"
+        );
+        let empty = line_chart(&labels(&["a"]), &[("nan", vec![f64::NAN])], 4);
+        assert!(empty.contains("no finite data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let _ = line_chart(&labels(&["a", "b"]), &[("s", vec![1.0])], 4);
+    }
+}

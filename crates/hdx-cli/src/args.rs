@@ -1,0 +1,521 @@
+//! Command-line parsing (hand-rolled; no dependencies).
+
+use std::fmt;
+
+/// CLI failure: a message shown to the user (exit code 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+/// The statistic to analyse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stat {
+    /// False-positive rate.
+    Fpr,
+    /// False-negative rate.
+    Fnr,
+    /// True-positive rate.
+    Tpr,
+    /// True-negative rate.
+    Tnr,
+    /// Error rate (default).
+    #[default]
+    Error,
+    /// Accuracy.
+    Accuracy,
+    /// Positive prediction rate.
+    PositiveRate,
+    /// A real-valued target column.
+    Target,
+}
+
+impl Stat {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        Ok(match s {
+            "fpr" => Stat::Fpr,
+            "fnr" => Stat::Fnr,
+            "tpr" => Stat::Tpr,
+            "tnr" => Stat::Tnr,
+            "error" => Stat::Error,
+            "accuracy" => Stat::Accuracy,
+            "positive-rate" => Stat::PositiveRate,
+            "target" => Stat::Target,
+            other => return Err(CliError::new(format!("unknown --stat `{other}`"))),
+        })
+    }
+}
+
+/// Options shared by the CSV-consuming commands.
+#[derive(Debug, Clone)]
+pub struct InputOpts {
+    /// CSV path.
+    pub path: String,
+    /// Statistic.
+    pub stat: Stat,
+    /// Ground-truth column name.
+    pub label_col: String,
+    /// Prediction column name.
+    pub pred_col: String,
+    /// Target column (for [`Stat::Target`]).
+    pub target_col: Option<String>,
+    /// CSV separator.
+    pub separator: char,
+}
+
+impl InputOpts {
+    fn new(path: String) -> Self {
+        Self {
+            path,
+            stat: Stat::default(),
+            label_col: "y_true".into(),
+            pred_col: "y_pred".into(),
+            target_col: None,
+            separator: ',',
+        }
+    }
+}
+
+/// `hdx explore` options.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Input options.
+    pub input: InputOpts,
+    /// Exploration support `s`.
+    pub support: f64,
+    /// Tree support `st`.
+    pub tree_support: f64,
+    /// `true` = entropy criterion.
+    pub entropy: bool,
+    /// `true` = base (leaf-only) exploration.
+    pub base_mode: bool,
+    /// Polarity pruning.
+    pub polarity: bool,
+    /// Pattern length cap.
+    pub max_len: Option<usize>,
+    /// Rows to print.
+    pub top: usize,
+    /// Redundancy filter.
+    pub non_redundant: bool,
+    /// FD-taxonomy discovery tolerance.
+    pub fd_tolerance: Option<f64>,
+    /// JSON output.
+    pub json: bool,
+}
+
+/// `hdx discretize` options.
+#[derive(Debug, Clone)]
+pub struct DiscretizeOpts {
+    /// Input options.
+    pub input: InputOpts,
+    /// Tree support `st`.
+    pub tree_support: f64,
+    /// `true` = entropy criterion.
+    pub entropy: bool,
+    /// Restrict to one attribute.
+    pub attr: Option<String>,
+}
+
+/// `hdx baselines` options.
+#[derive(Debug, Clone)]
+pub struct BaselinesOpts {
+    /// Input options.
+    pub input: InputOpts,
+    /// Leaf discretization support.
+    pub tree_support: f64,
+    /// Slice Finder effect-size threshold.
+    pub sf_threshold: f64,
+    /// SliceLine α.
+    pub sl_alpha: f64,
+    /// SliceLine minimum slice size.
+    pub min_size: usize,
+}
+
+/// `hdx generate` options.
+#[derive(Debug, Clone)]
+pub struct GenerateOpts {
+    /// Dataset name.
+    pub dataset: String,
+    /// Row count (`None` = paper size).
+    pub rows: Option<usize>,
+    /// Seed.
+    pub seed: u64,
+    /// Output path.
+    pub out: Option<String>,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Summarise a CSV's attributes.
+    Describe {
+        /// CSV path.
+        path: String,
+        /// Field separator.
+        separator: char,
+    },
+    /// Find divergent subgroups.
+    Explore(ExploreOpts),
+    /// Print discretization trees.
+    Discretize(DiscretizeOpts),
+    /// Run the prior-work baselines.
+    Baselines(BaselinesOpts),
+    /// Generate a synthetic dataset.
+    Generate(GenerateOpts),
+    /// Print usage.
+    Help,
+}
+
+/// Argument cursor with typed takes.
+struct Cursor {
+    args: std::vec::IntoIter<String>,
+}
+
+impl Cursor {
+    fn value(&mut self, flag: &str) -> Result<String, CliError> {
+        self.args
+            .next()
+            .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+    }
+
+    fn parse_value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| CliError::new(format!("invalid value `{raw}` for {flag}")))
+    }
+}
+
+/// Applies a shared input flag; returns `false` when the flag is not an
+/// input option.
+fn apply_input_flag(input: &mut InputOpts, flag: &str, cur: &mut Cursor) -> Result<bool, CliError> {
+    match flag {
+        "--stat" => input.stat = Stat::parse(&cur.value(flag)?)?,
+        "--label-col" => input.label_col = cur.value(flag)?,
+        "--pred-col" => input.pred_col = cur.value(flag)?,
+        "--target-col" => input.target_col = Some(cur.value(flag)?),
+        "--separator" => {
+            let raw = cur.value(flag)?;
+            let mut chars = raw.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => input.separator = c,
+                _ => return Err(CliError::new("--separator takes a single character")),
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn require_path(cur: &mut Cursor, command: &str) -> Result<String, CliError> {
+    match cur.args.next() {
+        Some(p) if !p.starts_with("--") => Ok(p),
+        _ => Err(CliError::new(format!("hdx {command} requires a CSV path"))),
+    }
+}
+
+fn check_tree_support(st: f64) -> Result<(), CliError> {
+    if st > 0.0 && st < 1.0 {
+        Ok(())
+    } else {
+        Err(CliError::new("--st must be in (0, 1)"))
+    }
+}
+
+fn parse_criterion(cur: &mut Cursor) -> Result<bool, CliError> {
+    match cur.value("--criterion")?.as_str() {
+        "divergence" => Ok(false),
+        "entropy" => Ok(true),
+        other => Err(CliError::new(format!("unknown --criterion `{other}`"))),
+    }
+}
+
+/// Parses an invocation (without `argv[0]`).
+pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
+    let mut cur = Cursor {
+        args: args.into_iter(),
+    };
+    let Some(command) = cur.args.next() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "describe" => {
+            let path = require_path(&mut cur, "describe")?;
+            let mut separator = ',';
+            while let Some(flag) = cur.args.next() {
+                match flag.as_str() {
+                    "--separator" => {
+                        let raw = cur.value(&flag)?;
+                        let mut chars = raw.chars();
+                        match (chars.next(), chars.next()) {
+                            (Some(c), None) => separator = c,
+                            _ => return Err(CliError::new("--separator takes a single character")),
+                        }
+                    }
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Describe { path, separator })
+        }
+        "explore" => {
+            let mut opts = ExploreOpts {
+                input: InputOpts::new(require_path(&mut cur, "explore")?),
+                support: 0.05,
+                tree_support: 0.1,
+                entropy: false,
+                base_mode: false,
+                polarity: false,
+                max_len: None,
+                top: 10,
+                non_redundant: false,
+                fd_tolerance: None,
+                json: false,
+            };
+            while let Some(flag) = cur.args.next() {
+                if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "-s" | "--support" => opts.support = cur.parse_value(&flag)?,
+                    "--st" => opts.tree_support = cur.parse_value(&flag)?,
+                    "--criterion" => opts.entropy = parse_criterion(&mut cur)?,
+                    "--mode" => match cur.value(&flag)?.as_str() {
+                        "base" => opts.base_mode = true,
+                        "hierarchical" | "hier" => opts.base_mode = false,
+                        other => return Err(CliError::new(format!("unknown --mode `{other}`"))),
+                    },
+                    "--polarity" => opts.polarity = true,
+                    "--max-len" => opts.max_len = Some(cur.parse_value(&flag)?),
+                    "--top" => opts.top = cur.parse_value(&flag)?,
+                    "--non-redundant" => opts.non_redundant = true,
+                    "--fd" => opts.fd_tolerance = Some(cur.parse_value(&flag)?),
+                    "--json" => opts.json = true,
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            if !(0.0..=1.0).contains(&opts.support) || opts.support == 0.0 {
+                return Err(CliError::new("--support must be in (0, 1]"));
+            }
+            check_tree_support(opts.tree_support)?;
+            Ok(Command::Explore(opts))
+        }
+        "discretize" => {
+            let mut opts = DiscretizeOpts {
+                input: InputOpts::new(require_path(&mut cur, "discretize")?),
+                tree_support: 0.1,
+                entropy: false,
+                attr: None,
+            };
+            while let Some(flag) = cur.args.next() {
+                if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--st" => opts.tree_support = cur.parse_value(&flag)?,
+                    "--criterion" => opts.entropy = parse_criterion(&mut cur)?,
+                    "--attr" => opts.attr = Some(cur.value(&flag)?),
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            check_tree_support(opts.tree_support)?;
+            Ok(Command::Discretize(opts))
+        }
+        "baselines" => {
+            let mut opts = BaselinesOpts {
+                input: InputOpts::new(require_path(&mut cur, "baselines")?),
+                tree_support: 0.1,
+                sf_threshold: 0.4,
+                sl_alpha: 0.95,
+                min_size: 32,
+            };
+            while let Some(flag) = cur.args.next() {
+                if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--st" => opts.tree_support = cur.parse_value(&flag)?,
+                    "--sf-threshold" => opts.sf_threshold = cur.parse_value(&flag)?,
+                    "--sl-alpha" => opts.sl_alpha = cur.parse_value(&flag)?,
+                    "--min-size" => opts.min_size = cur.parse_value(&flag)?,
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            check_tree_support(opts.tree_support)?;
+            Ok(Command::Baselines(opts))
+        }
+        "generate" => {
+            let dataset = require_path(&mut cur, "generate")?;
+            let mut opts = GenerateOpts {
+                dataset,
+                rows: None,
+                seed: 42,
+                out: None,
+            };
+            while let Some(flag) = cur.args.next() {
+                match flag.as_str() {
+                    "--rows" => opts.rows = Some(cur.parse_value(&flag)?),
+                    "--seed" => opts.seed = cur.parse_value(&flag)?,
+                    "--out" => opts.out = Some(cur.value(&flag)?),
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Generate(opts))
+        }
+        other => Err(CliError::new(format!(
+            "unknown command `{other}` (try `hdx help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert!(matches!(parse(v(&[])).unwrap(), Command::Help));
+        assert!(matches!(parse(v(&["help"])).unwrap(), Command::Help));
+        assert!(matches!(parse(v(&["--help"])).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn explore_defaults_and_flags() {
+        let Command::Explore(o) = parse(v(&["explore", "d.csv"])).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.input.path, "d.csv");
+        assert_eq!(o.support, 0.05);
+        assert_eq!(o.input.stat, Stat::Error);
+        assert!(!o.base_mode && !o.polarity && !o.json);
+
+        let Command::Explore(o) = parse(v(&[
+            "explore",
+            "d.csv",
+            "--stat",
+            "fpr",
+            "-s",
+            "0.02",
+            "--st",
+            "0.2",
+            "--mode",
+            "base",
+            "--polarity",
+            "--max-len",
+            "3",
+            "--top",
+            "5",
+            "--json",
+            "--criterion",
+            "entropy",
+            "--fd",
+            "0.01",
+            "--non-redundant",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.input.stat, Stat::Fpr);
+        assert_eq!(o.support, 0.02);
+        assert_eq!(o.tree_support, 0.2);
+        assert!(o.base_mode && o.polarity && o.json && o.entropy && o.non_redundant);
+        assert_eq!(o.max_len, Some(3));
+        assert_eq!(o.top, 5);
+        assert_eq!(o.fd_tolerance, Some(0.01));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(v(&["explore"])).unwrap_err().0.contains("CSV path"));
+        assert!(parse(v(&["explore", "d.csv", "--bogus"]))
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(parse(v(&["explore", "d.csv", "-s"]))
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
+        assert!(parse(v(&["explore", "d.csv", "-s", "abc"]))
+            .unwrap_err()
+            .0
+            .contains("invalid value"));
+        assert!(parse(v(&["frobnicate"]))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(v(&["explore", "d.csv", "--stat", "woo"]))
+            .unwrap_err()
+            .0
+            .contains("unknown --stat"));
+        assert!(parse(v(&["explore", "d.csv", "--separator", "ab"]))
+            .unwrap_err()
+            .0
+            .contains("single character"));
+    }
+
+    #[test]
+    fn out_of_range_supports_rejected() {
+        assert!(parse(v(&["explore", "d.csv", "-s", "1.5"]))
+            .unwrap_err()
+            .0
+            .contains("(0, 1]"));
+        assert!(parse(v(&["explore", "d.csv", "-s", "0"])).is_err());
+        assert!(parse(v(&["explore", "d.csv", "--st", "1.0"]))
+            .unwrap_err()
+            .0
+            .contains("(0, 1)"));
+        assert!(parse(v(&["discretize", "d.csv", "--st", "-0.1"])).is_err());
+        assert!(parse(v(&["baselines", "d.csv", "--st", "2"])).is_err());
+        // s = 1.0 is legal (everything is one subgroup).
+        assert!(parse(v(&["explore", "d.csv", "-s", "1.0"])).is_ok());
+    }
+
+    #[test]
+    fn generate_options() {
+        let Command::Generate(o) = parse(v(&[
+            "generate", "compas", "--rows", "100", "--seed", "7", "--out", "x.csv",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.dataset, "compas");
+        assert_eq!(o.rows, Some(100));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out.as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn baselines_options() {
+        let Command::Baselines(o) = parse(v(&[
+            "baselines",
+            "d.csv",
+            "--sf-threshold",
+            "1.0",
+            "--sl-alpha",
+            "0.9",
+            "--min-size",
+            "64",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.sf_threshold, 1.0);
+        assert_eq!(o.sl_alpha, 0.9);
+        assert_eq!(o.min_size, 64);
+    }
+}

@@ -1,0 +1,502 @@
+//! Command implementations, returning the text to print.
+
+use hdx_baselines::{
+    CombinedTreeConfig, CombinedTreeExplorer, SliceFinder, SliceFinderConfig, SliceLine,
+    SliceLineConfig,
+};
+use hdx_core::{
+    real_outcomes, report_to_json, ExplorationMode, HDivExplorer, HDivExplorerConfig, OutcomeFn,
+};
+use hdx_data::{read_csv, AttributeKind, Column, CsvOptions, DataFrame, NULL_CODE};
+use hdx_discretize::GainCriterion;
+use hdx_stats::Outcome;
+
+use crate::args::{
+    BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts, Stat,
+};
+use crate::USAGE;
+
+/// Runs a parsed command, returning its output text.
+///
+/// # Errors
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Describe { path, separator } => {
+            let df = read_csv(
+                &path,
+                &CsvOptions {
+                    separator,
+                    ..CsvOptions::default()
+                },
+            )
+            .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+            Ok(hdx_data::describe(&df).to_string())
+        }
+        Command::Explore(opts) => explore(&opts),
+        Command::Discretize(opts) => discretize(&opts),
+        Command::Baselines(opts) => baselines(&opts),
+        Command::Generate(opts) => generate(&opts),
+    }
+}
+
+/// Parses one cell of a boolean column.
+fn parse_bool_cell(col: &Column, row: usize, name: &str) -> Result<bool, CliError> {
+    match col {
+        Column::Categorical(c) => {
+            let code = c.code(row);
+            if code == NULL_CODE {
+                return Err(CliError(format!("null label in column `{name}` row {row}")));
+            }
+            match c.level(code).to_ascii_lowercase().as_str() {
+                "true" | "t" | "yes" | "y" | "1" => Ok(true),
+                "false" | "f" | "no" | "n" | "0" => Ok(false),
+                other => Err(CliError(format!(
+                    "column `{name}` is not boolean (value `{other}`)"
+                ))),
+            }
+        }
+        Column::Continuous(c) => match c.get(row) {
+            Some(v) if v == 0.0 || v == 1.0 => Ok(v == 1.0),
+            Some(v) => Err(CliError(format!(
+                "column `{name}` is not boolean (value `{v}`)"
+            ))),
+            None => Err(CliError(format!("null label in column `{name}` row {row}"))),
+        },
+    }
+}
+
+/// Extracts a boolean column by name.
+fn bool_column(df: &DataFrame, name: &str) -> Result<Vec<bool>, CliError> {
+    let col = df
+        .column_by_name(name)
+        .map_err(|e| CliError(e.to_string()))?;
+    (0..df.n_rows())
+        .map(|row| parse_bool_cell(col, row, name))
+        .collect()
+}
+
+/// Loads the CSV and computes (mining frame, outcomes).
+fn load(input: &InputOpts) -> Result<(DataFrame, Vec<Outcome>), CliError> {
+    let options = CsvOptions {
+        separator: input.separator,
+        ..CsvOptions::default()
+    };
+    let df = read_csv(&input.path, &options)
+        .map_err(|e| CliError(format!("cannot read `{}`: {e}", input.path)))?;
+
+    let (outcomes, drop): (Vec<Outcome>, Vec<String>) = match input.stat {
+        Stat::Target => {
+            let name = input
+                .target_col
+                .clone()
+                .ok_or_else(|| CliError("--stat target requires --target-col".into()))?;
+            let attr = df
+                .schema()
+                .require(&name)
+                .map_err(|e| CliError(e.to_string()))?;
+            if df.schema().kind(attr) != AttributeKind::Continuous {
+                return Err(CliError(format!("target column `{name}` is not numeric")));
+            }
+            let outcomes = real_outcomes(df.continuous(attr).values());
+            (outcomes, vec![name])
+        }
+        stat => {
+            let y_true = bool_column(&df, &input.label_col)?;
+            let y_pred = bool_column(&df, &input.pred_col)?;
+            let f = match stat {
+                Stat::Fpr => OutcomeFn::Fpr,
+                Stat::Fnr => OutcomeFn::Fnr,
+                Stat::Tpr => OutcomeFn::Tpr,
+                Stat::Tnr => OutcomeFn::Tnr,
+                Stat::Error => OutcomeFn::ErrorRate,
+                Stat::Accuracy => OutcomeFn::Accuracy,
+                Stat::PositiveRate => OutcomeFn::PositiveRate,
+                Stat::Target => unreachable!("handled above"),
+            };
+            (
+                f.compute(&y_true, &y_pred),
+                vec![input.label_col.clone(), input.pred_col.clone()],
+            )
+        }
+    };
+    let drop_refs: Vec<&str> = drop.iter().map(String::as_str).collect();
+    let frame = df
+        .drop_columns(&drop_refs)
+        .map_err(|e| CliError(e.to_string()))?;
+    if frame.n_attributes() == 0 {
+        return Err(CliError("no attributes left to mine".into()));
+    }
+    Ok((frame, outcomes))
+}
+
+fn pipeline_config(
+    support: f64,
+    tree_support: f64,
+    entropy: bool,
+    polarity: bool,
+    max_len: Option<usize>,
+) -> HDivExplorerConfig {
+    HDivExplorerConfig {
+        min_support: support,
+        tree_min_support: tree_support,
+        criterion: if entropy {
+            GainCriterion::Entropy
+        } else {
+            GainCriterion::Divergence
+        },
+        polarity_pruning: polarity,
+        max_len,
+        ..HDivExplorerConfig::default()
+    }
+}
+
+fn explore(opts: &ExploreOpts) -> Result<String, CliError> {
+    let (frame, outcomes) = load(&opts.input)?;
+    let mut pipeline = HDivExplorer::new(pipeline_config(
+        opts.support,
+        opts.tree_support,
+        opts.entropy,
+        opts.polarity,
+        opts.max_len,
+    ));
+    if let Some(tolerance) = opts.fd_tolerance {
+        pipeline = pipeline.with_discovered_taxonomies(&frame, tolerance);
+    }
+    let mode = if opts.base_mode {
+        ExplorationMode::Base
+    } else {
+        ExplorationMode::Generalized
+    };
+    let result = pipeline.fit_mode(&frame, &outcomes, mode);
+
+    if opts.json {
+        return Ok(report_to_json(&result.report, &result.catalog));
+    }
+    let mut out = format!(
+        "{} rows, {} attributes; global statistic {}\n{} subgroups above support {}\n\n",
+        frame.n_rows(),
+        frame.n_attributes(),
+        result
+            .report
+            .global_statistic
+            .map_or("undefined".to_string(), |g| format!("{g:.4}")),
+        result.report.records.len(),
+        opts.support,
+    );
+    if opts.non_redundant {
+        let filtered = result.report.non_redundant(1e-9);
+        out.push_str("itemset | sup | f | Δf | t  (non-redundant)\n");
+        for r in filtered.iter().take(opts.top) {
+            out.push_str(&format!(
+                "{}  sup={:.3} f={} Δ={} t={:.1}\n",
+                r.label,
+                r.support,
+                r.statistic.map_or("-".into(), |s| format!("{s:.3}")),
+                r.divergence.map_or("-".into(), |d| format!("{d:+.3}")),
+                r.t_value,
+            ));
+        }
+    } else {
+        out.push_str(&result.report.table(opts.top));
+    }
+    Ok(out)
+}
+
+fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
+    let (frame, outcomes) = load(&opts.input)?;
+    let pipeline = HDivExplorer::new(pipeline_config(
+        0.05,
+        opts.tree_support,
+        opts.entropy,
+        false,
+        None,
+    ));
+    let (catalog, _, trees) = pipeline.discretize(&frame, &outcomes);
+    let mut out = String::new();
+    for tree in &trees {
+        let name = frame.schema().name(tree.attr);
+        if opts.attr.as_deref().is_some_and(|a| a != name) {
+            continue;
+        }
+        out.push_str(&format!("== {name} ==\n{}\n", tree.render(&catalog)));
+    }
+    if out.is_empty() {
+        return Err(CliError(match &opts.attr {
+            Some(a) => format!("no continuous attribute named `{a}`"),
+            None => "no continuous attributes to discretize".into(),
+        }));
+    }
+    Ok(out)
+}
+
+fn baselines(opts: &BaselinesOpts) -> Result<String, CliError> {
+    let (frame, outcomes) = load(&opts.input)?;
+    let losses: Vec<f64> = outcomes.iter().map(|o| o.value().unwrap_or(0.0)).collect();
+    let pipeline = HDivExplorer::new(pipeline_config(0.05, opts.tree_support, false, false, None));
+    let (catalog, hierarchies, _) = pipeline.discretize(&frame, &outcomes);
+    let leaf_items = hierarchies.leaf_items();
+
+    let mut out = String::new();
+    out.push_str("== Slice Finder ==\n");
+    let sf = SliceFinder::new(SliceFinderConfig {
+        effect_size_threshold: opts.sf_threshold,
+        ..SliceFinderConfig::default()
+    });
+    match sf.find(&frame, &catalog, &leaf_items, &losses).first() {
+        Some(s) => out.push_str(&format!(
+            "{}  size={} effect={:.2} mean-loss={:.3}\n",
+            s.label, s.size, s.effect_size, s.mean_loss
+        )),
+        None => out.push_str("no problematic slice found\n"),
+    }
+
+    out.push_str("\n== SliceLine ==\n");
+    if losses.iter().sum::<f64>() > 0.0 {
+        let sl = SliceLine::new(SliceLineConfig {
+            alpha: opts.sl_alpha,
+            min_size: opts.min_size,
+            ..SliceLineConfig::default()
+        });
+        for s in sl.find(&frame, &catalog, &leaf_items, &losses) {
+            out.push_str(&format!(
+                "{}  size={} mean-error={:.3} score={:.3}\n",
+                s.label, s.size, s.mean_error, s.score
+            ));
+        }
+    } else {
+        out.push_str("average loss is zero; nothing to find\n");
+    }
+
+    out.push_str("\n== Combined tree ==\n");
+    let leaves = CombinedTreeExplorer::new(CombinedTreeConfig {
+        min_support: opts.tree_support,
+        max_depth: None,
+    })
+    .explore(&frame, &outcomes);
+    for leaf in leaves.iter().take(5) {
+        out.push_str(&format!(
+            "{}  sup={:.3} Δ={} t={:.1}\n",
+            leaf.label,
+            leaf.support,
+            leaf.divergence.map_or("-".into(), |d| format!("{d:+.3}")),
+            leaf.t_value,
+        ));
+    }
+    Ok(out)
+}
+
+fn generate(opts: &GenerateOpts) -> Result<String, CliError> {
+    use hdx_datasets as ds;
+    let rows = |full: usize| opts.rows.unwrap_or(full);
+    let dataset = match opts.dataset.as_str() {
+        "adult" => ds::adult(rows(ds::default_rows::ADULT), opts.seed),
+        "bank" => ds::bank(rows(ds::default_rows::BANK), opts.seed),
+        "compas" => ds::compas(rows(ds::default_rows::COMPAS), opts.seed),
+        "folktables" => ds::folktables(rows(ds::default_rows::FOLKTABLES), opts.seed),
+        "german" => ds::german(rows(ds::default_rows::GERMAN), opts.seed),
+        "intentions" => ds::intentions(rows(ds::default_rows::INTENTIONS), opts.seed),
+        "synthetic-peak" => ds::synthetic_peak(rows(ds::default_rows::SYNTHETIC_PEAK), opts.seed),
+        "wine" => ds::wine(rows(ds::default_rows::WINE), opts.seed),
+        other => return Err(CliError(format!("unknown dataset `{other}`"))),
+    };
+
+    // Append label/prediction/target columns to the frame for export.
+    let mut builder = hdx_data::DataFrameBuilder::new();
+    for (_, attr) in dataset.frame.schema().iter() {
+        builder
+            .add_attribute(attr.clone())
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    let has_labels = dataset.y_true.is_some();
+    let has_target = dataset.target.is_some();
+    if has_labels {
+        builder
+            .add_categorical("y_true")
+            .map_err(|e| CliError(e.to_string()))?;
+        builder
+            .add_categorical("y_pred")
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    if has_target {
+        builder
+            .add_continuous("target")
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    for row in 0..dataset.n_rows() {
+        let mut cells: Vec<hdx_data::Value> = dataset
+            .frame
+            .schema()
+            .iter()
+            .map(|(id, _)| dataset.frame.column(id).value(row))
+            .collect();
+        if has_labels {
+            let t = dataset.y_true.as_ref().expect("has_labels")[row];
+            let p = dataset.y_pred.as_ref().expect("has_labels")[row];
+            cells.push(hdx_data::Value::Cat(t.to_string()));
+            cells.push(hdx_data::Value::Cat(p.to_string()));
+        }
+        if has_target {
+            cells.push(hdx_data::Value::Num(
+                dataset.target.as_ref().expect("has_target")[row],
+            ));
+        }
+        builder
+            .push_row(cells)
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    let export = builder.finish();
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.csv", opts.dataset));
+    hdx_data::write_csv(&export, &path).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "wrote {} rows × {} columns to {path}\n",
+        export.n_rows(),
+        export.n_attributes(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("hdx-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_args(args: &[&str]) -> Result<String, CliError> {
+        run(parse(v(args))?)
+    }
+
+    /// Writes a CSV with an obvious anomaly: errors cluster at x>60 & g=b.
+    fn write_fixture() -> String {
+        let path = tmp("fixture.csv");
+        let mut csv = String::from("x,g,y_true,y_pred\n");
+        for i in 0..400 {
+            let x = i % 100;
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            let t = true;
+            let err = x > 60 && g == "b" && i % 8 != 0;
+            csv.push_str(&format!("{x},{g},{t},{}\n", t != err));
+        }
+        std::fs::write(&path, csv).unwrap();
+        path
+    }
+
+    #[test]
+    fn explore_finds_the_cluster() {
+        let path = write_fixture();
+        let out = run_args(&["explore", &path, "--stat", "error", "-s", "0.05"]).unwrap();
+        assert!(out.contains("global statistic"));
+        assert!(out.contains("g=b"), "output:\n{out}");
+        assert!(out.contains("x>"), "output:\n{out}");
+    }
+
+    #[test]
+    fn explore_json_mode() {
+        let path = write_fixture();
+        let out = run_args(&["explore", &path, "--json"]).unwrap();
+        assert!(out.starts_with('{'));
+        assert!(out.contains("\"subgroups\":["));
+    }
+
+    #[test]
+    fn explore_base_vs_hier() {
+        let path = write_fixture();
+        let base = run_args(&["explore", &path, "--mode", "base", "--top", "1"]).unwrap();
+        let hier = run_args(&["explore", &path, "--mode", "hierarchical", "--top", "1"]).unwrap();
+        // Both run; the hierarchical report mines at least as many subgroups.
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("subgroups above support"))
+                .and_then(|l| l.split_whitespace().next()?.parse::<usize>().ok())
+                .unwrap()
+        };
+        assert!(count(&hier) >= count(&base));
+    }
+
+    #[test]
+    fn discretize_prints_trees() {
+        let path = write_fixture();
+        let out = run_args(&["discretize", &path]).unwrap();
+        assert!(out.contains("== x =="));
+        assert!(out.contains("root"));
+        // Restricting to a categorical/unknown attr errors.
+        assert!(run_args(&["discretize", &path, "--attr", "nope"]).is_err());
+    }
+
+    #[test]
+    fn baselines_all_three_sections() {
+        let path = write_fixture();
+        let out = run_args(&["baselines", &path]).unwrap();
+        assert!(out.contains("== Slice Finder =="));
+        assert!(out.contains("== SliceLine =="));
+        assert!(out.contains("== Combined tree =="));
+    }
+
+    #[test]
+    fn generate_then_explore_roundtrip() {
+        let path = tmp("compas.csv");
+        let out = run_args(&["generate", "compas", "--rows", "800", "--out", &path]).unwrap();
+        assert!(out.contains("800 rows"));
+        let report = run_args(&["explore", &path, "--stat", "fpr", "-s", "0.05"]).unwrap();
+        assert!(report.contains("#prior"), "report:\n{report}");
+    }
+
+    #[test]
+    fn generate_target_dataset() {
+        let path = tmp("folk.csv");
+        run_args(&["generate", "folktables", "--rows", "500", "--out", &path]).unwrap();
+        let report = run_args(&[
+            "explore",
+            &path,
+            "--stat",
+            "target",
+            "--target-col",
+            "target",
+            "-s",
+            "0.1",
+        ])
+        .unwrap();
+        assert!(report.contains("global statistic"));
+    }
+
+    #[test]
+    fn label_errors_are_clear() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "x,y_true,y_pred\n1,true,maybe\n").unwrap();
+        let err = run_args(&["explore", &path]).unwrap_err();
+        assert!(err.0.contains("not boolean"), "{err}");
+        let err2 = run_args(&["explore", "/nonexistent/file.csv"]).unwrap_err();
+        assert!(err2.0.contains("cannot read"));
+        let err3 = run_args(&["explore", &path, "--stat", "target"]).unwrap_err();
+        assert!(err3.0.contains("--target-col"));
+    }
+
+    #[test]
+    fn describe_summarises() {
+        let path = write_fixture();
+        let out = run_args(&["describe", &path]).unwrap();
+        assert!(out.contains("400 rows"));
+        assert!(out.contains("categorical"));
+        assert!(out.contains("continuous"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # hdx-cli
+//!
+//! The `hdx` command-line tool: hierarchical anomalous subgroup discovery
+//! over CSV files, without writing any Rust.
+//!
+//! ```text
+//! hdx explore data.csv --stat fpr --label-col y_true --pred-col y_pred -s 0.05
+//! hdx discretize data.csv --stat error --st 0.1
+//! hdx baselines data.csv --stat error
+//! hdx generate compas --rows 6172 --out compas.csv
+//! hdx help
+//! ```
+//!
+//! The library surface ([`parse`] + [`run`]) is what the binary calls, so
+//! the whole tool is unit-testable without spawning processes.
+
+mod args;
+mod commands;
+
+pub use args::{
+    parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
+    Stat,
+};
+pub use commands::run;
+
+/// Usage text for `hdx help` and errors.
+pub const USAGE: &str = "\
+hdx — hierarchical anomalous subgroup discovery (H-DivExplorer)
+
+USAGE:
+  hdx explore <data.csv> [options]     find divergent subgroups
+  hdx discretize <data.csv> [options]  print the per-attribute interval trees
+  hdx baselines <data.csv> [options]   run Slice Finder / SliceLine / combined tree
+  hdx generate <dataset> [options]     write a synthetic benchmark dataset as CSV
+  hdx describe <data.csv>              summarise the dataset's attributes
+  hdx help                             show this text
+
+INPUT OPTIONS (explore / discretize / baselines):
+  --stat <fpr|fnr|tpr|tnr|error|accuracy|positive-rate|target>
+                         statistic whose divergence is analysed [error]
+  --label-col <name>     ground-truth column (true/false, 0/1, yes/no) [y_true]
+  --pred-col <name>      prediction column [y_pred]
+  --target-col <name>    numeric column for --stat target
+  --separator <char>     CSV field separator [,]
+
+EXPLORE OPTIONS:
+  -s, --support <f>      minimum subgroup support [0.05]
+  --st <f>               discretization tree support [0.1]
+  --criterion <divergence|entropy>  split gain criterion [divergence]
+  --mode <base|hierarchical>        exploration mode [hierarchical]
+  --polarity             enable polarity pruning
+  --max-len <n>          cap pattern length
+  --top <k>              rows to print [10]
+  --non-redundant        drop subgroups explained by a sub-pattern
+  --fd <tolerance>       discover taxonomies from functional dependencies
+  --json                 emit the full report as JSON
+
+DISCRETIZE OPTIONS:
+  --st <f>, --criterion <...> as above
+  --attr <name>          only this attribute (default: all continuous)
+
+BASELINES OPTIONS:
+  --st <f>               leaf discretization support [0.1]
+  --sf-threshold <f>     Slice Finder effect-size threshold [0.4]
+  --sl-alpha <f>         SliceLine α [0.95]
+  --min-size <n>         SliceLine minimum slice size [32]
+
+GENERATE OPTIONS:
+  <dataset>              one of: adult bank compas folktables german
+                         intentions synthetic-peak wine
+  --rows <n>             row count [paper size]
+  --seed <n>             generator seed [42]
+  --out <file>           output path [<dataset>.csv]
+";

@@ -1,0 +1,18 @@
+//! The `hdx` binary: parse, run, print (or fail with exit code 2).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hdx_cli::parse(args).and_then(hdx_cli::run) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hdx: {e}");
+            eprintln!("run `hdx help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

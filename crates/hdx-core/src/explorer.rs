@@ -1,0 +1,228 @@
+//! Base (non-hierarchical) divergence exploration — DivExplorer (§III-C).
+
+use std::time::Instant;
+
+use hdx_data::DataFrame;
+use hdx_items::{HierarchySet, ItemCatalog};
+use hdx_mining::{mine, MiningAlgorithm, MiningConfig, Transactions};
+use hdx_stats::Outcome;
+
+use crate::polarity::mine_with_polarity;
+use crate::report::DivergenceReport;
+
+/// Parameters of a divergence exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorationConfig {
+    /// Minimum subgroup support `s`.
+    pub min_support: f64,
+    /// Mining algorithm.
+    pub algorithm: MiningAlgorithm,
+    /// Optional cap on pattern length.
+    pub max_len: Option<usize>,
+    /// Whether to apply polarity pruning (§V-C).
+    pub polarity_pruning: bool,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 0.05,
+            algorithm: MiningAlgorithm::default(),
+            max_len: None,
+            polarity_pruning: false,
+        }
+    }
+}
+
+impl ExplorationConfig {
+    fn mining_config(&self) -> MiningConfig {
+        MiningConfig {
+            min_support: self.min_support,
+            max_len: self.max_len,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// The base explorer: frequent-itemset mining over **leaf** items with
+/// divergence accumulated during mining (prior work's setting — the paper's
+/// "base exploration").
+#[derive(Debug, Clone, Default)]
+pub struct DivExplorer {
+    config: ExplorationConfig,
+}
+
+impl DivExplorer {
+    /// Creates an explorer.
+    pub fn new(config: ExplorationConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExplorationConfig {
+        &self.config
+    }
+
+    /// Explores the leaf items of `hierarchies` over `df`.
+    pub fn explore(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+    ) -> DivergenceReport {
+        let transactions = Transactions::encode_base(df, catalog, hierarchies, outcomes);
+        self.explore_transactions(&transactions, catalog)
+    }
+
+    /// Explores **all** hierarchy items (generalized exploration, used by
+    /// H-DivExplorer).
+    pub fn explore_generalized(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+    ) -> DivergenceReport {
+        let transactions = Transactions::encode_generalized(df, catalog, hierarchies, outcomes);
+        self.explore_transactions(&transactions, catalog)
+    }
+
+    /// Explores pre-encoded transactions.
+    pub fn explore_transactions(
+        &self,
+        transactions: &Transactions,
+        catalog: &ItemCatalog,
+    ) -> DivergenceReport {
+        let start = Instant::now();
+        let mining = self.config.mining_config();
+        let result = if self.config.polarity_pruning {
+            mine_with_polarity(transactions, catalog, &mining)
+        } else {
+            mine(transactions, catalog, &mining)
+        };
+        DivergenceReport::from_mining(&result, catalog, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::{DataFrameBuilder, Value};
+    use hdx_items::{Interval, Item, ItemHierarchy};
+
+    /// Dataset: error concentrated in x>50 & g=b.
+    fn setup() -> (DataFrame, ItemCatalog, HierarchySet, Vec<Outcome>) {
+        let mut b = DataFrameBuilder::new();
+        let x = b.add_continuous("x").unwrap();
+        let g = b.add_categorical("g").unwrap();
+        let mut outcomes = Vec::new();
+        for i in 0..200 {
+            let xv = (i % 100) as f64;
+            let gv = if i % 2 == 0 { "a" } else { "b" };
+            b.push_row(vec![Value::Num(xv), Value::Cat(gv.into())])
+                .unwrap();
+            outcomes.push(Outcome::Bool(xv > 50.0 && gv == "b" && i % 8 != 0));
+        }
+        let df = b.finish();
+        let mut catalog = ItemCatalog::new();
+        let mut hx = ItemHierarchy::new(x);
+        let le50 = catalog.intern(Item::range(x, Interval::at_most(50.0), "x"));
+        let gt50 = catalog.intern(Item::range(x, Interval::greater_than(50.0), "x"));
+        let le25 = catalog.intern(Item::range(x, Interval::at_most(25.0), "x"));
+        let m = catalog.intern(Item::range(x, Interval::new(25.0, 50.0), "x"));
+        hx.add_root(le50);
+        hx.add_root(gt50);
+        hx.add_child(le50, le25);
+        hx.add_child(le50, m);
+        let col = df.categorical(g).clone();
+        let cat_items: Vec<_> = (0..col.n_levels() as u32)
+            .map(|c| catalog.intern(Item::cat_eq(g, c, "g", col.level(c))))
+            .collect();
+        let mut hs = HierarchySet::new();
+        hs.push(hx);
+        hs.push(ItemHierarchy::flat(g, cat_items));
+        (df, catalog, hs, outcomes)
+    }
+
+    #[test]
+    fn base_finds_the_anomalous_intersection() {
+        let (df, catalog, hs, outcomes) = setup();
+        let explorer = DivExplorer::new(ExplorationConfig {
+            min_support: 0.05,
+            ..ExplorationConfig::default()
+        });
+        let report = explorer.explore(&df, &catalog, &hs, &outcomes);
+        let top = report.top().unwrap();
+        assert!(top.label.contains("x>50"));
+        assert!(top.label.contains("g=b"));
+        assert!(top.divergence.unwrap() > 0.3);
+        assert!(top.t_value > 2.0);
+    }
+
+    #[test]
+    fn base_uses_only_leaves() {
+        let (df, catalog, hs, outcomes) = setup();
+        let explorer = DivExplorer::default();
+        let report = explorer.explore(&df, &catalog, &hs, &outcomes);
+        // x<=50 is an internal node: never mined in base mode.
+        assert!(report.records.iter().all(|r| !r.label.contains("x<=50")));
+        // Its children are.
+        assert!(report.records.iter().any(|r| r.label.contains("x<=25")));
+    }
+
+    #[test]
+    fn generalized_includes_internal_items() {
+        let (df, catalog, hs, outcomes) = setup();
+        let explorer = DivExplorer::default();
+        let report = explorer.explore_generalized(&df, &catalog, &hs, &outcomes);
+        assert!(report.records.iter().any(|r| r.label.contains("x<=50")));
+        // Generalized is a superset of base.
+        let base = explorer.explore(&df, &catalog, &hs, &outcomes);
+        assert!(report.records.len() > base.records.len());
+        assert!(report.max_divergence() >= base.max_divergence());
+    }
+
+    #[test]
+    fn polarity_pruning_preserves_top_divergence() {
+        let (df, catalog, hs, outcomes) = setup();
+        let full = DivExplorer::new(ExplorationConfig {
+            min_support: 0.05,
+            ..ExplorationConfig::default()
+        });
+        let pruned = DivExplorer::new(ExplorationConfig {
+            min_support: 0.05,
+            polarity_pruning: true,
+            ..ExplorationConfig::default()
+        });
+        let rf = full.explore_generalized(&df, &catalog, &hs, &outcomes);
+        let rp = pruned.explore_generalized(&df, &catalog, &hs, &outcomes);
+        assert_eq!(rf.max_divergence(), rp.max_divergence());
+        assert!(rp.records.len() <= rf.records.len());
+    }
+
+    #[test]
+    fn all_algorithms_give_same_report() {
+        let (df, catalog, hs, outcomes) = setup();
+        let reports: Vec<DivergenceReport> = [
+            MiningAlgorithm::Apriori,
+            MiningAlgorithm::FpGrowth,
+            MiningAlgorithm::Vertical,
+        ]
+        .into_iter()
+        .map(|algorithm| {
+            DivExplorer::new(ExplorationConfig {
+                min_support: 0.05,
+                algorithm,
+                ..ExplorationConfig::default()
+            })
+            .explore_generalized(&df, &catalog, &hs, &outcomes)
+        })
+        .collect();
+        for r in &reports[1..] {
+            assert_eq!(r.records.len(), reports[0].records.len());
+            assert_eq!(r.top().unwrap().label, reports[0].top().unwrap().label);
+            assert_eq!(r.max_divergence(), reports[0].max_divergence());
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Typed columns: dictionary-encoded categorical and `f64` continuous.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Sentinel code marking a null cell in a categorical column.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// Dictionary-encoded categorical column.
+///
+/// Each distinct level is assigned a dense code `0..n_levels`; cells store
+/// codes, nulls store [`NULL_CODE`]. Level order is first-appearance order,
+/// which keeps synthetic-data generation deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CategoricalColumn {
+    codes: Vec<u32>,
+    levels: Vec<String>,
+    level_ids: HashMap<String, u32>,
+}
+
+impl CategoricalColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty column with pre-registered levels.
+    pub fn with_levels<S: Into<String>>(levels: impl IntoIterator<Item = S>) -> Self {
+        let mut col = Self::new();
+        for l in levels {
+            col.intern(&l.into());
+        }
+        col
+    }
+
+    /// Builds a column from string data.
+    pub fn from_values<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let mut col = Self::new();
+        for v in values {
+            col.push(v.as_ref());
+        }
+        col
+    }
+
+    /// Registers a level (if new) and returns its code.
+    pub fn intern(&mut self, level: &str) -> u32 {
+        if let Some(&id) = self.level_ids.get(level) {
+            return id;
+        }
+        let id = u32::try_from(self.levels.len()).expect("too many categorical levels");
+        assert_ne!(id, NULL_CODE, "categorical level count overflow");
+        self.levels.push(level.to_string());
+        self.level_ids.insert(level.to_string(), id);
+        id
+    }
+
+    /// Appends a value.
+    pub fn push(&mut self, level: &str) {
+        let code = self.intern(level);
+        self.codes.push(code);
+    }
+
+    /// Appends a null cell.
+    pub fn push_null(&mut self) {
+        self.codes.push(NULL_CODE);
+    }
+
+    /// Appends an already-encoded cell.
+    ///
+    /// # Panics
+    /// Panics if `code` is neither a registered level nor [`NULL_CODE`].
+    pub fn push_code(&mut self, code: u32) {
+        assert!(
+            code == NULL_CODE || (code as usize) < self.levels.len(),
+            "code {code} not registered"
+        );
+        self.codes.push(code);
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The raw code of row `row` ([`NULL_CODE`] for nulls).
+    #[inline]
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// All codes as a slice.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The level string of row `row`, or `None` for nulls.
+    pub fn get(&self, row: usize) -> Option<&str> {
+        let code = self.codes[row];
+        (code != NULL_CODE).then(|| self.levels[code as usize].as_str())
+    }
+
+    /// The level string for a code.
+    ///
+    /// # Panics
+    /// Panics when `code` is not a registered level.
+    #[inline]
+    pub fn level(&self, code: u32) -> &str {
+        &self.levels[code as usize]
+    }
+
+    /// The code of a level, if registered.
+    pub fn code_of(&self, level: &str) -> Option<u32> {
+        self.level_ids.get(level).copied()
+    }
+
+    /// All registered levels, in code order.
+    #[inline]
+    pub fn levels(&self) -> &[String] {
+        &self.levels
+    }
+
+    /// Number of distinct registered levels.
+    #[inline]
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NULL_CODE).count()
+    }
+}
+
+/// Continuous (`f64`) column; nulls are stored as `NaN`.
+#[derive(Debug, Clone, Default)]
+pub struct ContinuousColumn {
+    values: Vec<f64>,
+}
+
+impl PartialEq for ContinuousColumn {
+    /// Cell-wise equality where two null (`NaN`) cells compare equal, so
+    /// frames round-trip through serialisation.
+    fn eq(&self, other: &Self) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a == b || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl ContinuousColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a column from values (`NaN` = null).
+    pub fn from_values(values: impl Into<Vec<f64>>) -> Self {
+        Self {
+            values: values.into(),
+        }
+    }
+
+    /// Appends a value.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Appends a null cell.
+    #[inline]
+    pub fn push_null(&mut self) {
+        self.values.push(f64::NAN);
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at `row`, or `None` for nulls.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<f64> {
+        let v = self.values[row];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Raw values (nulls encoded as `NaN`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Minimum and maximum over non-null cells, or `None` when all-null/empty.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.values.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+}
+
+/// A typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Dictionary-encoded categorical data.
+    Categorical(CategoricalColumn),
+    /// Continuous data.
+    Continuous(ContinuousColumn),
+}
+
+impl Column {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Categorical(c) => c.len(),
+            Column::Continuous(c) => c.len(),
+        }
+    }
+
+    /// Whether the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell at `row` as a dynamic [`Value`].
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Categorical(c) => c
+                .get(row)
+                .map_or(Value::Null, |s| Value::Cat(s.to_string())),
+            Column::Continuous(c) => c.get(row).map_or(Value::Null, Value::Num),
+        }
+    }
+
+    /// The categorical payload, if this column is categorical.
+    pub fn as_categorical(&self) -> Option<&CategoricalColumn> {
+        match self {
+            Column::Categorical(c) => Some(c),
+            Column::Continuous(_) => None,
+        }
+    }
+
+    /// The continuous payload, if this column is continuous.
+    pub fn as_continuous(&self) -> Option<&ContinuousColumn> {
+        match self {
+            Column::Continuous(c) => Some(c),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Categorical(c) => c.null_count(),
+            Column::Continuous(c) => c.null_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_roundtrip() {
+        let mut c = CategoricalColumn::new();
+        c.push("M");
+        c.push("F");
+        c.push("M");
+        c.push_null();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.n_levels(), 2);
+        assert_eq!(c.get(0), Some("M"));
+        assert_eq!(c.get(1), Some("F"));
+        assert_eq!(c.get(2), Some("M"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.code(0), c.code(2));
+        assert_eq!(c.code_of("F"), Some(c.code(1)));
+        assert_eq!(c.code_of("X"), None);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn categorical_levels_first_appearance_order() {
+        let c = CategoricalColumn::from_values(["b", "a", "b", "c"]);
+        assert_eq!(c.levels(), &["b".to_string(), "a".into(), "c".into()]);
+        assert_eq!(c.level(0), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn push_code_validates() {
+        let mut c = CategoricalColumn::new();
+        c.push_code(5);
+    }
+
+    #[test]
+    fn continuous_nulls_and_minmax() {
+        let mut c = ContinuousColumn::new();
+        c.push(2.0);
+        c.push_null();
+        c.push(-1.0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Some(2.0));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.min_max(), Some((-1.0, 2.0)));
+    }
+
+    #[test]
+    fn continuous_all_null_minmax() {
+        let c = ContinuousColumn::from_values(vec![f64::NAN, f64::NAN]);
+        assert_eq!(c.min_max(), None);
+        assert_eq!(ContinuousColumn::new().min_max(), None);
+    }
+
+    #[test]
+    fn column_dynamic_access() {
+        let cat = Column::Categorical(CategoricalColumn::from_values(["x"]));
+        let num = Column::Continuous(ContinuousColumn::from_values(vec![1.0]));
+        assert_eq!(cat.value(0), Value::Cat("x".into()));
+        assert_eq!(num.value(0), Value::Num(1.0));
+        assert!(cat.as_categorical().is_some());
+        assert!(cat.as_continuous().is_none());
+        assert!(num.as_continuous().is_some());
+    }
+}

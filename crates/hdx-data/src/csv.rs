@@ -1,0 +1,293 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports the subset of RFC 4180 the experiment harness needs: a header
+//! row, comma (or custom) separators, double-quote quoting with `""` escapes,
+//! and empty cells as nulls. Columns where every non-empty cell parses as a
+//! number are inferred continuous; everything else is categorical.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::DataFrameBuilder;
+use crate::error::DataError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Attribute names to force categorical even when numeric-looking
+    /// (e.g. zip codes).
+    pub force_categorical: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            separator: ',',
+            force_categorical: Vec::new(),
+        }
+    }
+}
+
+/// Splits one CSV record honouring quotes. Returns the fields.
+fn split_record(line: &str, sep: char) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            if !cur.is_empty() {
+                return Err("quote in the middle of an unquoted field".to_string());
+            }
+            in_quotes = true;
+        } else if c == sep {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn quote_field(field: &str, sep: char) -> String {
+    if field.contains(sep) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses CSV text into a [`DataFrame`] with type inference.
+///
+/// # Errors
+/// Returns [`DataError::Csv`] on malformed input (ragged rows, bad quoting,
+/// missing header).
+pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header row".to_string(),
+    })?;
+    let names = split_record(header, options.separator)
+        .map_err(|message| DataError::Csv { line: 1, message })?;
+    let n_cols = names.len();
+
+    let mut records: Vec<Vec<String>> = Vec::new();
+    for (idx, line) in lines {
+        let fields = split_record(line, options.separator).map_err(|message| DataError::Csv {
+            line: idx + 1,
+            message,
+        })?;
+        if fields.len() != n_cols {
+            return Err(DataError::Csv {
+                line: idx + 1,
+                message: format!("expected {n_cols} fields, found {}", fields.len()),
+            });
+        }
+        records.push(fields);
+    }
+
+    // Infer kinds: continuous iff all non-empty cells parse as f64.
+    let mut builder = DataFrameBuilder::new();
+    let mut numeric = vec![true; n_cols];
+    for record in &records {
+        for (j, field) in record.iter().enumerate() {
+            let f = field.trim();
+            if !f.is_empty() && f.parse::<f64>().is_err() {
+                numeric[j] = false;
+            }
+        }
+    }
+    for (j, name) in names.iter().enumerate() {
+        let forced = options.force_categorical.iter().any(|n| n == name);
+        if numeric[j] && !forced {
+            builder.add_continuous(name.clone())?;
+        } else {
+            builder.add_categorical(name.clone())?;
+        }
+    }
+    for (i, record) in records.into_iter().enumerate() {
+        let row: Vec<Value> = record
+            .into_iter()
+            .enumerate()
+            .map(|(j, field)| {
+                let f = field.trim();
+                if f.is_empty() {
+                    Value::Null
+                } else if numeric[j] && !options.force_categorical.iter().any(|n| *n == names[j]) {
+                    Value::Num(f.parse::<f64>().expect("checked during inference"))
+                } else {
+                    Value::Cat(f.to_string())
+                }
+            })
+            .collect();
+        builder.push_row(row).map_err(|e| DataError::Csv {
+            line: i + 2,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a CSV file into a [`DataFrame`].
+///
+/// # Errors
+/// I/O failures and parse errors.
+pub fn read_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<DataFrame, DataError> {
+    let mut text = String::new();
+    BufReader::new(File::open(path)?).read_to_string(&mut text)?;
+    read_csv_str(&text, options)
+}
+
+/// Serialises a [`DataFrame`] to CSV text.
+pub fn write_csv_string(df: &DataFrame, separator: char) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = df
+        .schema()
+        .iter()
+        .map(|(_, a)| quote_field(a.name(), separator))
+        .collect();
+    out.push_str(&header.join(&separator.to_string()));
+    out.push('\n');
+    for row in 0..df.n_rows() {
+        let fields: Vec<String> = df
+            .schema()
+            .iter()
+            .map(|(id, _)| {
+                let v = df.column(id).value(row);
+                quote_field(&v.to_string(), separator)
+            })
+            .collect();
+        out.push_str(&fields.join(&separator.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a [`DataFrame`] as CSV to `path`.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(write_csv_string(df, ',').as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeKind;
+
+    #[test]
+    fn infers_kinds() {
+        let df = read_csv_str(
+            "age,sex,score\n31,M,0.5\n47,F,0.9\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let s = df.schema();
+        assert_eq!(s.kind(s.id("age").unwrap()), AttributeKind::Continuous);
+        assert_eq!(s.kind(s.id("sex").unwrap()), AttributeKind::Categorical);
+        assert_eq!(s.kind(s.id("score").unwrap()), AttributeKind::Continuous);
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let df = read_csv_str("a,b\n1,\n,x\n", &CsvOptions::default()).unwrap();
+        let a = df.schema().id("a").unwrap();
+        let b = df.schema().id("b").unwrap();
+        assert_eq!(df.continuous(a).get(1), None);
+        assert_eq!(df.categorical(b).get(0), None);
+    }
+
+    #[test]
+    fn force_categorical_overrides_inference() {
+        let opts = CsvOptions {
+            force_categorical: vec!["zip".to_string()],
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("zip,x\n90210,1\n10001,2\n", &opts).unwrap();
+        let zip = df.schema().id("zip").unwrap();
+        assert_eq!(df.schema().kind(zip), AttributeKind::Categorical);
+        assert_eq!(df.categorical(zip).get(0), Some("90210"));
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip() {
+        let df = read_csv_str(
+            "name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let name = df.schema().id("name").unwrap();
+        assert_eq!(df.categorical(name).get(0), Some("a,b"));
+        assert_eq!(df.categorical(name).get(1), Some("say \"hi\""));
+
+        let text = write_csv_string(&df, ',');
+        let df2 = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(df2.categorical(name).get(0), Some("a,b"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_quote_rejected() {
+        assert!(read_csv_str("a\nx\"y\n", &CsvOptions::default()).is_err());
+        assert!(read_csv_str("a\n\"unterminated\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(read_csv_str("", &CsvOptions::default()).is_err());
+        assert!(read_csv_str("\n\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = "age,sex\n31,M\n47,F\n,\n";
+        let df = read_csv_str(src, &CsvOptions::default()).unwrap();
+        let text = write_csv_string(&df, ',');
+        let df2 = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(df, df2);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let opts = CsvOptions {
+            separator: ';',
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("a;b\n1;x\n", &opts).unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.n_attributes(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-attribute dataset summaries (the `hdx describe` backend).
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::schema::AttributeKind;
+
+/// Summary of one attribute.
+#[derive(Debug, Clone)]
+pub struct AttributeSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute kind.
+    pub kind: AttributeKind,
+    /// Number of null cells.
+    pub nulls: usize,
+    /// Continuous: (min, max, mean, std). `None` when all-null.
+    pub numeric: Option<NumericSummary>,
+    /// Categorical: distinct level count and the most frequent levels
+    /// (level, count), descending.
+    pub categorical: Option<CategoricalSummary>,
+}
+
+/// Numeric five-number-ish summary.
+#[derive(Debug, Clone, Copy)]
+pub struct NumericSummary {
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+/// Categorical level profile.
+#[derive(Debug, Clone)]
+pub struct CategoricalSummary {
+    /// Number of distinct levels.
+    pub n_levels: usize,
+    /// `(level, count)` for the most frequent levels, descending (≤ 5).
+    pub top: Vec<(String, usize)>,
+}
+
+/// Summary of a whole frame.
+#[derive(Debug, Clone)]
+pub struct FrameSummary {
+    /// Row count.
+    pub n_rows: usize,
+    /// Per-attribute summaries, in schema order.
+    pub attributes: Vec<AttributeSummary>,
+}
+
+/// Computes a [`FrameSummary`].
+pub fn describe(df: &DataFrame) -> FrameSummary {
+    let attributes = df
+        .schema()
+        .iter()
+        .map(|(id, attr)| {
+            let column = df.column(id);
+            let nulls = column.null_count();
+            let (numeric, categorical) = match column {
+                Column::Continuous(c) => {
+                    let mut acc = crate::describe::Welford::default();
+                    for v in c.values().iter().filter(|v| !v.is_nan()) {
+                        acc.push(*v);
+                    }
+                    let numeric = c.min_max().map(|(min, max)| NumericSummary {
+                        min,
+                        max,
+                        mean: acc.mean(),
+                        std: acc.std(),
+                    });
+                    (numeric, None)
+                }
+                Column::Categorical(c) => {
+                    let mut counts = vec![0usize; c.n_levels()];
+                    for &code in c.codes() {
+                        if code != crate::column::NULL_CODE {
+                            counts[code as usize] += 1;
+                        }
+                    }
+                    let mut top: Vec<(String, usize)> = counts
+                        .iter()
+                        .enumerate()
+                        .map(|(code, &n)| (c.level(code as u32).to_string(), n))
+                        .collect();
+                    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    top.truncate(5);
+                    (
+                        None,
+                        Some(CategoricalSummary {
+                            n_levels: c.n_levels(),
+                            top,
+                        }),
+                    )
+                }
+            };
+            AttributeSummary {
+                name: attr.name().to_string(),
+                kind: attr.kind(),
+                nulls,
+                numeric,
+                categorical,
+            }
+        })
+        .collect();
+    FrameSummary {
+        n_rows: df.n_rows(),
+        attributes,
+    }
+}
+
+/// Tiny local Welford accumulator (keeps `hdx-data` free of a dependency on
+/// `hdx-stats`, which depends the other way).
+#[derive(Debug, Default)]
+struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for FrameSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} rows, {} attributes",
+            self.n_rows,
+            self.attributes.len()
+        )?;
+        for a in &self.attributes {
+            write!(f, "  {:20} {:11}", a.name, a.kind.to_string())?;
+            if a.nulls > 0 {
+                write!(f, " nulls={}", a.nulls)?;
+            }
+            if let Some(n) = &a.numeric {
+                write!(
+                    f,
+                    " min={:.3} max={:.3} mean={:.3} std={:.3}",
+                    n.min, n.max, n.mean, n.std
+                )?;
+            }
+            if let Some(c) = &a.categorical {
+                let tops: Vec<String> = c.top.iter().map(|(l, n)| format!("{l}×{n}")).collect();
+                write!(f, " levels={} top: {}", c.n_levels, tops.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataFrameBuilder;
+    use crate::value::Value;
+
+    fn frame() -> DataFrame {
+        let mut b = DataFrameBuilder::new();
+        b.add_continuous("x").unwrap();
+        b.add_categorical("g").unwrap();
+        for (x, g) in [
+            (Some(1.0), Some("a")),
+            (Some(3.0), Some("b")),
+            (None, Some("a")),
+            (Some(5.0), None),
+        ] {
+            b.push_row(vec![
+                x.map_or(Value::Null, Value::Num),
+                g.map_or(Value::Null, |s| Value::Cat(s.into())),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn numeric_summary_correct() {
+        let s = describe(&frame());
+        assert_eq!(s.n_rows, 4);
+        let x = &s.attributes[0];
+        assert_eq!(x.nulls, 1);
+        let n = x.numeric.unwrap();
+        assert_eq!(n.min, 1.0);
+        assert_eq!(n.max, 5.0);
+        assert!((n.mean - 3.0).abs() < 1e-12);
+        assert!((n.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_summary_correct() {
+        let s = describe(&frame());
+        let g = &s.attributes[1];
+        assert_eq!(g.nulls, 1);
+        let c = g.categorical.as_ref().unwrap();
+        assert_eq!(c.n_levels, 2);
+        assert_eq!(c.top[0], ("a".to_string(), 2));
+        assert_eq!(c.top[1], ("b".to_string(), 1));
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let text = describe(&frame()).to_string();
+        assert!(text.contains("4 rows"));
+        assert!(text.contains("nulls=1"));
+        assert!(text.contains("levels=2"));
+        assert!(text.contains("mean=3.000"));
+    }
+
+    #[test]
+    fn all_null_numeric_column() {
+        let mut b = DataFrameBuilder::new();
+        b.add_continuous("x").unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        let s = describe(&b.finish());
+        assert!(s.attributes[0].numeric.is_none());
+        assert_eq!(s.attributes[0].nulls, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Synthetic stand-in for the compas dataset (ProPublica, [14] in the
+//! paper).
+//!
+//! The real data cannot ship with the repo, so this generator reproduces the
+//! structure the paper's analyses depend on:
+//!
+//! * schema per Table II — continuous `age`, `#prior`, `stay`; categorical
+//!   `sex`, `charge`, `race`;
+//! * an overall false-positive rate near `0.09` (Table I's "entire
+//!   dataset" row);
+//! * FPR rising steeply with the number of priors (Table I: `#prior>3` →
+//!   ≈0.22, `#prior>8` → ≈0.38) and for younger defendants (`age<27` →
+//!   ≈0.15), with the intersectional subgroups more divergent still;
+//! * younger defendants having fewer priors on average (the paper's §VI-B
+//!   discussion of why the hierarchy adapts granularity per age group).
+
+use hdx_data::{DataFrameBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt as _, SeedableRng};
+
+use crate::dataset::Dataset;
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Exponential sample with the given mean.
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    -mean * (1.0 - rng.random::<f64>()).ln()
+}
+
+/// Generates a compas-like dataset with `n` rows (paper: 6,172).
+pub fn compas(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("age").unwrap();
+    b.add_continuous("#prior").unwrap();
+    b.add_continuous("stay").unwrap();
+    b.add_categorical("sex").unwrap();
+    b.add_categorical("charge").unwrap();
+    b.add_categorical("race").unwrap();
+
+    let mut y_true = Vec::with_capacity(n);
+    let mut y_pred = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Age skews young: 18 + Exp(mean 24), capped at 75 (≈31% below 27,
+        // matching Table I's sup(age<27) = 0.31).
+        let age = (18.0 + exp_sample(&mut rng, 24.0)).min(75.0).round();
+        // Priors: a chronic-offender mixture tuned so sup(#prior>3) ≈ 0.29
+        // and sup(#prior>8) ≈ 0.11 (Table I), scaled by age headroom so
+        // young defendants have fewer priors (§VI-B).
+        let age_factor = ((age - 16.0) / 25.0).clamp(0.4, 1.3);
+        let chronic = rng.random::<f64>() < 0.20 * age_factor;
+        let priors = if chronic {
+            (4.0 + exp_sample(&mut rng, 7.0)).floor().min(38.0)
+        } else {
+            (exp_sample(&mut rng, 2.6) * age_factor).floor().min(38.0)
+        };
+        // Jail stay (days): heavy tail, longer with more priors.
+        let stay = (exp_sample(&mut rng, 8.0) * (1.0 + 0.12 * priors))
+            .round()
+            .min(800.0);
+        let sex = if rng.random::<f64>() < 0.81 {
+            "Male"
+        } else {
+            "Female"
+        };
+        let charge = if rng.random::<f64>() < 0.65 { "F" } else { "M" };
+        let race = match rng.random_range(0..100) {
+            0..51 => "Afr-Am",
+            51..85 => "Caucasian",
+            85..94 => "Hispanic",
+            _ => "Other",
+        };
+
+        // True recidivism.
+        let p_recid = sigmoid(
+            -1.1 + 0.13 * priors - 0.030 * (age - 30.0) + 0.15 * f64::from(u8::from(charge == "F")),
+        );
+        let recid = rng.random::<f64>() < p_recid;
+
+        // COMPAS-like high-risk prediction: overweights priors, youth, long
+        // stays, and (mildly) race — producing the dataset's well-known FPR
+        // disparities.
+        let score = -4.25 + 0.17 * priors + 0.95 * priors.sqrt() - 0.075 * (age - 25.0).max(0.0)
+            + 0.012 * stay.min(90.0)
+            + 1.2 * f64::from(u8::from(age < 27.0))
+            + 0.35 * f64::from(u8::from(race == "Afr-Am"))
+            + 0.55 * f64::from(u8::from(recid));
+        let pred_high_risk = rng.random::<f64>() < sigmoid(score);
+
+        b.push_row(vec![
+            Value::Num(age),
+            Value::Num(priors),
+            Value::Num(stay),
+            Value::Cat(sex.into()),
+            Value::Cat(charge.into()),
+            Value::Cat(race.into()),
+        ])
+        .unwrap();
+        y_true.push(recid);
+        y_pred.push(pred_high_risk);
+    }
+    Dataset::classification("compas", b.finish(), y_true, y_pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_core::OutcomeFn;
+    use hdx_stats::StatAccum;
+
+    fn fpr_where(d: &Dataset, keep: impl Fn(usize) -> bool) -> f64 {
+        let outcomes = d.classification_outcomes(OutcomeFn::Fpr);
+        let mut acc = StatAccum::new();
+        for (i, &o) in outcomes.iter().enumerate() {
+            if keep(i) {
+                acc.push(o);
+            }
+        }
+        acc.statistic().unwrap()
+    }
+
+    #[test]
+    fn schema_matches_table_ii() {
+        let d = compas(6_172, 0);
+        assert_eq!(d.frame.n_rows(), 6_172);
+        assert_eq!(d.frame.n_attributes(), 6);
+        assert_eq!(d.frame.schema().continuous_ids().len(), 3);
+        assert_eq!(d.frame.schema().categorical_ids().len(), 3);
+    }
+
+    #[test]
+    fn fpr_structure_matches_table_i() {
+        let d = compas(20_000, 1);
+        let priors = d
+            .frame
+            .continuous(d.frame.schema().id("#prior").unwrap())
+            .values()
+            .to_vec();
+        let age = d
+            .frame
+            .continuous(d.frame.schema().id("age").unwrap())
+            .values()
+            .to_vec();
+
+        let overall = fpr_where(&d, |_| true);
+        assert!(
+            (0.05..0.16).contains(&overall),
+            "overall FPR = {overall} (paper: 0.088)"
+        );
+
+        let fpr_gt3 = fpr_where(&d, |i| priors[i] > 3.0);
+        let fpr_gt8 = fpr_where(&d, |i| priors[i] > 8.0);
+        let fpr_young = fpr_where(&d, |i| age[i] < 27.0);
+        assert!(
+            fpr_gt3 > overall + 0.08,
+            "#prior>3 FPR {fpr_gt3} vs overall {overall} (paper gap: +0.13)"
+        );
+        assert!(
+            fpr_gt8 > fpr_gt3 + 0.08,
+            "#prior>8 FPR {fpr_gt8} vs #prior>3 {fpr_gt3} (paper gap: +0.16)"
+        );
+        assert!(
+            fpr_young > overall + 0.03,
+            "age<27 FPR {fpr_young} vs overall {overall} (paper gap: +0.067)"
+        );
+        // Intersection is the most divergent (Table I last row).
+        let fpr_both = fpr_where(&d, |i| age[i] < 27.0 && priors[i] > 3.0);
+        assert!(fpr_both > fpr_gt3, "intersection {fpr_both} > {fpr_gt3}");
+    }
+
+    #[test]
+    fn young_defendants_have_fewer_priors() {
+        let d = compas(10_000, 2);
+        let priors = d
+            .frame
+            .continuous(d.frame.schema().id("#prior").unwrap())
+            .values();
+        let age = d
+            .frame
+            .continuous(d.frame.schema().id("age").unwrap())
+            .values();
+        let mean = |keep: &dyn Fn(usize) -> bool| {
+            let v: Vec<f64> = (0..d.n_rows())
+                .filter(|&i| keep(i))
+                .map(|i| priors[i])
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let young = mean(&|i| age[i] < 25.0);
+        let old = mean(&|i| age[i] >= 35.0);
+        assert!(young < old, "young {young} < old {old}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(compas(300, 5).frame, compas(300, 5).frame);
+        assert_ne!(compas(300, 5).y_pred, compas(300, 6).y_pred);
+    }
+}

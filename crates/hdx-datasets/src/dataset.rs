@@ -1,0 +1,138 @@
+//! The labelled-dataset container shared by all generators.
+
+use hdx_core::{real_outcomes, OutcomeFn};
+use hdx_data::DataFrame;
+use hdx_items::Taxonomy;
+use hdx_stats::Outcome;
+
+/// A dataset ready for subgroup discovery: the attribute frame plus the
+/// label / prediction / target columns (kept **out** of the frame so they
+/// are never mined as attributes).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (`compas`, `folktables`, …).
+    pub name: String,
+    /// The mined attributes.
+    pub frame: DataFrame,
+    /// Ground-truth labels, when classification.
+    pub y_true: Option<Vec<bool>>,
+    /// Model predictions, when classification.
+    pub y_pred: Option<Vec<bool>>,
+    /// Real-valued target (e.g. income), when regression-style.
+    pub target: Option<Vec<f64>>,
+    /// Taxonomies for categorical attributes (attribute name → taxonomy).
+    pub taxonomies: Vec<(String, Taxonomy)>,
+}
+
+impl Dataset {
+    /// Creates a classification dataset.
+    pub fn classification(
+        name: impl Into<String>,
+        frame: DataFrame,
+        y_true: Vec<bool>,
+        y_pred: Vec<bool>,
+    ) -> Self {
+        assert_eq!(y_true.len(), frame.n_rows(), "labels not parallel");
+        assert_eq!(y_pred.len(), frame.n_rows(), "predictions not parallel");
+        Self {
+            name: name.into(),
+            frame,
+            y_true: Some(y_true),
+            y_pred: Some(y_pred),
+            target: None,
+            taxonomies: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset with a real-valued target.
+    pub fn regression(name: impl Into<String>, frame: DataFrame, target: Vec<f64>) -> Self {
+        assert_eq!(target.len(), frame.n_rows(), "target not parallel");
+        Self {
+            name: name.into(),
+            frame,
+            y_true: None,
+            y_pred: None,
+            target: Some(target),
+            taxonomies: Vec::new(),
+        }
+    }
+
+    /// Attaches a categorical taxonomy (builder style).
+    pub fn with_taxonomy(mut self, attr: impl Into<String>, taxonomy: Taxonomy) -> Self {
+        self.taxonomies.push((attr.into(), taxonomy));
+        self
+    }
+
+    /// Outcomes under a classification outcome function.
+    ///
+    /// # Panics
+    /// Panics when the dataset has no labels/predictions.
+    pub fn classification_outcomes(&self, f: OutcomeFn) -> Vec<Outcome> {
+        let y_true = self.y_true.as_ref().expect("dataset has no labels");
+        let y_pred = self.y_pred.as_ref().expect("dataset has no predictions");
+        f.compute(y_true, y_pred)
+    }
+
+    /// Outcomes from the real-valued target.
+    ///
+    /// # Panics
+    /// Panics when the dataset has no target.
+    pub fn target_outcomes(&self) -> Vec<Outcome> {
+        real_outcomes(self.target.as_ref().expect("dataset has no target"))
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.frame.n_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::{DataFrameBuilder, Value};
+
+    fn tiny_frame(n: usize) -> DataFrame {
+        let mut b = DataFrameBuilder::new();
+        b.add_continuous("x").unwrap();
+        for i in 0..n {
+            b.push_row(vec![Value::Num(i as f64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn classification_outcomes_roundtrip() {
+        let d = Dataset::classification(
+            "t",
+            tiny_frame(3),
+            vec![true, false, false],
+            vec![true, true, false],
+        );
+        let o = d.classification_outcomes(OutcomeFn::Fpr);
+        assert_eq!(o[0], Outcome::Undefined);
+        assert_eq!(o[1], Outcome::Bool(true));
+        assert_eq!(o[2], Outcome::Bool(false));
+    }
+
+    #[test]
+    fn regression_target_outcomes() {
+        let d = Dataset::regression("t", tiny_frame(2), vec![10.0, f64::NAN]);
+        let o = d.target_outcomes();
+        assert_eq!(o[0], Outcome::Real(10.0));
+        assert_eq!(o[1], Outcome::Undefined);
+    }
+
+    #[test]
+    #[should_panic(expected = "no target")]
+    fn missing_target_panics() {
+        let d = Dataset::classification("t", tiny_frame(1), vec![true], vec![true]);
+        let _ = d.target_outcomes();
+    }
+
+    #[test]
+    #[should_panic(expected = "not parallel")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::classification("t", tiny_frame(2), vec![true], vec![true, false]);
+    }
+}

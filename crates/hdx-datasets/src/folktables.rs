@@ -1,0 +1,251 @@
+//! Synthetic stand-in for the folktables income task (ACS 2018, California).
+//!
+//! Reproduces the structure Table IV relies on: income (the real-valued
+//! outcome `f`) rising with age/experience, weekly hours, education, and
+//! managerial/professional occupations, with a persistent male/female gap —
+//! so the top divergent subgroups combine `AGEP≥35`, `OCCP=MGR`, `SEX=Male`,
+//! `WKHP≥44`, `SCHL=Prof beyond bachelor`. Ships the two categorical
+//! taxonomies the paper uses: occupation super-categories (OCCP) and a
+//! geographical place-of-birth hierarchy (POBP).
+
+use hdx_data::{DataFrameBuilder, Value};
+use hdx_items::Taxonomy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt as _, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Occupation: (level, super-category, income multiplier).
+const OCCUPATIONS: &[(&str, &str, f64)] = &[
+    ("MGR-Financial Managers", "MGR", 2.05),
+    ("MGR-Sales Managers", "MGR", 1.95),
+    ("MGR-Operations Managers", "MGR", 1.85),
+    ("MED-Dentists", "MED", 2.3),
+    ("MED-Registered Nurses", "MED", 1.35),
+    ("ENG-Software Developers", "ENG", 1.9),
+    ("ENG-Civil Engineers", "ENG", 1.55),
+    ("EDU-Teachers", "EDU", 0.95),
+    ("EDU-Teaching Assistants", "EDU", 0.55),
+    ("SAL-Retail Salespersons", "SAL", 0.62),
+    ("SAL-Cashiers", "SAL", 0.5),
+    ("ADM-Secretaries", "ADM", 0.72),
+    ("SVC-Cooks", "SVC", 0.52),
+    ("SVC-Janitors", "SVC", 0.55),
+    ("TRN-Drivers", "TRN", 0.68),
+];
+
+/// Place of birth: (level, region). The taxonomy is geographical.
+const BIRTHPLACES: &[(&str, &str)] = &[
+    ("US-California", "US"),
+    ("US-Texas", "US"),
+    ("US-NewYork", "US"),
+    ("MX-Mexico", "LatinAmerica"),
+    ("SV-ElSalvador", "LatinAmerica"),
+    ("CN-China", "Asia"),
+    ("PH-Philippines", "Asia"),
+    ("VN-Vietnam", "Asia"),
+    ("IN-India", "Asia"),
+    ("DE-Germany", "Europe"),
+    ("UK-England", "Europe"),
+];
+
+const SCHOOLING: &[(&str, f64)] = &[
+    ("No diploma", 0.55),
+    ("High school", 0.75),
+    ("Some college", 0.9),
+    ("Bachelor", 1.25),
+    ("Master", 1.5),
+    ("Prof beyond bachelor", 2.3),
+    ("Doctorate", 1.9),
+];
+
+fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Generates a folktables-like income dataset with `n` rows
+/// (paper: 195,556). Ten attributes: 2 continuous (AGEP, WKHP) and 8
+/// categorical, matching Table II.
+pub fn folktables(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("AGEP").unwrap();
+    b.add_continuous("WKHP").unwrap();
+    b.add_categorical("OCCP").unwrap();
+    b.add_categorical("POBP").unwrap();
+    b.add_categorical("SCHL").unwrap();
+    b.add_categorical("SEX").unwrap();
+    b.add_categorical("MAR").unwrap();
+    b.add_categorical("RAC").unwrap();
+    b.add_categorical("COW").unwrap();
+    b.add_categorical("RELP").unwrap();
+
+    let occ_weights = [
+        5.0, 4.0, 5.0, 1.0, 6.0, 7.0, 3.0, 8.0, 4.0, 9.0, 8.0, 6.0, 6.0, 6.0, 7.0,
+    ];
+    let school_weights = [8.0, 26.0, 22.0, 24.0, 12.0, 3.0, 3.0];
+    let pobp_weights = [38.0, 4.0, 4.0, 18.0, 4.0, 8.0, 7.0, 5.0, 5.0, 3.0, 4.0];
+
+    let mut incomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let age = rng.random_range(17.0_f64..95.0).round();
+        let occ = pick_weighted(&mut rng, &occ_weights);
+        let (occ_name, _, occ_mult) = OCCUPATIONS[occ];
+        let schl = pick_weighted(&mut rng, &school_weights);
+        let (schl_name, schl_mult) = SCHOOLING[schl];
+        let pobp = pick_weighted(&mut rng, &pobp_weights);
+        let sex = if rng.random::<f64>() < 0.52 {
+            "Male"
+        } else {
+            "Female"
+        };
+        // Hours: managers/professionals work longer.
+        let base_hours = 38.0 + 8.0 * f64::from(u8::from(occ_mult > 1.5));
+        let hours = (base_hours + rng.random_range(-18.0_f64..14.0))
+            .clamp(1.0, 99.0)
+            .round();
+        let mar = ["Married", "Never", "Divorced", "Widowed"]
+            [pick_weighted(&mut rng, &[48.0, 34.0, 12.0, 6.0])];
+        let rac =
+            ["White", "Asian", "Black", "Other"][pick_weighted(&mut rng, &[60.0, 16.0, 7.0, 17.0])];
+        let cow = ["Private", "Government", "Self-employed"]
+            [pick_weighted(&mut rng, &[72.0, 16.0, 12.0])];
+        let relp = ["Householder", "Spouse", "Child", "Other"]
+            [pick_weighted(&mut rng, &[40.0, 22.0, 22.0, 16.0])];
+
+        // Income model: base × occupation × education × experience × hours,
+        // with a male premium and lognormal noise.
+        let experience = ((age - 18.0).max(0.0) / 30.0).min(1.3);
+        let exp_mult = 0.55 + 0.75 * experience;
+        let sex_mult = if sex == "Male" { 1.22 } else { 1.0 };
+        let hours_mult = (hours / 40.0).powf(1.15);
+        let noise = (rng.random::<f64>() - 0.5).mul_add(0.9, 1.0).max(0.2);
+        let income =
+            (42_000.0 * occ_mult * schl_mult * exp_mult * sex_mult * hours_mult * noise).round();
+
+        b.push_row(vec![
+            Value::Num(age),
+            Value::Num(hours),
+            Value::Cat(occ_name.into()),
+            Value::Cat(BIRTHPLACES[pobp].0.into()),
+            Value::Cat(schl_name.into()),
+            Value::Cat(sex.into()),
+            Value::Cat(mar.into()),
+            Value::Cat(rac.into()),
+            Value::Cat(cow.into()),
+            Value::Cat(relp.into()),
+        ])
+        .unwrap();
+        incomes.push(income);
+    }
+
+    let mut occ_tax = Taxonomy::new();
+    for &(level, group, _) in OCCUPATIONS {
+        occ_tax.set_group(level, group);
+    }
+    let mut pobp_tax = Taxonomy::new();
+    for &(level, region) in BIRTHPLACES {
+        pobp_tax.set_group(level, region);
+    }
+
+    Dataset::regression("folktables", b.finish(), incomes)
+        .with_taxonomy("OCCP", occ_tax)
+        .with_taxonomy("POBP", pobp_tax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_stats::StatAccum;
+
+    fn mean_income_where(d: &Dataset, keep: impl Fn(usize) -> bool) -> f64 {
+        let target = d.target.as_ref().unwrap();
+        let mut acc = StatAccum::new();
+        for (i, &v) in target.iter().enumerate() {
+            if keep(i) {
+                acc.push(hdx_stats::Outcome::Real(v));
+            }
+        }
+        acc.statistic().unwrap()
+    }
+
+    #[test]
+    fn schema_matches_table_ii() {
+        let d = folktables(1_000, 0);
+        assert_eq!(d.frame.n_attributes(), 10);
+        assert_eq!(d.frame.schema().continuous_ids().len(), 2);
+        assert_eq!(d.frame.schema().categorical_ids().len(), 8);
+        assert_eq!(d.taxonomies.len(), 2);
+    }
+
+    #[test]
+    fn income_structure_matches_table_iv() {
+        let d = folktables(40_000, 1);
+        let overall = mean_income_where(&d, |_| true);
+        let age = d
+            .frame
+            .continuous(d.frame.schema().id("AGEP").unwrap())
+            .values()
+            .to_vec();
+        let occ_col = d.frame.categorical(d.frame.schema().id("OCCP").unwrap());
+        let sex_col = d.frame.categorical(d.frame.schema().id("SEX").unwrap());
+        let occ: Vec<bool> = (0..d.n_rows())
+            .map(|i| occ_col.get(i).unwrap().starts_with("MGR"))
+            .collect();
+        let male: Vec<bool> = (0..d.n_rows())
+            .map(|i| sex_col.get(i) == Some("Male"))
+            .collect();
+        // The Table IV subgroup: AGEP≥35 & OCCP=MGR & SEX=Male.
+        let subgroup = mean_income_where(&d, |i| age[i] >= 35.0 && occ[i] && male[i]);
+        assert!(
+            subgroup > overall * 1.8,
+            "subgroup mean {subgroup} vs overall {overall} (paper: +90.2k over mean)"
+        );
+        // Male > female on average.
+        let m = mean_income_where(&d, |i| male[i]);
+        let f = mean_income_where(&d, |i| !male[i]);
+        assert!(m > f * 1.1);
+    }
+
+    #[test]
+    fn taxonomy_paths_cover_levels() {
+        let d = folktables(500, 2);
+        let (name, occ_tax) = &d.taxonomies[0];
+        assert_eq!(name, "OCCP");
+        assert_eq!(occ_tax.path("MGR-Sales Managers"), &["MGR".to_string()]);
+        let (name2, pobp_tax) = &d.taxonomies[1];
+        assert_eq!(name2, "POBP");
+        assert_eq!(pobp_tax.path("CN-China"), &["Asia".to_string()]);
+    }
+
+    #[test]
+    fn hours_and_age_in_range() {
+        let d = folktables(5_000, 3);
+        let (alo, ahi) = d
+            .frame
+            .continuous(d.frame.schema().id("AGEP").unwrap())
+            .min_max()
+            .unwrap();
+        assert!(alo >= 17.0 && ahi <= 95.0);
+        let (wlo, whi) = d
+            .frame
+            .continuous(d.frame.schema().id("WKHP").unwrap())
+            .min_max()
+            .unwrap();
+        assert!(wlo >= 1.0 && whi <= 99.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(folktables(200, 7).target, folktables(200, 7).target);
+        assert_ne!(folktables(200, 7).target, folktables(200, 8).target);
+    }
+}

@@ -1,0 +1,86 @@
+//! Missing-value injection, for robustness testing.
+//!
+//! Real tabular data has nulls; the synthetic generators do not. This
+//! utility knocks out a random fraction of cells so tests can exercise the
+//! pipeline's null handling (null cells match no item and join no subgroup).
+
+use hdx_data::{DataFrame, DataFrameBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Returns a copy of `df` with each cell independently nulled with
+/// probability `rate`.
+///
+/// # Panics
+/// Panics when `rate` is outside `[0, 1]`.
+pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> DataFrame {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DataFrameBuilder::new();
+    for (_, attr) in df.schema().iter() {
+        b.add_attribute(attr.clone())
+            .expect("names unique in source");
+    }
+    for row in 0..df.n_rows() {
+        let cells: Vec<Value> = df
+            .schema()
+            .iter()
+            .map(|(id, _)| {
+                if rng.random::<f64>() < rate {
+                    Value::Null
+                } else {
+                    df.column(id).value(row)
+                }
+            })
+            .collect();
+        b.push_row(cells).expect("row kinds preserved");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic_peak;
+
+    #[test]
+    fn injects_roughly_the_requested_fraction() {
+        let d = synthetic_peak(2_000, 1);
+        let holey = inject_nulls(&d.frame, 0.2, 7);
+        assert_eq!(holey.n_rows(), d.frame.n_rows());
+        let total_cells = holey.n_rows() * holey.n_attributes();
+        let nulls: usize = holey
+            .schema()
+            .iter()
+            .map(|(id, _)| holey.column(id).null_count())
+            .sum();
+        let frac = nulls as f64 / total_cells as f64;
+        assert!((frac - 0.2).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn rate_zero_is_identity_rate_one_all_null() {
+        let d = synthetic_peak(200, 2);
+        assert_eq!(inject_nulls(&d.frame, 0.0, 1), d.frame);
+        let all = inject_nulls(&d.frame, 1.0, 1);
+        let nulls: usize = all
+            .schema()
+            .iter()
+            .map(|(id, _)| all.column(id).null_count())
+            .sum();
+        assert_eq!(nulls, all.n_rows() * all.n_attributes());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = synthetic_peak(300, 3);
+        assert_eq!(
+            inject_nulls(&d.frame, 0.3, 9),
+            inject_nulls(&d.frame, 0.3, 9)
+        );
+        assert_ne!(
+            inject_nulls(&d.frame, 0.3, 9),
+            inject_nulls(&d.frame, 0.3, 10)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The synthetic-peak dataset, exactly as specified in §VI-A.
+//!
+//! 10,000 points uniform in `[-5, 5]³` (attributes `a`, `b`, `c`); class
+//! labels `T`/`F` with equal probability; predictions equal the label except
+//! flipped with probability given by the peak-normalized density of a
+//! multivariate normal with mean `[0, 1, 2]` and identity covariance. The
+//! error rate is therefore a smooth "peak" centred at `[0, 1, 2]` — an
+//! anomaly best captured by constraining all three coordinates at once.
+
+use hdx_data::{DataFrameBuilder, Value};
+use hdx_stats::MultivariateNormal;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// The anomaly centre of synthetic-peak.
+pub const PEAK_MEAN: [f64; 3] = [0.0, 1.0, 2.0];
+
+/// The flip (error) probability at a point: the normalized `N(PEAK_MEAN, I)`
+/// density, which is `1` at the centre.
+pub fn peak_error_probability(point: &[f64; 3]) -> f64 {
+    let mvn = MultivariateNormal::isotropic(PEAK_MEAN.to_vec(), 1.0);
+    mvn.normalized_pdf(point)
+}
+
+/// Generates synthetic-peak with `n` rows (paper: 10,000).
+pub fn synthetic_peak(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mvn = MultivariateNormal::isotropic(PEAK_MEAN.to_vec(), 1.0);
+    let mut b = DataFrameBuilder::new();
+    for name in ["a", "b", "c"] {
+        b.add_continuous(name).unwrap();
+    }
+    let mut y_true = Vec::with_capacity(n);
+    let mut y_pred = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = [
+            rng.random_range(-5.0..5.0),
+            rng.random_range(-5.0..5.0),
+            rng.random_range(-5.0..5.0),
+        ];
+        b.push_row(vec![Value::Num(p[0]), Value::Num(p[1]), Value::Num(p[2])])
+            .unwrap();
+        let label = rng.random::<bool>();
+        let flip = rng.random::<f64>() < mvn.normalized_pdf(&p);
+        y_true.push(label);
+        y_pred.push(label != flip);
+    }
+    Dataset::classification("synthetic-peak", b.finish(), y_true, y_pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_core::OutcomeFn;
+    use hdx_stats::StatAccum;
+
+    #[test]
+    fn shape_matches_table_ii() {
+        let d = synthetic_peak(10_000, 0);
+        assert_eq!(d.frame.n_rows(), 10_000);
+        assert_eq!(d.frame.n_attributes(), 3);
+        assert!(d.frame.schema().continuous_ids().len() == 3);
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        let d = synthetic_peak(2_000, 1);
+        for name in ["a", "b", "c"] {
+            let col = d.frame.continuous(d.frame.schema().id(name).unwrap());
+            let (lo, hi) = col.min_max().unwrap();
+            assert!(lo >= -5.0 && hi <= 5.0);
+        }
+    }
+
+    #[test]
+    fn error_rate_peaks_at_centre() {
+        assert!((peak_error_probability(&PEAK_MEAN) - 1.0).abs() < 1e-12);
+        assert!(peak_error_probability(&[4.0, -4.0, -4.0]) < 1e-6);
+
+        let d = synthetic_peak(20_000, 2);
+        let outcomes = d.classification_outcomes(OutcomeFn::ErrorRate);
+        // Empirical error near the peak vs far away.
+        let a = d
+            .frame
+            .continuous(d.frame.schema().id("a").unwrap())
+            .values();
+        let b = d
+            .frame
+            .continuous(d.frame.schema().id("b").unwrap())
+            .values();
+        let c = d
+            .frame
+            .continuous(d.frame.schema().id("c").unwrap())
+            .values();
+        let mut near = StatAccum::new();
+        let mut far = StatAccum::new();
+        for i in 0..d.n_rows() {
+            let dist2 = (a[i] - PEAK_MEAN[0]).powi(2)
+                + (b[i] - PEAK_MEAN[1]).powi(2)
+                + (c[i] - PEAK_MEAN[2]).powi(2);
+            if dist2 < 1.0 {
+                near.push(outcomes[i]);
+            } else if dist2 > 16.0 {
+                far.push(outcomes[i]);
+            }
+        }
+        assert!(
+            near.statistic().unwrap() > 0.4,
+            "near = {:?}",
+            near.statistic()
+        );
+        assert!(
+            far.statistic().unwrap() < 0.05,
+            "far = {:?}",
+            far.statistic()
+        );
+    }
+
+    #[test]
+    fn labels_are_balanced_and_global_error_small() {
+        let d = synthetic_peak(20_000, 3);
+        let pos = d.y_true.as_ref().unwrap().iter().filter(|&&t| t).count();
+        let frac = pos as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02);
+        // Global error rate: expected ≈ mean flip prob over the cube ≈ 1.5%.
+        let outcomes = d.classification_outcomes(OutcomeFn::ErrorRate);
+        let overall = StatAccum::from_outcomes(&outcomes).statistic().unwrap();
+        assert!(overall > 0.005 && overall < 0.04, "overall = {overall}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d1 = synthetic_peak(500, 9);
+        let d2 = synthetic_peak(500, 9);
+        assert_eq!(d1.frame, d2.frame);
+        assert_eq!(d1.y_pred, d2.y_pred);
+        let d3 = synthetic_peak(500, 10);
+        assert_ne!(d1.y_pred, d3.y_pred);
+    }
+}

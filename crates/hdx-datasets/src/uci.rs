@@ -1,0 +1,706 @@
+//! Schema-matched synthetic stand-ins for the five UCI datasets of Table II
+//! (adult, bank, german, intentions, wine).
+//!
+//! Each generator produces the paper's row/attribute counts, a ground-truth
+//! label driven by a seeded signal over a few attributes, and an injected
+//! **noise region** — a box over two numeric attributes where labels are
+//! near-random. A random forest (in-repo, default parameters, as in §VI-B)
+//! supplies the predictions; its error concentrates in the noise region,
+//! giving every dataset genuinely divergent subgroups at intersectional
+//! granularity, which is the property Figs. 2–4 measure.
+
+use hdx_data::{DataFrame, DataFrameBuilder, Value};
+use hdx_model::{RandomForest, RandomForestConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt as _, SeedableRng};
+
+use crate::dataset::Dataset;
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Distribution of one numeric attribute.
+struct NumAttr {
+    name: &'static str,
+    lo: f64,
+    hi: f64,
+    /// Skew exponent: 1 = uniform, >1 = right-skewed.
+    skew: f64,
+}
+
+impl NumAttr {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().powf(self.skew);
+        self.lo + u * (self.hi - self.lo)
+    }
+}
+
+struct CatAttr {
+    name: &'static str,
+    levels: &'static [&'static str],
+}
+
+struct UciSpec {
+    name: &'static str,
+    nums: Vec<NumAttr>,
+    cats: Vec<CatAttr>,
+    /// Intercept tuning the positive rate.
+    intercept: f64,
+}
+
+fn build(spec: &UciSpec, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DataFrameBuilder::new();
+    for a in &spec.nums {
+        b.add_continuous(a.name).unwrap();
+    }
+    for c in &spec.cats {
+        b.add_categorical(c.name).unwrap();
+    }
+
+    // Seeded signal: weights over the first three numeric attributes and the
+    // first categorical attribute (when present).
+    let w: Vec<f64> = (0..3).map(|_| rng.random_range(-1.5..1.5)).collect();
+    let cat_fx: Vec<f64> = spec
+        .cats
+        .first()
+        .map(|c| {
+            c.levels
+                .iter()
+                .map(|_| rng.random_range(-0.8..0.8))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Noise region: central box over numeric attrs 0 and 1 where labels are
+    // nearly random (flip probability 0.45).
+    let box_of = |a: &NumAttr| {
+        let mid = a.lo + 0.55 * (a.hi - a.lo);
+        (mid, mid + 0.25 * (a.hi - a.lo))
+    };
+    let (b0_lo, b0_hi) = box_of(&spec.nums[0]);
+    let (b1_lo, b1_hi) = box_of(&spec.nums[1]);
+
+    let mut y_true = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row: Vec<Value> = Vec::with_capacity(spec.nums.len() + spec.cats.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(spec.nums.len());
+        for a in &spec.nums {
+            let v = a.sample(&mut rng);
+            xs.push(v);
+            row.push(Value::Num(v.round()));
+        }
+        let mut cat_codes: Vec<usize> = Vec::with_capacity(spec.cats.len());
+        for c in &spec.cats {
+            let k = rng.random_range(0..c.levels.len());
+            cat_codes.push(k);
+            row.push(Value::Cat(c.levels[k].into()));
+        }
+        // Signal on standardized first three numerics.
+        let mut score = spec.intercept;
+        for (j, wj) in w.iter().enumerate() {
+            let a = &spec.nums[j.min(spec.nums.len() - 1)];
+            let z = (xs[j.min(xs.len() - 1)] - (a.lo + a.hi) / 2.0) / ((a.hi - a.lo) / 4.0);
+            score += wj * z;
+        }
+        if let Some(&k) = cat_codes.first() {
+            score += cat_fx[k];
+        }
+        let mut label = rng.random::<f64>() < sigmoid(score);
+        // Inside the noise region the label is nearly random.
+        let in_box = xs[0] >= b0_lo && xs[0] <= b0_hi && xs[1] >= b1_lo && xs[1] <= b1_hi;
+        if in_box && rng.random::<f64>() < 0.45 {
+            label = !label;
+        }
+        b.push_row(row).unwrap();
+        y_true.push(label);
+    }
+    let frame: DataFrame = b.finish();
+    // Two-fold cross-fitting: every prediction is out-of-sample, so the
+    // forest's error reflects generalization (and concentrates in the noise
+    // region) instead of memorising the training labels.
+    let mut y_pred = vec![false; n];
+    for fold in 0..2usize {
+        let train_rows: Vec<usize> = (0..n).filter(|r| r % 2 == fold).collect();
+        let train_frame = frame.take(&train_rows);
+        let train_labels: Vec<bool> = train_rows.iter().map(|&r| y_true[r]).collect();
+        let forest = RandomForest::fit(
+            &train_frame,
+            &train_labels,
+            &RandomForestConfig {
+                seed: seed.wrapping_add(1 + fold as u64),
+                ..RandomForestConfig::default()
+            },
+        );
+        for r in (0..n).filter(|r| r % 2 != fold) {
+            y_pred[r] = forest.predict_prob(&frame, r) >= 0.5;
+        }
+    }
+    Dataset::classification(spec.name, frame, y_true, y_pred)
+}
+
+/// adult-like dataset: 4 numeric + 7 categorical attributes (Table II).
+pub fn adult(n: usize, seed: u64) -> Dataset {
+    build(
+        &UciSpec {
+            name: "adult",
+            nums: vec![
+                NumAttr {
+                    name: "age",
+                    lo: 17.0,
+                    hi: 90.0,
+                    skew: 1.6,
+                },
+                NumAttr {
+                    name: "fnlwgt",
+                    lo: 12_000.0,
+                    hi: 1_400_000.0,
+                    skew: 2.2,
+                },
+                NumAttr {
+                    name: "education-num",
+                    lo: 1.0,
+                    hi: 16.0,
+                    skew: 0.8,
+                },
+                NumAttr {
+                    name: "hours-per-week",
+                    lo: 1.0,
+                    hi: 99.0,
+                    skew: 1.0,
+                },
+            ],
+            cats: vec![
+                CatAttr {
+                    name: "workclass",
+                    levels: &["Private", "Self-emp", "Gov", "Other"],
+                },
+                CatAttr {
+                    name: "education",
+                    levels: &["HS", "Some-college", "Bachelors", "Masters", "Doctorate"],
+                },
+                CatAttr {
+                    name: "marital-status",
+                    levels: &["Married", "Never", "Divorced"],
+                },
+                CatAttr {
+                    name: "occupation",
+                    levels: &["Tech", "Sales", "Exec", "Service", "Craft", "Other"],
+                },
+                CatAttr {
+                    name: "relationship",
+                    levels: &["Husband", "Wife", "Own-child", "Unmarried"],
+                },
+                CatAttr {
+                    name: "race",
+                    levels: &["White", "Black", "Asian", "Other"],
+                },
+                CatAttr {
+                    name: "sex",
+                    levels: &["Male", "Female"],
+                },
+            ],
+            intercept: -0.9,
+        },
+        n,
+        seed,
+    )
+}
+
+/// bank-full-like dataset: 7 numeric + 8 categorical attributes (Table II;
+/// `month` is treated as numeric, per §VI-A).
+pub fn bank(n: usize, seed: u64) -> Dataset {
+    build(
+        &UciSpec {
+            name: "bank",
+            nums: vec![
+                NumAttr {
+                    name: "age",
+                    lo: 18.0,
+                    hi: 95.0,
+                    skew: 1.4,
+                },
+                NumAttr {
+                    name: "balance",
+                    lo: -8_000.0,
+                    hi: 100_000.0,
+                    skew: 3.0,
+                },
+                NumAttr {
+                    name: "duration",
+                    lo: 0.0,
+                    hi: 4_900.0,
+                    skew: 2.5,
+                },
+                NumAttr {
+                    name: "campaign",
+                    lo: 1.0,
+                    hi: 60.0,
+                    skew: 3.0,
+                },
+                NumAttr {
+                    name: "pdays",
+                    lo: -1.0,
+                    hi: 871.0,
+                    skew: 2.8,
+                },
+                NumAttr {
+                    name: "previous",
+                    lo: 0.0,
+                    hi: 270.0,
+                    skew: 4.0,
+                },
+                NumAttr {
+                    name: "month",
+                    lo: 1.0,
+                    hi: 12.0,
+                    skew: 1.0,
+                },
+            ],
+            cats: vec![
+                CatAttr {
+                    name: "job",
+                    levels: &[
+                        "admin",
+                        "blue-collar",
+                        "technician",
+                        "services",
+                        "management",
+                        "retired",
+                    ],
+                },
+                CatAttr {
+                    name: "marital",
+                    levels: &["married", "single", "divorced"],
+                },
+                CatAttr {
+                    name: "education",
+                    levels: &["primary", "secondary", "tertiary"],
+                },
+                CatAttr {
+                    name: "default",
+                    levels: &["no", "yes"],
+                },
+                CatAttr {
+                    name: "housing",
+                    levels: &["no", "yes"],
+                },
+                CatAttr {
+                    name: "loan",
+                    levels: &["no", "yes"],
+                },
+                CatAttr {
+                    name: "contact",
+                    levels: &["cellular", "telephone", "unknown"],
+                },
+                CatAttr {
+                    name: "poutcome",
+                    levels: &["unknown", "failure", "success", "other"],
+                },
+            ],
+            intercept: -1.6,
+        },
+        n,
+        seed,
+    )
+}
+
+/// german-credit-like dataset: 7 numeric + 14 categorical attributes.
+pub fn german(n: usize, seed: u64) -> Dataset {
+    build(
+        &UciSpec {
+            name: "german",
+            nums: vec![
+                NumAttr {
+                    name: "duration",
+                    lo: 4.0,
+                    hi: 72.0,
+                    skew: 1.5,
+                },
+                NumAttr {
+                    name: "credit-amount",
+                    lo: 250.0,
+                    hi: 18_500.0,
+                    skew: 2.0,
+                },
+                NumAttr {
+                    name: "installment-rate",
+                    lo: 1.0,
+                    hi: 4.0,
+                    skew: 0.8,
+                },
+                NumAttr {
+                    name: "residence-since",
+                    lo: 1.0,
+                    hi: 4.0,
+                    skew: 1.0,
+                },
+                NumAttr {
+                    name: "age",
+                    lo: 19.0,
+                    hi: 75.0,
+                    skew: 1.6,
+                },
+                NumAttr {
+                    name: "existing-credits",
+                    lo: 1.0,
+                    hi: 4.0,
+                    skew: 2.0,
+                },
+                NumAttr {
+                    name: "num-dependents",
+                    lo: 1.0,
+                    hi: 2.0,
+                    skew: 1.0,
+                },
+            ],
+            cats: vec![
+                CatAttr {
+                    name: "status",
+                    levels: &["<0", "0-200", ">=200", "none"],
+                },
+                CatAttr {
+                    name: "credit-history",
+                    levels: &["critical", "paid", "delayed", "existing"],
+                },
+                CatAttr {
+                    name: "purpose",
+                    levels: &["car", "furniture", "radio/tv", "education", "business"],
+                },
+                CatAttr {
+                    name: "savings",
+                    levels: &["<100", "100-500", "500-1000", ">=1000", "unknown"],
+                },
+                CatAttr {
+                    name: "employment",
+                    levels: &["unemployed", "<1y", "1-4y", "4-7y", ">=7y"],
+                },
+                CatAttr {
+                    name: "personal-status",
+                    levels: &["male-single", "female", "male-married"],
+                },
+                CatAttr {
+                    name: "other-debtors",
+                    levels: &["none", "co-applicant", "guarantor"],
+                },
+                CatAttr {
+                    name: "property",
+                    levels: &["real-estate", "insurance", "car", "unknown"],
+                },
+                CatAttr {
+                    name: "other-installment",
+                    levels: &["bank", "stores", "none"],
+                },
+                CatAttr {
+                    name: "housing",
+                    levels: &["own", "rent", "free"],
+                },
+                CatAttr {
+                    name: "job",
+                    levels: &["unskilled", "skilled", "management"],
+                },
+                CatAttr {
+                    name: "telephone",
+                    levels: &["none", "yes"],
+                },
+                CatAttr {
+                    name: "foreign-worker",
+                    levels: &["yes", "no"],
+                },
+                CatAttr {
+                    name: "guarantor-flag",
+                    levels: &["no", "yes"],
+                },
+            ],
+            intercept: 0.8,
+        },
+        n,
+        seed,
+    )
+}
+
+/// online-shoppers-intentions-like dataset: 11 numeric + 6 categorical
+/// attributes (`month` numeric, per §VI-A).
+pub fn intentions(n: usize, seed: u64) -> Dataset {
+    build(
+        &UciSpec {
+            name: "intentions",
+            nums: vec![
+                NumAttr {
+                    name: "administrative",
+                    lo: 0.0,
+                    hi: 27.0,
+                    skew: 2.5,
+                },
+                NumAttr {
+                    name: "administrative-duration",
+                    lo: 0.0,
+                    hi: 3_400.0,
+                    skew: 3.0,
+                },
+                NumAttr {
+                    name: "informational",
+                    lo: 0.0,
+                    hi: 24.0,
+                    skew: 3.5,
+                },
+                NumAttr {
+                    name: "informational-duration",
+                    lo: 0.0,
+                    hi: 2_550.0,
+                    skew: 3.5,
+                },
+                NumAttr {
+                    name: "product-related",
+                    lo: 0.0,
+                    hi: 700.0,
+                    skew: 2.5,
+                },
+                NumAttr {
+                    name: "product-related-duration",
+                    lo: 0.0,
+                    hi: 64_000.0,
+                    skew: 3.0,
+                },
+                NumAttr {
+                    name: "bounce-rates",
+                    lo: 0.0,
+                    hi: 100.0,
+                    skew: 2.0,
+                },
+                NumAttr {
+                    name: "exit-rates",
+                    lo: 0.0,
+                    hi: 100.0,
+                    skew: 1.8,
+                },
+                NumAttr {
+                    name: "page-values",
+                    lo: 0.0,
+                    hi: 360.0,
+                    skew: 3.0,
+                },
+                NumAttr {
+                    name: "special-day",
+                    lo: 0.0,
+                    hi: 1.0,
+                    skew: 2.0,
+                },
+                NumAttr {
+                    name: "month",
+                    lo: 1.0,
+                    hi: 12.0,
+                    skew: 1.0,
+                },
+            ],
+            cats: vec![
+                CatAttr {
+                    name: "operating-systems",
+                    levels: &["win", "mac", "linux", "other"],
+                },
+                CatAttr {
+                    name: "browser",
+                    levels: &["chrome", "firefox", "safari", "edge", "other"],
+                },
+                CatAttr {
+                    name: "region",
+                    levels: &["r1", "r2", "r3", "r4", "r5"],
+                },
+                CatAttr {
+                    name: "traffic-type",
+                    levels: &["direct", "search", "ad", "referral"],
+                },
+                CatAttr {
+                    name: "visitor-type",
+                    levels: &["returning", "new", "other"],
+                },
+                CatAttr {
+                    name: "weekend",
+                    levels: &["no", "yes"],
+                },
+            ],
+            intercept: -1.4,
+        },
+        n,
+        seed,
+    )
+}
+
+/// wine-quality-like dataset: 11 numeric attributes, no categorical
+/// (Table II).
+pub fn wine(n: usize, seed: u64) -> Dataset {
+    build(
+        &UciSpec {
+            name: "wine",
+            nums: vec![
+                NumAttr {
+                    name: "fixed-acidity",
+                    lo: 38.0,
+                    hi: 159.0,
+                    skew: 1.3,
+                },
+                NumAttr {
+                    name: "volatile-acidity",
+                    lo: 8.0,
+                    hi: 158.0,
+                    skew: 1.8,
+                },
+                NumAttr {
+                    name: "citric-acid",
+                    lo: 0.0,
+                    hi: 166.0,
+                    skew: 1.2,
+                },
+                NumAttr {
+                    name: "residual-sugar",
+                    lo: 6.0,
+                    hi: 658.0,
+                    skew: 2.5,
+                },
+                NumAttr {
+                    name: "chlorides",
+                    lo: 1.0,
+                    hi: 61.0,
+                    skew: 2.5,
+                },
+                NumAttr {
+                    name: "free-so2",
+                    lo: 1.0,
+                    hi: 289.0,
+                    skew: 1.8,
+                },
+                NumAttr {
+                    name: "total-so2",
+                    lo: 6.0,
+                    hi: 440.0,
+                    skew: 1.2,
+                },
+                NumAttr {
+                    name: "density",
+                    lo: 987.0,
+                    hi: 1_039.0,
+                    skew: 1.0,
+                },
+                NumAttr {
+                    name: "ph",
+                    lo: 272.0,
+                    hi: 401.0,
+                    skew: 1.0,
+                },
+                NumAttr {
+                    name: "sulphates",
+                    lo: 22.0,
+                    hi: 200.0,
+                    skew: 1.8,
+                },
+                NumAttr {
+                    name: "alcohol",
+                    lo: 80.0,
+                    hi: 149.0,
+                    skew: 1.1,
+                },
+            ],
+            cats: vec![],
+            intercept: 0.4,
+        },
+        n,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_core::OutcomeFn;
+    use hdx_model::metrics;
+    use hdx_stats::StatAccum;
+
+    #[test]
+    fn schemas_match_table_ii() {
+        let cases: Vec<(Dataset, usize, usize)> = vec![
+            (adult(300, 0), 4, 7),
+            (bank(300, 0), 7, 8),
+            (german(300, 0), 7, 14),
+            (intentions(300, 0), 11, 6),
+            (wine(300, 0), 11, 0),
+        ];
+        for (d, n_num, n_cat) in cases {
+            assert_eq!(
+                d.frame.schema().continuous_ids().len(),
+                n_num,
+                "{}: numeric attribute count",
+                d.name
+            );
+            assert_eq!(
+                d.frame.schema().categorical_ids().len(),
+                n_cat,
+                "{}: categorical attribute count",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn forest_predictions_beat_chance() {
+        let d = adult(3_000, 1);
+        let m = metrics(d.y_true.as_ref().unwrap(), d.y_pred.as_ref().unwrap());
+        assert!(m.accuracy > 0.7, "accuracy = {}", m.accuracy);
+        // But not perfect: the noise region guarantees residual error.
+        assert!(m.accuracy < 0.999);
+    }
+
+    #[test]
+    fn noise_region_concentrates_error() {
+        let d = wine(6_000, 2);
+        let outcomes = d.classification_outcomes(OutcomeFn::ErrorRate);
+        let overall = StatAccum::from_outcomes(&outcomes).statistic().unwrap();
+        // The box lives in the 55–80% band of the first two numerics.
+        let schema = d.frame.schema();
+        let a0 = d.frame.continuous(schema.continuous_ids()[0]).values();
+        let a1 = d.frame.continuous(schema.continuous_ids()[1]).values();
+        let in_band = |v: f64, lo: f64, hi: f64| {
+            let m0 = lo + 0.55 * (hi - lo);
+            let m1 = lo + 0.80 * (hi - lo);
+            v >= m0 && v <= m1
+        };
+        let mut boxed = StatAccum::new();
+        for i in 0..d.n_rows() {
+            if in_band(a0[i], 38.0, 159.0) && in_band(a1[i], 8.0, 158.0) {
+                boxed.push(outcomes[i]);
+            }
+        }
+        assert!(
+            boxed.statistic().unwrap() > overall + 0.1,
+            "box error {:?} vs overall {overall}",
+            boxed.statistic()
+        );
+    }
+
+    #[test]
+    fn labels_not_degenerate() {
+        for d in [
+            adult(2_000, 3),
+            bank(2_000, 3),
+            german(1_000, 3),
+            intentions(2_000, 3),
+            wine(2_000, 3),
+        ] {
+            let pos = d.y_true.as_ref().unwrap().iter().filter(|&&t| t).count();
+            let frac = pos as f64 / d.n_rows() as f64;
+            assert!(
+                (0.05..0.95).contains(&frac),
+                "{}: positive rate {frac}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = german(400, 9);
+        let b = german(400, 9);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.y_pred, b.y_pred);
+    }
+}

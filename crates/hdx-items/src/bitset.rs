@@ -1,0 +1,219 @@
+//! Fixed-capacity bitset over row indices.
+//!
+//! Item covers (the sets `D_α`) and itemset supports are intersections of
+//! row sets; a word-packed bitset makes those intersections cache-friendly
+//! and branch-free.
+
+/// A fixed-length bitset over `0..len` row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Creates an all-zero bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-ones bitset of capacity `len`.
+    pub fn all_set(len: usize) -> Self {
+        let mut b = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Zeroes any bits beyond `len` in the last word.
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Capacity (number of addressable bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ∩ other` as a new bitset.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn and(&self, other: &Bitset) -> Bitset {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        Bitset {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// In-place `self &= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn and_assign(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn and_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Builds a bitset from row indices.
+    ///
+    /// # Panics
+    /// Panics when an index exceeds the capacity.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut b = Bitset::new(len);
+        for i in indices {
+            b.set(i);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count(), 3);
+        b.unset(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn all_set_respects_tail() {
+        let b = Bitset::all_set(70);
+        assert_eq!(b.count(), 70);
+        assert!(b.get(69));
+        let exact = Bitset::all_set(128);
+        assert_eq!(exact.count(), 128);
+        let empty = Bitset::all_set(0);
+        assert_eq!(empty.count(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn intersection_variants_agree() {
+        let a = Bitset::from_indices(200, [1, 5, 64, 65, 150, 199]);
+        let b = Bitset::from_indices(200, [5, 64, 150, 151]);
+        let c = a.and(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![5, 64, 150]);
+        assert_eq!(a.and_count(&b), 3);
+        let mut d = a.clone();
+        d.and_assign(&b);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let b = Bitset::from_indices(300, [299, 0, 63, 64, 128]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        Bitset::new(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_and_panics() {
+        let _ = Bitset::new(10).and(&Bitset::new(11));
+    }
+}

@@ -1,0 +1,384 @@
+//! Item hierarchies: the per-attribute refinement forests of Definition 4.1.
+
+use std::collections::HashMap;
+
+use hdx_data::AttrId;
+
+use crate::catalog::{ItemCatalog, ItemId};
+
+/// The refinement forest `(I_A, ≻_A)` for one attribute.
+///
+/// `α ≻ β` ("β refines α") is stored as parent/children links. Roots are the
+/// most general items of the attribute; leaves form a partition of the
+/// attribute's covered domain at the finest granularity.
+#[derive(Debug, Clone)]
+pub struct ItemHierarchy {
+    attr: AttrId,
+    /// All member items, in insertion order.
+    items: Vec<ItemId>,
+    parent: HashMap<ItemId, ItemId>,
+    children: HashMap<ItemId, Vec<ItemId>>,
+    roots: Vec<ItemId>,
+}
+
+impl ItemHierarchy {
+    /// Creates an empty hierarchy for `attr`.
+    pub fn new(attr: AttrId) -> Self {
+        Self {
+            attr,
+            items: Vec::new(),
+            parent: HashMap::new(),
+            children: HashMap::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// A flat hierarchy: every item is a root/leaf (non-hierarchical
+    /// attributes, e.g. plain categorical levels).
+    pub fn flat(attr: AttrId, items: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut h = Self::new(attr);
+        for i in items {
+            h.add_root(i);
+        }
+        h
+    }
+
+    /// The attribute this hierarchy refines.
+    #[inline]
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Adds a most-general item.
+    ///
+    /// # Panics
+    /// Panics if the item is already a member.
+    pub fn add_root(&mut self, item: ItemId) {
+        assert!(!self.contains(item), "item already in hierarchy");
+        self.items.push(item);
+        self.roots.push(item);
+    }
+
+    /// Adds `child` as a refinement of `parent` (`parent ≻ child`).
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a member or `child` already is.
+    pub fn add_child(&mut self, parent: ItemId, child: ItemId) {
+        assert!(self.contains(parent), "parent not in hierarchy");
+        assert!(!self.contains(child), "child already in hierarchy");
+        self.items.push(child);
+        self.parent.insert(child, parent);
+        self.children.entry(parent).or_default().push(child);
+    }
+
+    /// Whether `item` is a member.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.contains(&item)
+    }
+
+    /// All member items.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of member items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the hierarchy has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The most-general items.
+    #[inline]
+    pub fn roots(&self) -> &[ItemId] {
+        &self.roots
+    }
+
+    /// The one-step refinements of `item`.
+    pub fn children(&self, item: ItemId) -> &[ItemId] {
+        self.children.get(&item).map_or(&[], Vec::as_slice)
+    }
+
+    /// The item `item` one-step refines, if any.
+    pub fn parent(&self, item: ItemId) -> Option<ItemId> {
+        self.parent.get(&item).copied()
+    }
+
+    /// Whether `item` has no refinements.
+    pub fn is_leaf(&self, item: ItemId) -> bool {
+        self.children(item).is_empty()
+    }
+
+    /// The leaf items (finest partition), in insertion order.
+    pub fn leaves(&self) -> Vec<ItemId> {
+        self.items
+            .iter()
+            .copied()
+            .filter(|&i| self.is_leaf(i))
+            .collect()
+    }
+
+    /// The strict ancestors of `item`, nearest first.
+    pub fn ancestors(&self, item: ItemId) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut cur = item;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// `item` followed by its ancestors, nearest first (the generalized
+    /// transaction chain for one attribute value).
+    pub fn self_and_ancestors(&self, item: ItemId) -> Vec<ItemId> {
+        let mut out = vec![item];
+        out.extend(self.ancestors(item));
+        out
+    }
+
+    /// Depth of `item` (roots have depth 0).
+    pub fn depth(&self, item: ItemId) -> usize {
+        self.ancestors(item).len()
+    }
+
+    /// Whether `a` is a strict ancestor of `b`.
+    pub fn is_ancestor(&self, a: ItemId, b: ItemId) -> bool {
+        self.ancestors(b).contains(&a)
+    }
+}
+
+/// A hierarchical discretization `Γ`: one hierarchy per participating
+/// attribute, plus the shared item catalog.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchySet {
+    hierarchies: Vec<ItemHierarchy>,
+}
+
+impl HierarchySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a hierarchy.
+    ///
+    /// # Panics
+    /// Panics when the attribute already has a hierarchy.
+    pub fn push(&mut self, hierarchy: ItemHierarchy) {
+        assert!(
+            self.get(hierarchy.attr()).is_none(),
+            "attribute {} already has a hierarchy",
+            hierarchy.attr()
+        );
+        self.hierarchies.push(hierarchy);
+    }
+
+    /// The hierarchy of `attr`, if present.
+    pub fn get(&self, attr: AttrId) -> Option<&ItemHierarchy> {
+        self.hierarchies.iter().find(|h| h.attr() == attr)
+    }
+
+    /// Iterates over all hierarchies.
+    pub fn iter(&self) -> impl Iterator<Item = &ItemHierarchy> {
+        self.hierarchies.iter()
+    }
+
+    /// Number of hierarchies.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hierarchies.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hierarchies.is_empty()
+    }
+
+    /// All items across hierarchies (generalized item universe).
+    pub fn all_items(&self) -> Vec<ItemId> {
+        self.hierarchies
+            .iter()
+            .flat_map(|h| h.items().iter().copied())
+            .collect()
+    }
+
+    /// All leaf items across hierarchies (the base / non-hierarchical item
+    /// universe used by DivExplorer, Slice Finder and SliceLine).
+    pub fn leaf_items(&self) -> Vec<ItemId> {
+        self.hierarchies.iter().flat_map(|h| h.leaves()).collect()
+    }
+
+    /// Validates the partition property of Definition 4.1 against item
+    /// covers: for every non-leaf `α`, `D_α` must equal the disjoint union of
+    /// its children's covers.
+    ///
+    /// `cover` maps an item to its row bitset. Returns the offending item on
+    /// failure.
+    pub fn validate_partition(
+        &self,
+        catalog: &ItemCatalog,
+        cover: impl Fn(ItemId) -> crate::bitset::Bitset,
+    ) -> Result<(), ItemId> {
+        let _ = catalog;
+        for h in &self.hierarchies {
+            for &item in h.items() {
+                let kids = h.children(item);
+                if kids.is_empty() {
+                    continue;
+                }
+                let parent_cover = cover(item);
+                let mut union = crate::bitset::Bitset::new(parent_cover.len());
+                let mut total = 0usize;
+                for &k in kids {
+                    let kc = cover(k);
+                    total += kc.count();
+                    for row in kc.iter_ones() {
+                        union.set(row);
+                    }
+                }
+                // Disjoint union ⇔ counts add up and the union equals parent.
+                if total != parent_cover.count() || union != parent_cover {
+                    return Err(item);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::item::Item;
+
+    fn chain() -> (ItemCatalog, ItemHierarchy, Vec<ItemId>) {
+        // #prior hierarchy like Fig. 1: root split ≤3 / >3; >3 split ≤8 / >8.
+        let mut c = ItemCatalog::new();
+        let a = AttrId(0);
+        let le3 = c.intern(Item::range(a, Interval::at_most(3.0), "#prior"));
+        let gt3 = c.intern(Item::range(a, Interval::greater_than(3.0), "#prior"));
+        let le8 = c.intern(Item::range(a, Interval::new(3.0, 8.0), "#prior"));
+        let gt8 = c.intern(Item::range(a, Interval::greater_than(8.0), "#prior"));
+        let mut h = ItemHierarchy::new(a);
+        h.add_root(le3);
+        h.add_root(gt3);
+        h.add_child(gt3, le8);
+        h.add_child(gt3, gt8);
+        (c, h, vec![le3, gt3, le8, gt8])
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (_, h, ids) = chain();
+        assert_eq!(h.roots(), &[ids[0], ids[1]]);
+        assert_eq!(h.children(ids[1]), &[ids[2], ids[3]]);
+        assert!(h.is_leaf(ids[0]));
+        assert!(!h.is_leaf(ids[1]));
+        assert_eq!(h.leaves(), vec![ids[0], ids[2], ids[3]]);
+        assert_eq!(h.parent(ids[2]), Some(ids[1]));
+        assert_eq!(h.parent(ids[1]), None);
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let (_, h, ids) = chain();
+        assert_eq!(h.ancestors(ids[3]), vec![ids[1]]);
+        assert_eq!(h.ancestors(ids[1]), Vec::<ItemId>::new());
+        assert_eq!(h.self_and_ancestors(ids[3]), vec![ids[3], ids[1]]);
+        assert_eq!(h.depth(ids[0]), 0);
+        assert_eq!(h.depth(ids[3]), 1);
+        assert!(h.is_ancestor(ids[1], ids[3]));
+        assert!(!h.is_ancestor(ids[3], ids[1]));
+        assert!(!h.is_ancestor(ids[0], ids[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in hierarchy")]
+    fn duplicate_member_rejected() {
+        let (_, mut h, ids) = chain();
+        h.add_root(ids[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent not in hierarchy")]
+    fn foreign_parent_rejected() {
+        let mut c = ItemCatalog::new();
+        let a = AttrId(0);
+        let x = c.intern(Item::range(a, Interval::at_most(1.0), "x"));
+        let y = c.intern(Item::range(a, Interval::greater_than(1.0), "x"));
+        let mut h = ItemHierarchy::new(a);
+        h.add_child(x, y);
+    }
+
+    #[test]
+    fn hierarchy_set_queries() {
+        let (c, h, ids) = chain();
+        let sex = AttrId(1);
+        let f = {
+            let mut c2 = c.clone();
+            c2.intern(Item::cat_eq(sex, 0, "sex", "F"))
+        };
+        let mut set = HierarchySet::new();
+        set.push(h);
+        set.push(ItemHierarchy::flat(sex, [f]));
+        assert_eq!(set.len(), 2);
+        assert!(set.get(AttrId(0)).is_some());
+        assert!(set.get(AttrId(7)).is_none());
+        assert_eq!(set.all_items().len(), 5);
+        let leaves = set.leaf_items();
+        assert!(leaves.contains(&ids[0]) && !leaves.contains(&ids[1]));
+        assert_eq!(leaves.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a hierarchy")]
+    fn duplicate_attr_hierarchy_rejected() {
+        let (_, h, _) = chain();
+        let mut set = HierarchySet::new();
+        set.push(h.clone());
+        set.push(h);
+    }
+
+    #[test]
+    fn validate_partition_detects_violations() {
+        use crate::bitset::Bitset;
+        let (c, h, ids) = chain();
+        let mut set = HierarchySet::new();
+        set.push(h);
+        // Good covers: gt3 = {2,3}, le8 = {2}, gt8 = {3}, le3 = {0,1}.
+        let good = |i: ItemId| -> Bitset {
+            let rows: &[usize] = if i == ids[0] {
+                &[0, 1]
+            } else if i == ids[1] {
+                &[2, 3]
+            } else if i == ids[2] {
+                &[2]
+            } else {
+                &[3]
+            };
+            Bitset::from_indices(4, rows.iter().copied())
+        };
+        assert!(set.validate_partition(&c, good).is_ok());
+        // Bad: children overlap on row 2.
+        let bad = |i: ItemId| -> Bitset {
+            let rows: &[usize] = if i == ids[0] {
+                &[0, 1]
+            } else if i == ids[1] {
+                &[2, 3]
+            } else {
+                &[2]
+            };
+            Bitset::from_indices(4, rows.iter().copied())
+        };
+        assert_eq!(set.validate_partition(&c, bad), Err(ids[1]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Half-open intervals `(lo, hi]` over ℝ, the ranges of continuous items.
+//!
+//! Tree discretization always splits a node at a value `a` into `≤ a` and
+//! `> a` (paper §V-A), so every interval the pipeline produces has the form
+//! `(lo, hi]` with `lo = −∞` and/or `hi = +∞` allowed. Using one canonical
+//! form keeps partition checks exact (no floating-point boundary overlap).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The half-open interval `(lo, hi]`; `lo = -inf` and `hi = +inf` encode
+/// unbounded sides.
+#[derive(Debug, Clone, Copy)]
+pub struct Interval {
+    /// Exclusive lower bound (may be `-inf`).
+    pub lo: f64,
+    /// Inclusive upper bound (may be `+inf`).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates `(lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi` or a bound is `NaN`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
+        assert!(lo < hi, "empty interval ({lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The full real line `(−∞, +∞]`.
+    pub fn all() -> Self {
+        Self::new(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// `(−∞, hi]`.
+    pub fn at_most(hi: f64) -> Self {
+        Self::new(f64::NEG_INFINITY, hi)
+    }
+
+    /// `(lo, +∞]`.
+    pub fn greater_than(lo: f64) -> Self {
+        Self::new(lo, f64::INFINITY)
+    }
+
+    /// Whether `x` lies in `(lo, hi]`. `NaN` (null) never matches.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x > self.lo && x <= self.hi
+    }
+
+    /// Whether the lower side is unbounded.
+    #[inline]
+    pub fn unbounded_below(&self) -> bool {
+        self.lo == f64::NEG_INFINITY
+    }
+
+    /// Whether the upper side is unbounded.
+    #[inline]
+    pub fn unbounded_above(&self) -> bool {
+        self.hi == f64::INFINITY
+    }
+
+    /// Splits at `a` into `(lo, a]` and `(a, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < a < hi`.
+    pub fn split_at(&self, a: f64) -> (Interval, Interval) {
+        assert!(
+            a > self.lo && a < self.hi,
+            "split point {a} outside ({}, {}]",
+            self.lo,
+            self.hi
+        );
+        (Interval::new(self.lo, a), Interval::new(a, self.hi))
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share no points.
+    pub fn disjoint(&self, other: &Interval) -> bool {
+        self.hi <= other.lo || other.hi <= self.lo
+    }
+}
+
+impl PartialEq for Interval {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo.to_bits() == other.lo.to_bits() && self.hi.to_bits() == other.hi.to_bits()
+    }
+}
+
+impl Eq for Interval {}
+
+impl Hash for Interval {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.lo.to_bits().hash(state);
+        self.hi.to_bits().hash(state);
+    }
+}
+
+/// Formats a bound compactly: integers as-is, other values with three
+/// decimals, trailing zeros trimmed.
+fn fmt_bound(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x}")
+    } else {
+        let mut s = format!("{x:.3}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+        s
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.unbounded_below(), self.unbounded_above()) {
+            (true, true) => write!(f, "(-inf, +inf)"),
+            (true, false) => write!(f, "<={}", fmt_bound(self.hi)),
+            (false, true) => write!(f, ">{}", fmt_bound(self.lo)),
+            (false, false) => write!(f, "({}, {}]", fmt_bound(self.lo), fmt_bound(self.hi)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_half_open() {
+        let j = Interval::new(1.0, 3.0);
+        assert!(!j.contains(1.0));
+        assert!(j.contains(1.0001));
+        assert!(j.contains(3.0));
+        assert!(!j.contains(3.0001));
+        assert!(!j.contains(f64::NAN));
+    }
+
+    #[test]
+    fn unbounded_forms() {
+        assert!(Interval::all().contains(-1e300));
+        assert!(Interval::at_most(2.0).contains(-1e300));
+        assert!(Interval::at_most(2.0).contains(2.0));
+        assert!(!Interval::at_most(2.0).contains(2.1));
+        assert!(Interval::greater_than(2.0).contains(1e300));
+        assert!(!Interval::greater_than(2.0).contains(2.0));
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let j = Interval::new(0.0, 10.0);
+        let (l, r) = j.split_at(4.0);
+        // Every point of j falls in exactly one side.
+        for x in [0.5, 3.9999, 4.0, 4.0001, 10.0] {
+            assert!(j.contains(x));
+            assert_ne!(l.contains(x), r.contains(x), "x = {x}");
+        }
+        assert!(l.disjoint(&r));
+        assert!(j.covers(&l) && j.covers(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn split_outside_panics() {
+        let _ = Interval::new(0.0, 1.0).split_at(5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(2.0, 2.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::at_most(3.0).to_string(), "<=3");
+        assert_eq!(Interval::greater_than(3.0).to_string(), ">3");
+        assert_eq!(Interval::new(1.0, 2.0).to_string(), "(1, 2]");
+        // Non-integers are trimmed to at most three decimals.
+        assert_eq!(Interval::at_most(1.23456).to_string(), "<=1.235");
+        assert_eq!(Interval::new(-0.5, 1.25).to_string(), "(-0.5, 1.25]");
+        assert_eq!(Interval::greater_than(2.1000001).to_string(), ">2.1");
+    }
+
+    #[test]
+    fn eq_and_hash_via_bits() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Interval::new(1.0, 2.0));
+        set.insert(Interval::new(1.0, 2.0));
+        set.insert(Interval::greater_than(1.0));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Items: single-attribute constraints.
+
+use std::fmt;
+
+use hdx_data::AttrId;
+
+use crate::interval::Interval;
+
+/// The constraint payload of an item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `A = a` for one categorical level (dictionary code).
+    CatEq(u32),
+    /// `A ∈ {a₁, …}` — a *generalized* categorical item covering several
+    /// levels (sorted, deduplicated codes). Produced by categorical
+    /// taxonomies (§V-A, "Hierarchies for Categorical Attributes").
+    CatIn(Box<[u32]>),
+    /// `A ∈ J` for an interval `J` over a continuous attribute.
+    Range(Interval),
+}
+
+impl Predicate {
+    /// Builds a [`Predicate::CatIn`], sorting and deduplicating the codes.
+    ///
+    /// # Panics
+    /// Panics on an empty code set (an unsatisfiable item is a caller bug).
+    pub fn cat_in(mut codes: Vec<u32>) -> Self {
+        assert!(!codes.is_empty(), "CatIn requires at least one code");
+        codes.sort_unstable();
+        codes.dedup();
+        Predicate::CatIn(codes.into_boxed_slice())
+    }
+
+    /// Whether a categorical code satisfies this predicate.
+    ///
+    /// Returns `false` for range predicates (kind mismatch is a caller bug
+    /// caught by covers/tests, not a panic in the hot loop).
+    #[inline]
+    pub fn matches_code(&self, code: u32) -> bool {
+        match self {
+            Predicate::CatEq(c) => *c == code,
+            Predicate::CatIn(codes) => codes.binary_search(&code).is_ok(),
+            Predicate::Range(_) => false,
+        }
+    }
+
+    /// Whether a continuous value satisfies this predicate (`NaN` never
+    /// matches).
+    #[inline]
+    pub fn matches_value(&self, x: f64) -> bool {
+        match self {
+            Predicate::Range(j) => j.contains(x),
+            _ => false,
+        }
+    }
+}
+
+/// An item `α`: a predicate on one attribute, plus a display label.
+///
+/// The label is fixed at creation (e.g. `age<=27`, `occp=MGR`) so results can
+/// be printed without threading dictionaries through the whole pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Item {
+    attr: AttrId,
+    predicate: Predicate,
+    label: String,
+}
+
+impl Item {
+    /// Creates an item.
+    pub fn new(attr: AttrId, predicate: Predicate, label: impl Into<String>) -> Self {
+        Self {
+            attr,
+            predicate,
+            label: label.into(),
+        }
+    }
+
+    /// Convenience: categorical equality item.
+    pub fn cat_eq(attr: AttrId, code: u32, attr_name: &str, level: &str) -> Self {
+        Self::new(attr, Predicate::CatEq(code), format!("{attr_name}={level}"))
+    }
+
+    /// Convenience: generalized categorical item.
+    pub fn cat_in(attr: AttrId, codes: Vec<u32>, attr_name: &str, group: &str) -> Self {
+        Self::new(
+            attr,
+            Predicate::cat_in(codes),
+            format!("{attr_name}={group}"),
+        )
+    }
+
+    /// Convenience: continuous range item.
+    pub fn range(attr: AttrId, interval: Interval, attr_name: &str) -> Self {
+        Self::new(
+            attr,
+            Predicate::Range(interval),
+            format!("{attr_name}{interval}"),
+        )
+    }
+
+    /// The constrained attribute.
+    #[inline]
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The predicate.
+    #[inline]
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Human-readable label.
+    #[inline]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The interval of a range item, if any.
+    pub fn interval(&self) -> Option<&Interval> {
+        match &self.predicate {
+            Predicate::Range(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_eq_matching() {
+        let p = Predicate::CatEq(2);
+        assert!(p.matches_code(2));
+        assert!(!p.matches_code(3));
+        assert!(!p.matches_value(2.0));
+    }
+
+    #[test]
+    fn cat_in_sorted_and_deduped() {
+        let p = Predicate::cat_in(vec![5, 1, 3, 1]);
+        match &p {
+            Predicate::CatIn(codes) => assert_eq!(&codes[..], &[1, 3, 5]),
+            _ => unreachable!(),
+        }
+        assert!(p.matches_code(3));
+        assert!(!p.matches_code(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one code")]
+    fn empty_cat_in_panics() {
+        let _ = Predicate::cat_in(vec![]);
+    }
+
+    #[test]
+    fn range_matching() {
+        let p = Predicate::Range(Interval::greater_than(3.0));
+        assert!(p.matches_value(3.5));
+        assert!(!p.matches_value(3.0));
+        assert!(!p.matches_code(4));
+    }
+
+    #[test]
+    fn labels() {
+        let a = AttrId(0);
+        assert_eq!(Item::cat_eq(a, 1, "sex", "F").label(), "sex=F");
+        assert_eq!(
+            Item::cat_in(a, vec![1, 2], "occp", "MGR").label(),
+            "occp=MGR"
+        );
+        assert_eq!(
+            Item::range(a, Interval::at_most(27.0), "age").label(),
+            "age<=27"
+        );
+        assert_eq!(
+            Item::range(a, Interval::new(25.0, 32.0), "age").to_string(),
+            "age(25, 32]"
+        );
+    }
+
+    #[test]
+    fn equality_and_hash_respect_attr() {
+        use std::collections::HashSet;
+        let i1 = Item::cat_eq(AttrId(0), 1, "a", "x");
+        let i2 = Item::cat_eq(AttrId(1), 1, "a", "x");
+        let i3 = Item::cat_eq(AttrId(0), 1, "a", "x");
+        assert_ne!(i1, i2);
+        assert_eq!(i1, i3);
+        let set: HashSet<_> = [i1, i2, i3].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

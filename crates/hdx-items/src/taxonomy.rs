@@ -1,0 +1,267 @@
+//! Categorical taxonomies: user-defined hierarchies over attribute levels.
+//!
+//! Following §V-A ("Hierarchies for Categorical Attributes"), a categorical
+//! attribute keeps its plain `A = a` items and gains generalized items
+//! `A ∈ G` for each taxonomy group `G` (e.g. the IP-prefix items
+//! `118.114.119`, `118.114`, `118`, or the occupation super-category `MGR`).
+
+use std::collections::HashMap;
+
+use hdx_data::{AttrId, CategoricalColumn};
+
+use crate::catalog::{ItemCatalog, ItemId};
+use crate::hierarchy::ItemHierarchy;
+use crate::item::Item;
+
+/// A taxonomy over the levels of one categorical attribute.
+///
+/// Each level may declare an *ancestor path*, nearest group first (e.g. the
+/// IP `118.114.119.88` declares `["118.114.119", "118.114", "118"]`). Levels
+/// sharing a group prefix are siblings under that group. Levels without a
+/// path become hierarchy roots on their own.
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    /// level name → ancestor group names, nearest first.
+    paths: HashMap<String, Vec<String>>,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy (all levels are roots).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the ancestor path of a level, nearest group first.
+    pub fn set_path<S: Into<String>>(
+        &mut self,
+        level: impl Into<String>,
+        ancestors: impl IntoIterator<Item = S>,
+    ) -> &mut Self {
+        self.paths.insert(
+            level.into(),
+            ancestors.into_iter().map(Into::into).collect(),
+        );
+        self
+    }
+
+    /// Convenience: one-level grouping `level → group`.
+    pub fn set_group(&mut self, level: impl Into<String>, group: impl Into<String>) -> &mut Self {
+        self.set_path(level, [group.into()])
+    }
+
+    /// Builds a taxonomy where each level's groups are derived by splitting
+    /// the level name on `separator` and truncating (IP-address style):
+    /// `a.b.c` → groups `a.b`, `a`.
+    pub fn from_separator(levels: &[String], separator: char) -> Self {
+        let mut t = Self::new();
+        for level in levels {
+            let parts: Vec<&str> = level.split(separator).collect();
+            if parts.len() < 2 {
+                continue;
+            }
+            let mut ancestors = Vec::with_capacity(parts.len() - 1);
+            for take in (1..parts.len()).rev() {
+                ancestors.push(parts[..take].join(&separator.to_string()));
+            }
+            t.set_path(level.clone(), ancestors);
+        }
+        t
+    }
+
+    /// The declared ancestor path of `level` (empty when undeclared).
+    pub fn path(&self, level: &str) -> &[String] {
+        self.paths.get(level).map_or(&[], Vec::as_slice)
+    }
+
+    /// Materialises the taxonomy into items and an [`ItemHierarchy`] for
+    /// `attr`, given the attribute's column (for its dictionary).
+    ///
+    /// Every level yields a leaf `A = a` item; every group yields a
+    /// generalized `A ∈ G` item covering the codes of all levels below it.
+    ///
+    /// # Panics
+    /// Panics when two levels disagree on a shared group's ancestors (a
+    /// malformed taxonomy, e.g. `x → [G, H]` but `y → [G, K]`).
+    pub fn build(
+        &self,
+        attr: AttrId,
+        attr_name: &str,
+        column: &CategoricalColumn,
+        catalog: &mut ItemCatalog,
+    ) -> ItemHierarchy {
+        // Collect, for every group name, its member codes and its own
+        // ancestor path (derived from member paths).
+        let mut group_codes: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut group_parents: HashMap<String, Option<String>> = HashMap::new();
+        for (code, level) in column.levels().iter().enumerate() {
+            let path = self.path(level);
+            for (i, group) in path.iter().enumerate() {
+                group_codes
+                    .entry(group.clone())
+                    .or_default()
+                    .push(code as u32);
+                let parent = path.get(i + 1).cloned();
+                match group_parents.get(group) {
+                    None => {
+                        group_parents.insert(group.clone(), parent);
+                    }
+                    Some(existing) => assert_eq!(
+                        existing, &parent,
+                        "taxonomy group `{group}` has inconsistent ancestors"
+                    ),
+                }
+            }
+        }
+
+        let mut hierarchy = ItemHierarchy::new(attr);
+        // Intern group items top-down so parents exist before children.
+        let mut group_ids: HashMap<String, ItemId> = HashMap::new();
+        let mut pending: Vec<String> = group_codes.keys().cloned().collect();
+        pending.sort(); // deterministic order
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|group| {
+                let parent = group_parents[group].clone();
+                match parent {
+                    None => {
+                        let id = catalog.intern(Item::cat_in(
+                            attr,
+                            group_codes[group].clone(),
+                            attr_name,
+                            group,
+                        ));
+                        hierarchy.add_root(id);
+                        group_ids.insert(group.clone(), id);
+                        false
+                    }
+                    Some(p) => {
+                        if let Some(&pid) = group_ids.get(&p) {
+                            let id = catalog.intern(Item::cat_in(
+                                attr,
+                                group_codes[group].clone(),
+                                attr_name,
+                                group,
+                            ));
+                            hierarchy.add_child(pid, id);
+                            group_ids.insert(group.clone(), id);
+                            false
+                        } else {
+                            true // parent not built yet, retry next round
+                        }
+                    }
+                }
+            });
+            assert!(
+                pending.len() < before,
+                "taxonomy contains a group cycle: {pending:?}"
+            );
+        }
+
+        // Leaves: one CatEq item per level, attached under its nearest group
+        // (or as a root when ungrouped).
+        for (code, level) in column.levels().iter().enumerate() {
+            let id = catalog.intern(Item::cat_eq(attr, code as u32, attr_name, level));
+            match self.path(level).first() {
+                Some(group) => hierarchy.add_child(group_ids[group], id),
+                None => hierarchy.add_root(id),
+            }
+        }
+        hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Predicate;
+
+    fn occupation_column() -> CategoricalColumn {
+        CategoricalColumn::from_values([
+            "MGR-Sales",
+            "MGR-Financial",
+            "MED-Dentists",
+            "Unemployed",
+            "MGR-Sales",
+        ])
+    }
+
+    #[test]
+    fn one_level_grouping() {
+        let col = occupation_column();
+        let mut tax = Taxonomy::new();
+        tax.set_group("MGR-Sales", "MGR")
+            .set_group("MGR-Financial", "MGR")
+            .set_group("MED-Dentists", "MED");
+        let mut catalog = ItemCatalog::new();
+        let h = tax.build(AttrId(0), "occp", &col, &mut catalog);
+
+        // Groups MGR, MED are roots; Unemployed is an ungrouped root leaf.
+        assert_eq!(h.roots().len(), 3);
+        let mgr = catalog.find_by_label("occp=MGR").unwrap();
+        assert_eq!(h.children(mgr).len(), 2);
+        let sales = catalog.find_by_label("occp=MGR-Sales").unwrap();
+        assert_eq!(h.parent(sales), Some(mgr));
+        assert!(h.is_leaf(sales));
+
+        // The MGR item covers both MGR level codes.
+        match catalog.item(mgr).predicate() {
+            Predicate::CatIn(codes) => {
+                let sales_code = col.code_of("MGR-Sales").unwrap();
+                let fin_code = col.code_of("MGR-Financial").unwrap();
+                let mut expected = [sales_code, fin_code];
+                expected.sort_unstable();
+                assert_eq!(&codes[..], &expected[..]);
+            }
+            _ => panic!("group item should be CatIn"),
+        }
+    }
+
+    #[test]
+    fn separator_taxonomy_ip_style() {
+        let levels: Vec<String> = vec![
+            "118.114.119".into(),
+            "118.114.200".into(),
+            "118.115.1".into(),
+            "7.7.7".into(),
+        ];
+        let tax = Taxonomy::from_separator(&levels, '.');
+        assert_eq!(
+            tax.path("118.114.119"),
+            &["118.114".to_string(), "118".into()]
+        );
+        let col = CategoricalColumn::from_values(levels.iter().map(String::as_str));
+        let mut catalog = ItemCatalog::new();
+        let h = tax.build(AttrId(0), "ip", &col, &mut catalog);
+        let top = catalog.find_by_label("ip=118").unwrap();
+        let mid = catalog.find_by_label("ip=118.114").unwrap();
+        let leaf = catalog.find_by_label("ip=118.114.119").unwrap();
+        assert!(h.roots().contains(&top));
+        assert_eq!(h.parent(mid), Some(top));
+        assert_eq!(h.parent(leaf), Some(mid));
+        assert_eq!(h.depth(leaf), 2);
+        // Two mid groups under 118.
+        assert_eq!(h.children(top).len(), 2);
+    }
+
+    #[test]
+    fn empty_taxonomy_gives_flat_hierarchy() {
+        let col = occupation_column();
+        let tax = Taxonomy::new();
+        let mut catalog = ItemCatalog::new();
+        let h = tax.build(AttrId(0), "occp", &col, &mut catalog);
+        assert_eq!(h.roots().len(), col.n_levels());
+        assert_eq!(h.leaves().len(), col.n_levels());
+        assert!(h.items().iter().all(|&i| h.is_leaf(i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent ancestors")]
+    fn inconsistent_group_parents_rejected() {
+        let col = CategoricalColumn::from_values(["a", "b"]);
+        let mut tax = Taxonomy::new();
+        tax.set_path("a", ["G", "H"]);
+        tax.set_path("b", ["G", "K"]);
+        let mut catalog = ItemCatalog::new();
+        let _ = tax.build(AttrId(0), "x", &col, &mut catalog);
+    }
+}

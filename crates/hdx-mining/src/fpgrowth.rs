@@ -1,0 +1,343 @@
+//! FP-Growth (Han–Pei–Yin) with per-node statistic accumulation, extended to
+//! generalized transactions in the style of FP-tax.
+//!
+//! Each FP-tree node accumulates the [`StatAccum`] of every transaction
+//! routed through it, so conditional pattern bases propagate full statistics
+//! exactly like counts. Generalized transactions put an item *and its
+//! ancestors* on the same path; the per-attribute filter applied when
+//! extracting conditional bases keeps ancestor/descendant (and any
+//! same-attribute) pairs out of mined itemsets.
+
+use std::collections::{HashMap, HashSet};
+
+use hdx_data::AttrId;
+use hdx_items::{ItemCatalog, ItemId, Itemset};
+use hdx_stats::StatAccum;
+
+use crate::result::{FrequentItemset, MiningResult};
+use crate::transactions::Transactions;
+use crate::MiningConfig;
+
+struct FpNode {
+    item: ItemId,
+    parent: usize,
+    accum: StatAccum,
+    children: Vec<(ItemId, usize)>,
+}
+
+struct FpTree {
+    /// Arena; index 0 is the root (dummy item).
+    nodes: Vec<FpNode>,
+    /// Frequent items in descending (count, then ascending id) order, each
+    /// with the indices of its nodes.
+    header: Vec<(ItemId, Vec<usize>)>,
+}
+
+impl FpTree {
+    /// Builds a tree from weighted paths, keeping only items whose summed
+    /// count reaches `min_count`.
+    fn build(paths: &[(Vec<ItemId>, StatAccum)], min_count: u64) -> FpTree {
+        // Pass 1: item frequencies.
+        let mut freq: HashMap<ItemId, u64> = HashMap::new();
+        for (items, accum) in paths {
+            for &item in items {
+                *freq.entry(item).or_insert(0) += accum.count();
+            }
+        }
+        let mut order: Vec<(ItemId, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<ItemId, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(r, &(item, _))| (item, r))
+            .collect();
+
+        let mut tree = FpTree {
+            nodes: vec![FpNode {
+                item: ItemId(u32::MAX),
+                parent: 0,
+                accum: StatAccum::new(),
+                children: Vec::new(),
+            }],
+            header: order.iter().map(|&(item, _)| (item, Vec::new())).collect(),
+        };
+
+        // Pass 2: insert paths.
+        let mut sorted_items: Vec<ItemId> = Vec::new();
+        for (items, accum) in paths {
+            sorted_items.clear();
+            sorted_items.extend(items.iter().copied().filter(|i| rank.contains_key(i)));
+            sorted_items.sort_by_key(|i| rank[i]);
+            let mut cur = 0usize;
+            for &item in &sorted_items {
+                let next = match tree.nodes[cur].children.iter().find(|&&(ci, _)| ci == item) {
+                    Some(&(_, idx)) => idx,
+                    None => {
+                        let idx = tree.nodes.len();
+                        tree.nodes.push(FpNode {
+                            item,
+                            parent: cur,
+                            accum: StatAccum::new(),
+                            children: Vec::new(),
+                        });
+                        tree.nodes[cur].children.push((item, idx));
+                        tree.header[rank[&item]].1.push(idx);
+                        idx
+                    }
+                };
+                tree.nodes[next].accum.merge(accum);
+                cur = next;
+            }
+        }
+        tree
+    }
+
+    fn is_empty(&self) -> bool {
+        self.header.is_empty()
+    }
+
+    /// The path of items from `node`'s parent up to (excluding) the root.
+    fn prefix_path(&self, node: usize) -> Vec<ItemId> {
+        let mut path = Vec::new();
+        let mut cur = self.nodes[node].parent;
+        while cur != 0 {
+            path.push(self.nodes[cur].item);
+            cur = self.nodes[cur].parent;
+        }
+        path
+    }
+}
+
+/// Mines all frequent itemsets via FP-Growth.
+pub fn fpgrowth(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+) -> MiningResult {
+    let n = transactions.n_rows();
+    let min_count = config.min_count(n);
+
+    let paths: Vec<(Vec<ItemId>, StatAccum)> = (0..n)
+        .map(|row| {
+            let mut acc = StatAccum::new();
+            acc.push(transactions.outcome(row));
+            (transactions.items(row).to_vec(), acc)
+        })
+        .collect();
+    let tree = FpTree::build(&paths, min_count);
+
+    let mut out = Vec::new();
+    let mut suffix: Vec<ItemId> = Vec::new();
+    let mut suffix_attrs: HashSet<AttrId> = HashSet::new();
+    mine_tree(
+        &tree,
+        catalog,
+        min_count,
+        config.max_len,
+        &mut suffix,
+        &mut suffix_attrs,
+        &mut out,
+    );
+
+    MiningResult {
+        itemsets: out,
+        n_rows: n,
+        global: transactions.global_accum(),
+    }
+}
+
+fn mine_tree(
+    tree: &FpTree,
+    catalog: &ItemCatalog,
+    min_count: u64,
+    max_len: Option<usize>,
+    suffix: &mut Vec<ItemId>,
+    suffix_attrs: &mut HashSet<AttrId>,
+    out: &mut Vec<FrequentItemset>,
+) {
+    // Least-frequent first (classic bottom-up header traversal).
+    for (item, node_indices) in tree.header.iter().rev() {
+        let attr = catalog.attr_of(*item);
+        debug_assert!(
+            !suffix_attrs.contains(&attr),
+            "conditional base filtering must exclude suffix attributes"
+        );
+        let mut accum = StatAccum::new();
+        for &idx in node_indices {
+            accum.merge(&tree.nodes[idx].accum);
+        }
+        if accum.count() < min_count {
+            continue;
+        }
+        let mut itemset_items: Vec<ItemId> = suffix.clone();
+        itemset_items.push(*item);
+        itemset_items.sort_unstable();
+        out.push(FrequentItemset {
+            itemset: Itemset::from_sorted_unchecked(itemset_items),
+            accum,
+        });
+
+        if max_len.is_some_and(|m| suffix.len() + 1 >= m) {
+            continue;
+        }
+
+        // Conditional pattern base, filtered by attribute.
+        let mut paths: Vec<(Vec<ItemId>, StatAccum)> = Vec::new();
+        for &idx in node_indices {
+            let mut path = tree.prefix_path(idx);
+            path.retain(|&p| {
+                let pa = catalog.attr_of(p);
+                pa != attr && !suffix_attrs.contains(&pa)
+            });
+            if !path.is_empty() {
+                paths.push((path, tree.nodes[idx].accum));
+            }
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let cond = FpTree::build(&paths, min_count);
+        if cond.is_empty() {
+            continue;
+        }
+        suffix.push(*item);
+        suffix_attrs.insert(attr);
+        mine_tree(
+            &cond,
+            catalog,
+            min_count,
+            max_len,
+            suffix,
+            suffix_attrs,
+            out,
+        );
+        suffix.pop();
+        suffix_attrs.remove(&attr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_stats::Outcome;
+
+    use hdx_items::Item;
+
+    fn catalog3() -> (ItemCatalog, Vec<ItemId>) {
+        let mut c = ItemCatalog::new();
+        let ids = vec![
+            c.intern(Item::cat_eq(AttrId(0), 0, "a", "0")),
+            c.intern(Item::cat_eq(AttrId(1), 0, "b", "0")),
+            c.intern(Item::cat_eq(AttrId(2), 0, "c", "0")),
+        ];
+        (c, ids)
+    }
+
+    #[test]
+    fn matches_hand_computed_counts() {
+        let (catalog, ids) = catalog3();
+        let rows = vec![
+            vec![ids[0], ids[1], ids[2]],
+            vec![ids[0], ids[1]],
+            vec![ids[0], ids[2]],
+            vec![ids[1], ids[2]],
+            vec![ids[0]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 5]);
+        let r = fpgrowth(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.4,
+                ..MiningConfig::default()
+            },
+        );
+        // min_count = 2. Counts: a=4, b=3, c=3, ab=2, ac=2, bc=2, abc=1.
+        let count = |items: &[ItemId]| {
+            r.find(&Itemset::from_sorted_unchecked(items.to_vec()))
+                .map(|fi| fi.accum.count())
+        };
+        assert_eq!(count(&[ids[0]]), Some(4));
+        assert_eq!(count(&[ids[1]]), Some(3));
+        assert_eq!(count(&[ids[0], ids[1]]), Some(2));
+        assert_eq!(count(&[ids[1], ids[2]]), Some(2));
+        assert_eq!(count(&ids), None, "abc has support 1 < 2");
+        assert_eq!(r.itemsets.len(), 6);
+    }
+
+    #[test]
+    fn statistics_propagate_through_conditional_trees() {
+        let (catalog, ids) = catalog3();
+        let rows = vec![
+            vec![ids[0], ids[1]],
+            vec![ids[0], ids[1]],
+            vec![ids[0]],
+            vec![ids[1]],
+        ];
+        let outcomes = vec![
+            Outcome::Real(1.0),
+            Outcome::Real(3.0),
+            Outcome::Real(100.0),
+            Outcome::Undefined,
+        ];
+        let t = Transactions::from_rows(rows, outcomes);
+        let r = fpgrowth(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.25,
+                ..MiningConfig::default()
+            },
+        );
+        let ab = r
+            .find(&Itemset::from_sorted_unchecked(vec![ids[0], ids[1]]))
+            .unwrap();
+        assert_eq!(ab.accum.count(), 2);
+        assert_eq!(ab.accum.statistic(), Some(2.0));
+        let b = r.find(&Itemset::singleton(ids[1])).unwrap();
+        assert_eq!(b.accum.count(), 3);
+        assert_eq!(b.accum.valid_count(), 2);
+    }
+
+    #[test]
+    fn ancestor_descendant_pairs_excluded() {
+        // Same-attribute items on one path (generalized transactions).
+        let mut c = ItemCatalog::new();
+        let parent = c.intern(Item::cat_eq(AttrId(0), 0, "x", "coarse"));
+        let child = c.intern(Item::cat_eq(AttrId(0), 1, "x", "fine"));
+        let other = c.intern(Item::cat_eq(AttrId(1), 0, "y", "v"));
+        let rows = vec![vec![parent, child, other]; 3];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(false); 3]);
+        let r = fpgrowth(
+            &t,
+            &c,
+            &MiningConfig {
+                min_support: 0.5,
+                ..MiningConfig::default()
+            },
+        );
+        assert!(r
+            .find(&Itemset::from_sorted_unchecked(vec![parent, child]))
+            .is_none());
+        assert!(r
+            .find(&Itemset::from_sorted_unchecked(vec![parent, other]))
+            .is_some());
+        assert!(r
+            .find(&Itemset::from_sorted_unchecked(vec![child, other]))
+            .is_some());
+        // Each frequent itemset has distinct attributes.
+        for fi in &r.itemsets {
+            let attrs: HashSet<AttrId> = fi.itemset.items().iter().map(|&i| c.attr_of(i)).collect();
+            assert_eq!(attrs.len(), fi.itemset.len());
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let (catalog, _) = catalog3();
+        let t = Transactions::from_rows(vec![], vec![]);
+        let r = fpgrowth(&t, &catalog, &MiningConfig::default());
+        assert!(r.itemsets.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Transaction encoding: rows → sorted item-id lists (+ outcome payloads).
+
+use std::collections::{HashMap, HashSet};
+
+use hdx_data::{AttributeKind, DataFrame, NULL_CODE};
+use hdx_items::{HierarchySet, ItemCatalog, ItemId, Predicate};
+use hdx_stats::{Outcome, StatAccum};
+
+/// An encoded transaction database: per row, the sorted ids of the items the
+/// row satisfies, plus the row's outcome.
+///
+/// *Base* encoding uses only hierarchy leaves (one item per attribute, the
+/// classic DivExplorer / Slice Finder / SliceLine setting). *Generalized*
+/// encoding adds every ancestor of the matching leaf (Srikant–Agrawal
+/// extended transactions), enabling generalized itemset mining.
+#[derive(Debug, Clone)]
+pub struct Transactions {
+    rows: Vec<Vec<ItemId>>,
+    outcomes: Vec<Outcome>,
+}
+
+impl Transactions {
+    /// Encodes with leaf items only.
+    pub fn encode_base(
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+    ) -> Self {
+        Self::encode(df, catalog, hierarchies, outcomes, false)
+    }
+
+    /// Encodes with leaf items plus all their hierarchy ancestors.
+    pub fn encode_generalized(
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+    ) -> Self {
+        Self::encode(df, catalog, hierarchies, outcomes, true)
+    }
+
+    fn encode(
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+        generalized: bool,
+    ) -> Self {
+        assert_eq!(outcomes.len(), df.n_rows(), "outcomes not parallel to rows");
+        let n = df.n_rows();
+        let mut rows: Vec<Vec<ItemId>> = vec![Vec::new(); n];
+
+        for hierarchy in hierarchies.iter() {
+            let attr = hierarchy.attr();
+            // Chain of items to add per matching leaf.
+            let chain: HashMap<ItemId, Vec<ItemId>> = hierarchy
+                .leaves()
+                .into_iter()
+                .map(|leaf| {
+                    let items = if generalized {
+                        hierarchy.self_and_ancestors(leaf)
+                    } else {
+                        vec![leaf]
+                    };
+                    (leaf, items)
+                })
+                .collect();
+
+            match df.schema().kind(attr) {
+                AttributeKind::Categorical => {
+                    // code → leaf lookup.
+                    let mut by_code: HashMap<u32, ItemId> = HashMap::new();
+                    for leaf in hierarchy.leaves() {
+                        if let Predicate::CatEq(code) = catalog.item(leaf).predicate() {
+                            by_code.insert(*code, leaf);
+                        }
+                    }
+                    let codes = df.categorical(attr).codes();
+                    for (row, &code) in codes.iter().enumerate() {
+                        if code == NULL_CODE {
+                            continue;
+                        }
+                        if let Some(leaf) = by_code.get(&code) {
+                            rows[row].extend_from_slice(&chain[leaf]);
+                        }
+                    }
+                }
+                AttributeKind::Continuous => {
+                    // Leaves are disjoint (lo, hi] intervals; sort by hi and
+                    // binary-search each value.
+                    let mut leaves: Vec<(f64, f64, ItemId)> = hierarchy
+                        .leaves()
+                        .into_iter()
+                        .filter_map(|leaf| {
+                            catalog.item(leaf).interval().map(|j| (j.lo, j.hi, leaf))
+                        })
+                        .collect();
+                    leaves.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite his"));
+                    let values = df.continuous(attr).values();
+                    for (row, &v) in values.iter().enumerate() {
+                        if v.is_nan() {
+                            continue;
+                        }
+                        // First leaf with hi >= v.
+                        let pos = leaves.partition_point(|&(_, hi, _)| hi < v);
+                        if let Some(&(lo, hi, leaf)) = leaves.get(pos) {
+                            if v > lo && v <= hi {
+                                rows[row].extend_from_slice(&chain[&leaf]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for items in &mut rows {
+            items.sort_unstable();
+            items.dedup();
+        }
+        Self {
+            rows,
+            outcomes: outcomes.to_vec(),
+        }
+    }
+
+    /// Builds transactions directly from item lists (tests, ablations).
+    ///
+    /// # Panics
+    /// Panics when rows and outcomes lengths differ.
+    pub fn from_rows(rows: Vec<Vec<ItemId>>, outcomes: Vec<Outcome>) -> Self {
+        assert_eq!(rows.len(), outcomes.len(), "rows/outcomes length mismatch");
+        let mut rows = rows;
+        for items in &mut rows {
+            items.sort_unstable();
+            items.dedup();
+        }
+        Self { rows, outcomes }
+    }
+
+    /// Number of transactions (dataset rows).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The item list of row `row` (sorted, unique).
+    #[inline]
+    pub fn items(&self, row: usize) -> &[ItemId] {
+        &self.rows[row]
+    }
+
+    /// The outcome of row `row`.
+    #[inline]
+    pub fn outcome(&self, row: usize) -> Outcome {
+        self.outcomes[row]
+    }
+
+    /// All outcomes.
+    #[inline]
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// Statistic accumulator over the whole database (the global `f(D)`).
+    pub fn global_accum(&self) -> StatAccum {
+        StatAccum::from_outcomes(&self.outcomes)
+    }
+
+    /// Per-item statistics over the database: for each distinct item, the
+    /// accumulator of the rows containing it (the single-item "L1" pass used
+    /// by polarity pruning, §V-C).
+    pub fn item_stats(&self) -> Vec<(ItemId, StatAccum)> {
+        let mut map: HashMap<ItemId, StatAccum> = HashMap::new();
+        for (row, items) in self.rows.iter().enumerate() {
+            let outcome = self.outcomes[row];
+            for &item in items {
+                map.entry(item).or_default().push(outcome);
+            }
+        }
+        let mut v: Vec<(ItemId, StatAccum)> = map.into_iter().collect();
+        v.sort_by_key(|&(i, _)| i);
+        v
+    }
+
+    /// The distinct items appearing in any transaction, ascending.
+    pub fn distinct_items(&self) -> Vec<ItemId> {
+        let mut set: HashSet<ItemId> = HashSet::new();
+        for row in &self.rows {
+            set.extend(row.iter().copied());
+        }
+        let mut v: Vec<ItemId> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A copy keeping only the items in `allowed` (used by polarity
+    /// pruning).
+    pub fn restrict(&self, allowed: &HashSet<ItemId>) -> Self {
+        Self {
+            rows: self
+                .rows
+                .iter()
+                .map(|items| {
+                    items
+                        .iter()
+                        .copied()
+                        .filter(|i| allowed.contains(i))
+                        .collect()
+                })
+                .collect(),
+            outcomes: self.outcomes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::{DataFrameBuilder, Value};
+    use hdx_items::{Interval, Item, ItemHierarchy};
+
+    fn setup() -> (DataFrame, ItemCatalog, HierarchySet, Vec<Outcome>) {
+        let mut b = DataFrameBuilder::new();
+        let x = b.add_continuous("x").unwrap();
+        let s = b.add_categorical("s").unwrap();
+        for (v, lvl) in [
+            (Some(10.0), Some("a")),
+            (Some(30.0), Some("b")),
+            (Some(60.0), Some("a")),
+            (None, Some("b")),
+            (Some(90.0), None),
+        ] {
+            b.push_row(vec![
+                v.map_or(Value::Null, Value::Num),
+                lvl.map_or(Value::Null, |l| Value::Cat(l.into())),
+            ])
+            .unwrap();
+        }
+        let df = b.finish();
+        let mut catalog = ItemCatalog::new();
+        let mut hx = ItemHierarchy::new(x);
+        let le50 = catalog.intern(Item::range(x, Interval::at_most(50.0), "x"));
+        let gt50 = catalog.intern(Item::range(x, Interval::greater_than(50.0), "x"));
+        let le20 = catalog.intern(Item::range(x, Interval::at_most(20.0), "x"));
+        let m2050 = catalog.intern(Item::range(x, Interval::new(20.0, 50.0), "x"));
+        hx.add_root(le50);
+        hx.add_root(gt50);
+        hx.add_child(le50, le20);
+        hx.add_child(le50, m2050);
+        let col = df.categorical(s).clone();
+        let cat_items: Vec<ItemId> = (0..col.n_levels() as u32)
+            .map(|c| catalog.intern(Item::cat_eq(s, c, "s", col.level(c))))
+            .collect();
+        let mut hs = HierarchySet::new();
+        hs.push(hx);
+        hs.push(ItemHierarchy::flat(s, cat_items));
+        let outcomes = vec![
+            Outcome::Bool(true),
+            Outcome::Bool(false),
+            Outcome::Undefined,
+            Outcome::Bool(true),
+            Outcome::Bool(false),
+        ];
+        (df, catalog, hs, outcomes)
+    }
+
+    #[test]
+    fn base_encoding_one_item_per_attr() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_base(&df, &catalog, &hs, &outcomes);
+        assert_eq!(t.n_rows(), 5);
+        // Row 0: x=10 → leaf x<=20; s=a.
+        let labels: Vec<&str> = t.items(0).iter().map(|&i| catalog.label(i)).collect();
+        assert!(labels.contains(&"x<=20"));
+        assert!(labels.contains(&"s=a"));
+        assert_eq!(labels.len(), 2);
+        // Row 2: x=60 → leaf x>50 (an unrefined root is its own leaf).
+        let labels2: Vec<&str> = t.items(2).iter().map(|&i| catalog.label(i)).collect();
+        assert!(labels2.contains(&"x>50"));
+        // Row 3: null x → only categorical item.
+        assert_eq!(t.items(3).len(), 1);
+        // Row 4: null s → only continuous item.
+        let labels4: Vec<&str> = t.items(4).iter().map(|&i| catalog.label(i)).collect();
+        assert_eq!(labels4, vec!["x>50"]);
+    }
+
+    #[test]
+    fn generalized_encoding_adds_ancestors() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_generalized(&df, &catalog, &hs, &outcomes);
+        // Row 0: x=10 → x<=20 and its ancestor x<=50.
+        let labels: Vec<&str> = t.items(0).iter().map(|&i| catalog.label(i)).collect();
+        assert!(labels.contains(&"x<=20"));
+        assert!(labels.contains(&"x<=50"));
+        assert!(labels.contains(&"s=a"));
+        assert_eq!(labels.len(), 3);
+        // Items are sorted and unique.
+        let ids = t.items(0);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn global_accum_covers_all_rows() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_base(&df, &catalog, &hs, &outcomes);
+        let g = t.global_accum();
+        assert_eq!(g.count(), 5);
+        assert_eq!(g.valid_count(), 4);
+        assert_eq!(g.statistic(), Some(0.5));
+    }
+
+    #[test]
+    fn restrict_drops_items() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_generalized(&df, &catalog, &hs, &outcomes);
+        let keep: HashSet<ItemId> = catalog
+            .ids()
+            .filter(|&i| catalog.label(i).starts_with("s="))
+            .collect();
+        let r = t.restrict(&keep);
+        assert_eq!(r.n_rows(), t.n_rows());
+        for row in 0..r.n_rows() {
+            assert!(r
+                .items(row)
+                .iter()
+                .all(|&i| catalog.label(i).starts_with("s=")));
+        }
+        assert_eq!(r.outcomes(), t.outcomes());
+    }
+
+    #[test]
+    fn item_stats_match_manual_count() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_base(&df, &catalog, &hs, &outcomes);
+        let stats = t.item_stats();
+        // s=a appears in rows 0 and 2 → outcomes Bool(true), Undefined.
+        let sa = catalog.find_by_label("s=a").unwrap();
+        let (_, acc) = stats.iter().find(|&&(i, _)| i == sa).unwrap();
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.valid_count(), 1);
+        assert_eq!(acc.statistic(), Some(1.0));
+        // Sorted by item id.
+        assert!(stats.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn distinct_items_sorted() {
+        let (df, catalog, hs, outcomes) = setup();
+        let t = Transactions::encode_generalized(&df, &catalog, &hs, &outcomes);
+        let d = t.distinct_items();
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        // x(20,50] appears (row 1), all others too except none missing.
+        assert!(d.len() >= 5);
+    }
+
+    #[test]
+    fn from_rows_normalises() {
+        let rows = vec![vec![ItemId(3), ItemId(1), ItemId(3)]];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true)]);
+        assert_eq!(t.items(0), &[ItemId(1), ItemId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_rows_checks_lengths() {
+        let _ = Transactions::from_rows(vec![vec![]], vec![]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Depth-first vertical miner (Eclat-style) with bitset tidsets.
+//!
+//! Enumerates frequent itemsets by extending a prefix with items of strictly
+//! larger id and distinct attribute; each extension intersects the prefix's
+//! cover with the item's cover. Simple, exact and fast on dense data — used
+//! both as the default algorithm and as the oracle the other miners are
+//! tested against.
+
+use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
+use hdx_stats::{Outcome, StatAccum};
+
+use crate::result::{FrequentItemset, MiningResult};
+use crate::transactions::Transactions;
+use crate::MiningConfig;
+
+/// Folds the outcomes of the rows in `cover` into a [`StatAccum`].
+pub(crate) fn accum_over(cover: &Bitset, outcomes: &[Outcome]) -> StatAccum {
+    let mut acc = StatAccum::new();
+    for row in cover.iter_ones() {
+        acc.push(outcomes[row]);
+    }
+    acc
+}
+
+/// Builds the per-item cover bitsets of a transaction database.
+pub(crate) fn item_covers(transactions: &Transactions) -> Vec<(ItemId, Bitset)> {
+    let n = transactions.n_rows();
+    let items = transactions.distinct_items();
+    let index: std::collections::HashMap<ItemId, usize> =
+        items.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+    let mut covers: Vec<Bitset> = items.iter().map(|_| Bitset::new(n)).collect();
+    for row in 0..n {
+        for &item in transactions.items(row) {
+            covers[index[&item]].set(row);
+        }
+    }
+    items.into_iter().zip(covers).collect()
+}
+
+/// Mines all frequent itemsets via depth-first vertical search.
+pub fn vertical(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+) -> MiningResult {
+    let n = transactions.n_rows();
+    let min_count = config.min_count(n);
+    let outcomes = transactions.outcomes();
+
+    // Frequent single items with their covers, ascending id order.
+    let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
+        .into_iter()
+        .filter(|(_, c)| c.count() as u64 >= min_count)
+        .collect();
+
+    let mut out: Vec<FrequentItemset> = Vec::new();
+    let mut prefix_items: Vec<ItemId> = Vec::new();
+
+    // Depth-first extension. `start` indexes into `frequent`.
+    #[allow(clippy::too_many_arguments)] // recursion context, not an API
+    fn dfs(
+        frequent: &[(ItemId, Bitset)],
+        catalog: &ItemCatalog,
+        outcomes: &[Outcome],
+        min_count: u64,
+        max_len: Option<usize>,
+        prefix_items: &mut Vec<ItemId>,
+        prefix_cover: Option<&Bitset>,
+        start: usize,
+        out: &mut Vec<FrequentItemset>,
+    ) {
+        for idx in start..frequent.len() {
+            let (item, cover) = &frequent[idx];
+            let attr = catalog.attr_of(*item);
+            if prefix_items.iter().any(|&p| catalog.attr_of(p) == attr) {
+                continue;
+            }
+            let joint = match prefix_cover {
+                None => cover.clone(),
+                Some(pc) => pc.and(cover),
+            };
+            if (joint.count() as u64) < min_count {
+                continue;
+            }
+            prefix_items.push(*item);
+            out.push(FrequentItemset {
+                itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+                accum: accum_over(&joint, outcomes),
+            });
+            if max_len.is_none_or(|m| prefix_items.len() < m) {
+                dfs(
+                    frequent,
+                    catalog,
+                    outcomes,
+                    min_count,
+                    max_len,
+                    prefix_items,
+                    Some(&joint),
+                    idx + 1,
+                    out,
+                );
+            }
+            prefix_items.pop();
+        }
+    }
+
+    dfs(
+        &frequent,
+        catalog,
+        outcomes,
+        min_count,
+        config.max_len,
+        &mut prefix_items,
+        None,
+        0,
+        &mut out,
+    );
+
+    MiningResult {
+        itemsets: out,
+        n_rows: n,
+        global: transactions.global_accum(),
+    }
+}
+
+/// Parallel variant of [`vertical`]: the depth-first subtrees rooted at each
+/// frequent single item are independent, so they are distributed over
+/// `available_parallelism` worker threads (std scoped threads — no extra
+/// dependencies). Produces the same itemset multiset as [`vertical`], in a
+/// different order.
+pub fn vertical_parallel(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+) -> MiningResult {
+    let n = transactions.n_rows();
+    let min_count = config.min_count(n);
+    let outcomes = transactions.outcomes();
+
+    let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
+        .into_iter()
+        .filter(|(_, c)| c.count() as u64 >= min_count)
+        .collect();
+
+    let n_workers = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(frequent.len().max(1));
+
+    let mut out: Vec<FrequentItemset> = Vec::new();
+    std::thread::scope(|scope| {
+        let frequent = &frequent;
+        let handles: Vec<_> = (0..n_workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut local: Vec<FrequentItemset> = Vec::new();
+                    let mut prefix: Vec<ItemId> = Vec::new();
+                    // Strided assignment of first-level subtrees balances
+                    // the skewed subtree sizes (early items have the largest
+                    // extension sets).
+                    for idx in (worker..frequent.len()).step_by(n_workers) {
+                        let (item, cover) = &frequent[idx];
+                        prefix.push(*item);
+                        local.push(FrequentItemset {
+                            itemset: Itemset::singleton(*item),
+                            accum: accum_over(cover, outcomes),
+                        });
+                        if config.max_len.is_none_or(|m| m > 1) {
+                            dfs_worker(
+                                frequent,
+                                catalog,
+                                outcomes,
+                                min_count,
+                                config.max_len,
+                                &mut prefix,
+                                cover,
+                                idx + 1,
+                                &mut local,
+                            );
+                        }
+                        prefix.pop();
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("mining worker panicked"));
+        }
+    });
+
+    MiningResult {
+        itemsets: out,
+        n_rows: n,
+        global: transactions.global_accum(),
+    }
+}
+
+/// DFS body shared by the parallel workers (same recursion as [`vertical`]'s
+/// inner `dfs`, with a mandatory prefix cover).
+#[allow(clippy::too_many_arguments)] // recursion context, not an API
+fn dfs_worker(
+    frequent: &[(ItemId, Bitset)],
+    catalog: &ItemCatalog,
+    outcomes: &[Outcome],
+    min_count: u64,
+    max_len: Option<usize>,
+    prefix_items: &mut Vec<ItemId>,
+    prefix_cover: &Bitset,
+    start: usize,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for idx in start..frequent.len() {
+        let (item, cover) = &frequent[idx];
+        let attr = catalog.attr_of(*item);
+        if prefix_items.iter().any(|&p| catalog.attr_of(p) == attr) {
+            continue;
+        }
+        let joint = prefix_cover.and(cover);
+        if (joint.count() as u64) < min_count {
+            continue;
+        }
+        prefix_items.push(*item);
+        let mut sorted = prefix_items.clone();
+        sorted.sort_unstable();
+        out.push(FrequentItemset {
+            itemset: Itemset::from_sorted_unchecked(sorted),
+            accum: accum_over(&joint, outcomes),
+        });
+        if max_len.is_none_or(|m| prefix_items.len() < m) {
+            dfs_worker(
+                frequent,
+                catalog,
+                outcomes,
+                min_count,
+                max_len,
+                prefix_items,
+                &joint,
+                idx + 1,
+                out,
+            );
+        }
+        prefix_items.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_data::AttrId;
+    use hdx_items::Item;
+
+    /// Catalog with items a0, a1 on attr 0 and b0, b1 on attr 1.
+    fn catalog() -> (ItemCatalog, Vec<ItemId>) {
+        let mut c = ItemCatalog::new();
+        let ids = vec![
+            c.intern(Item::cat_eq(AttrId(0), 0, "a", "0")),
+            c.intern(Item::cat_eq(AttrId(0), 1, "a", "1")),
+            c.intern(Item::cat_eq(AttrId(1), 0, "b", "0")),
+            c.intern(Item::cat_eq(AttrId(1), 1, "b", "1")),
+        ];
+        (c, ids)
+    }
+
+    #[test]
+    fn known_small_database() {
+        let (catalog, ids) = catalog();
+        // 4 rows: {a0,b0}, {a0,b0}, {a0,b1}, {a1,b0}
+        let rows = vec![
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[3]],
+            vec![ids[1], ids[2]],
+        ];
+        let outcomes = vec![
+            Outcome::Bool(true),
+            Outcome::Bool(true),
+            Outcome::Bool(false),
+            Outcome::Bool(false),
+        ];
+        let t = Transactions::from_rows(rows, outcomes);
+        let r = vertical(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.5,
+                ..MiningConfig::default()
+            },
+        );
+        // min_count = 2: frequent = {a0}(3), {b0}(3), {a0,b0}(2).
+        assert_eq!(r.itemsets.len(), 3);
+        let joint = Itemset::from_sorted_unchecked(vec![ids[0], ids[2]]);
+        let fi = r.find(&joint).unwrap();
+        assert_eq!(fi.accum.count(), 2);
+        assert_eq!(fi.accum.statistic(), Some(1.0), "both joint rows are T");
+        assert_eq!(r.global.statistic(), Some(0.5));
+        assert_eq!(r.divergence(fi), Some(0.5));
+    }
+
+    #[test]
+    fn same_attribute_items_never_combine() {
+        let (catalog, ids) = catalog();
+        // a0 and a1 co-occur in generalized-style rows.
+        let rows = vec![vec![ids[0], ids[1], ids[2]]; 4];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 4]);
+        let r = vertical(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.1,
+                ..MiningConfig::default()
+            },
+        );
+        for fi in &r.itemsets {
+            let attrs: Vec<_> = fi
+                .itemset
+                .items()
+                .iter()
+                .map(|&i| catalog.attr_of(i))
+                .collect();
+            let mut dedup = attrs.clone();
+            dedup.dedup();
+            assert_eq!(attrs.len(), dedup.len(), "duplicate attribute in {fi:?}");
+        }
+        // {a0,a1} absent, {a0,b0} and {a1,b0} present.
+        assert!(r
+            .find(&Itemset::from_sorted_unchecked(vec![ids[0], ids[1]]))
+            .is_none());
+        assert!(r
+            .find(&Itemset::from_sorted_unchecked(vec![ids[0], ids[2]]))
+            .is_some());
+    }
+
+    #[test]
+    fn empty_database() {
+        let (catalog, _) = catalog();
+        let t = Transactions::from_rows(vec![], vec![]);
+        let r = vertical(&t, &catalog, &MiningConfig::default());
+        assert!(r.itemsets.is_empty());
+        assert_eq!(r.n_rows, 0);
+    }
+
+    #[test]
+    fn support_threshold_is_inclusive() {
+        let (catalog, ids) = catalog();
+        let rows = vec![vec![ids[0]], vec![ids[0]], vec![ids[1]], vec![ids[1]]];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(false); 4]);
+        // s = 0.5 → min_count = 2; both items have exactly 2.
+        let r = vertical(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.5,
+                ..MiningConfig::default()
+            },
+        );
+        assert_eq!(r.itemsets.len(), 2);
+        // s = 0.51 → min_count = 3; nothing qualifies.
+        let r2 = vertical(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.51,
+                ..MiningConfig::default()
+            },
+        );
+        assert!(r2.itemsets.is_empty());
+    }
+}

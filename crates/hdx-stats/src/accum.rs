@@ -1,0 +1,149 @@
+//! Numerically stable running mean/variance (Welford's algorithm).
+
+/// Online accumulator of count, mean and variance.
+///
+/// Two accumulators can be [`merge`](MeanVar::merge)d, which the miners use
+/// to combine per-partition statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel formula).
+    pub fn merge(&mut self, other: &MeanVar) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `0.0` when empty.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n−1` denominator); `0.0` when `n < 2`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); `0.0` when empty.
+    #[inline]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+}
+
+impl FromIterator<f64> for MeanVar {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = MeanVar::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form() {
+        let acc: MeanVar = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let acc = MeanVar::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        let one: MeanVar = [3.0].into_iter().collect();
+        assert_eq!(one.mean(), 3.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.5, -1.0, 8.0, 0.25];
+        let whole: MeanVar = xs.iter().copied().collect();
+        let mut left: MeanVar = xs[..3].iter().copied().collect();
+        let right: MeanVar = xs[3..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs: MeanVar = [1.0, 2.0].into_iter().collect();
+        let mut a = xs;
+        a.merge(&MeanVar::new());
+        assert_eq!(a, xs);
+        let mut b = MeanVar::new();
+        b.merge(&xs);
+        assert_eq!(b, xs);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Catastrophic cancellation check: variance of {1e9, 1e9+1, 1e9+2}.
+        let acc: MeanVar = [1e9, 1e9 + 1.0, 1e9 + 2.0].into_iter().collect();
+        assert!((acc.variance() - 1.0).abs() < 1e-6);
+    }
+}

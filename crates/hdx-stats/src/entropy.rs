@@ -1,0 +1,65 @@
+//! Binary entropy, used by the entropy-based split gain criterion (§V-A).
+
+/// Shannon entropy (natural log) of a Bernoulli distribution with success
+/// probability `p`.
+///
+/// `H(p) = −p ln p − (1−p) ln(1−p)`, with the usual convention
+/// `0 ln 0 = 0`. Returns `0.0` for `p` outside `(0, 1)` (degenerate or
+/// undefined inputs carry no split information).
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    if !(p > 0.0 && p < 1.0) {
+        return 0.0;
+    }
+    -p * p.ln() - (1.0 - p) * (1.0 - p).ln()
+}
+
+/// Entropy of the boolean outcome over a node, from its positive/negative
+/// counts (`⊥` outcomes are excluded upstream, per §V-A).
+///
+/// Returns `0.0` for empty nodes.
+#[inline]
+pub fn entropy_of_counts(k_pos: u64, k_neg: u64) -> f64 {
+    let n = k_pos + k_neg;
+    if n == 0 {
+        return 0.0;
+    }
+    binary_entropy(k_pos as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_at_half() {
+        let h = binary_entropy(0.5);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(binary_entropy(0.3) < h);
+        assert!(binary_entropy(0.7) < h);
+    }
+
+    #[test]
+    fn symmetric() {
+        for p in [0.1, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert_eq!(binary_entropy(-0.5), 0.0);
+        assert_eq!(binary_entropy(2.0), 0.0);
+        assert_eq!(binary_entropy(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn counts_form() {
+        assert_eq!(entropy_of_counts(0, 0), 0.0);
+        assert_eq!(entropy_of_counts(5, 0), 0.0);
+        assert!((entropy_of_counts(3, 3) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((entropy_of_counts(1, 3) - binary_entropy(0.25)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hdx-stats
+//!
+//! Statistics substrate for the H-DivExplorer reproduction:
+//!
+//! * [`binary_entropy`] and split-gain helpers (paper §V-A, entropy
+//!   criterion);
+//! * [`welch_t`] — Welch's t-test for the statistical significance of a
+//!   subgroup's divergence (paper §III-B);
+//! * [`MeanVar`] — a numerically stable (Welford) running mean/variance
+//!   accumulator;
+//! * [`Normal`] and [`MultivariateNormal`] samplers plus a Cholesky
+//!   factorisation, used by the synthetic-peak generator (paper §VI-A);
+//! * [`quantiles`] — equal-frequency cut points for the quantile
+//!   discretization baseline (paper §VI-D);
+//! * [`Outcome`] / [`StatAccum`] — the outcome-function values of §III-B and
+//!   the additive accumulator that lets the miners compute divergence in the
+//!   same pass as support.
+
+mod accum;
+mod dist;
+mod entropy;
+mod outcome;
+mod quantile;
+mod tdist;
+mod welch;
+
+pub use accum::MeanVar;
+pub use dist::{cholesky, MultivariateNormal, Normal};
+pub use entropy::{binary_entropy, entropy_of_counts};
+pub use outcome::{Outcome, StatAccum};
+pub use quantile::{quantile, quantiles};
+pub use tdist::{t_cdf, t_p_value, t_quantile, welch_df, welch_p_value};
+pub use welch::{bernoulli_variance, welch_t, welch_t_from_counts};

@@ -1,0 +1,138 @@
+//! Welch's t-test, used to score the statistical significance of divergence.
+//!
+//! Following DivExplorer (and §III-B of this paper), the significance of a
+//! subgroup's divergence is the Welch t-value comparing the outcome mean over
+//! the subgroup against the outcome mean over the whole dataset.
+
+/// Welch's t statistic for two samples summarised by mean, *unbiased sample
+/// variance* and size.
+///
+/// `t = (m1 − m2) / sqrt(v1/n1 + v2/n2)`.
+///
+/// Returns `0.0` when either sample is empty or both variance terms vanish
+/// (no evidence either way).
+pub fn welch_t(mean1: f64, var1: f64, n1: u64, mean2: f64, var2: f64, n2: u64) -> f64 {
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let se2 = var1 / n1 as f64 + var2 / n2 as f64;
+    if se2 <= 0.0 {
+        return 0.0;
+    }
+    (mean1 - mean2) / se2.sqrt()
+}
+
+/// Unbiased sample variance of a Bernoulli sample with `k_pos` successes out
+/// of `n` trials: `p(1−p)·n/(n−1)`.
+///
+/// Returns `0.0` when `n < 2`.
+pub fn bernoulli_variance(k_pos: u64, n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let p = k_pos as f64 / n as f64;
+    p * (1.0 - p) * n as f64 / (n - 1) as f64
+}
+
+/// Welch t-value between two boolean-outcome groups given raw counts
+/// (positives and valid totals), as used for probability statistics such as
+/// the false-positive rate.
+pub fn welch_t_from_counts(k_pos1: u64, n1: u64, k_pos2: u64, n2: u64) -> f64 {
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let m1 = k_pos1 as f64 / n1 as f64;
+    let m2 = k_pos2 as f64 / n2 as f64;
+    welch_t(
+        m1,
+        bernoulli_variance(k_pos1, n1),
+        n1,
+        m2,
+        bernoulli_variance(k_pos2, n2),
+        n2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::MeanVar;
+
+    #[test]
+    fn textbook_example() {
+        // Two samples with known Welch t (cross-checked against scipy
+        // ttest_ind(equal_var=False)).
+        let a: MeanVar = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ]
+        .into_iter()
+        .collect();
+        let b: MeanVar = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ]
+        .into_iter()
+        .collect();
+        let t = welch_t(
+            a.mean(),
+            a.variance(),
+            a.count(),
+            b.mean(),
+            b.variance(),
+            b.count(),
+        );
+        assert!((t - (-2.8)).abs() < 0.15, "t = {t}");
+    }
+
+    #[test]
+    fn sign_tracks_mean_difference() {
+        assert!(welch_t(1.0, 0.5, 30, 0.0, 0.5, 30) > 0.0);
+        assert!(welch_t(0.0, 0.5, 30, 1.0, 0.5, 30) < 0.0);
+        assert_eq!(
+            welch_t(1.0, 0.5, 30, 0.0, 0.5, 30),
+            -welch_t(0.0, 0.5, 30, 1.0, 0.5, 30)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero() {
+        assert_eq!(welch_t(1.0, 0.5, 0, 0.0, 0.5, 30), 0.0);
+        assert_eq!(welch_t(1.0, 0.5, 30, 0.0, 0.5, 0), 0.0);
+        assert_eq!(welch_t(1.0, 0.0, 30, 0.0, 0.0, 30), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_variance_formula() {
+        // p = 0.5, n = 2 → 0.25 * 2/1 = 0.5
+        assert!((bernoulli_variance(1, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(bernoulli_variance(1, 1), 0.0);
+        assert_eq!(bernoulli_variance(0, 0), 0.0);
+        // all-positive sample has zero variance
+        assert_eq!(bernoulli_variance(5, 5), 0.0);
+    }
+
+    #[test]
+    fn counts_form_matches_manual() {
+        let t1 = welch_t_from_counts(30, 100, 10, 100);
+        let m1 = 0.3;
+        let m2 = 0.1;
+        let t2 = welch_t(
+            m1,
+            bernoulli_variance(30, 100),
+            100,
+            m2,
+            bernoulli_variance(10, 100),
+            100,
+        );
+        assert_eq!(t1, t2);
+        assert!(t1 > 3.0, "clearly significant difference, t = {t1}");
+    }
+
+    #[test]
+    fn larger_samples_increase_significance() {
+        let small = welch_t_from_counts(3, 10, 10, 100);
+        let large = welch_t_from_counts(300, 1000, 1000, 10000);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,100 @@
+//! Advanced analysis: automatic taxonomy discovery from functional
+//! dependencies, plus Shapley-value attribution of a subgroup's divergence
+//! to its items.
+//!
+//! ```text
+//! cargo run --release --example attribution_and_fd
+//! ```
+
+use h_divexplorer::core::{
+    global_item_contributions, item_contributions, HDivExplorer, HDivExplorerConfig, OutcomeFn,
+};
+use h_divexplorer::data::{DataFrameBuilder, Value};
+use h_divexplorer::items::discover_fd_taxonomies;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // A dataset with a hidden functional dependency: every branch belongs to
+    // one region (branch → region). The model's errors cluster in the whole
+    // "west" region — visible only at region granularity.
+    let branches = [
+        ("sf-01", "west"),
+        ("sf-02", "west"),
+        ("la-01", "west"),
+        ("la-02", "west"),
+        ("nyc-01", "east"),
+        ("nyc-02", "east"),
+        ("bos-01", "east"),
+        ("bos-02", "east"),
+    ];
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("amount").unwrap();
+    b.add_categorical("branch").unwrap();
+    b.add_categorical("region").unwrap();
+    let mut y_true = Vec::new();
+    let mut y_pred = Vec::new();
+    for _ in 0..4_000 {
+        let (branch, region) = branches[rng.random_range(0..branches.len())];
+        let amount: f64 = rng.random_range(10.0..5_000.0);
+        b.push_row(vec![
+            Value::Num(amount.round()),
+            Value::Cat(branch.into()),
+            Value::Cat(region.into()),
+        ])
+        .unwrap();
+        let label = rng.random::<f64>() < 0.5;
+        let err_p = if region == "west" && amount > 2_000.0 {
+            0.4
+        } else {
+            0.04
+        };
+        let err = rng.random::<f64>() < err_p;
+        y_true.push(label);
+        y_pred.push(label != err);
+    }
+    let frame = b.finish();
+    let outcomes = OutcomeFn::ErrorRate.compute(&y_true, &y_pred);
+
+    // 1. Discover taxonomies from functional dependencies (branch → region).
+    let discovered = discover_fd_taxonomies(&frame, 0.0);
+    for (attr, tax) in &discovered {
+        println!(
+            "discovered FD taxonomy on `{attr}`: e.g. sf-01 → {:?}",
+            tax.path("sf-01")
+        );
+    }
+
+    // 2. Explore with the discovered hierarchies attached.
+    let result = HDivExplorer::new(HDivExplorerConfig {
+        min_support: 0.1,
+        ..HDivExplorerConfig::default()
+    })
+    .with_discovered_taxonomies(&frame, 0.0)
+    .fit(&frame, &outcomes);
+    println!("\ntop subgroups:\n{}", result.report.table(5));
+
+    // 3. Attribute the top subgroup's divergence to its items (Shapley).
+    let top = result.report.top().unwrap();
+    println!(
+        "Shapley attribution of {} (Δ = {:+.3}):",
+        top.label,
+        top.divergence.unwrap()
+    );
+    if let Some(contribs) = item_contributions(&result.report, &top.itemset) {
+        for (item, c) in contribs {
+            println!("  {:24} {:+.3}", result.catalog.label(item), c);
+        }
+    }
+
+    // 4. Global item ranking: which single items drive divergence overall?
+    println!("\nglobal item contributions (top 5):");
+    for (item, c) in global_item_contributions(&result.report)
+        .into_iter()
+        .take(5)
+    {
+        println!("  {:24} {:+.3}", result.catalog.label(item), c);
+    }
+}

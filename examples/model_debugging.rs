@@ -1,0 +1,80 @@
+//! Model debugging end-to-end: train a random forest, locate where it
+//! fails, and compare H-DivExplorer against Slice Finder and SliceLine.
+//!
+//! ```text
+//! cargo run --release --example model_debugging
+//! ```
+//!
+//! The synthetic-peak dataset (§VI-A) hides an error bump around the point
+//! `[0, 1, 2]` in a 3-D cube. Prior tools work on a fixed discretization:
+//! Slice Finder stops at the first "problematic enough" slice, SliceLine is
+//! bound to leaf items. The hierarchical exploration pins down all three
+//! coordinates while respecting the support constraint.
+
+use h_divexplorer::baselines::{SliceFinder, SliceFinderConfig, SliceLine, SliceLineConfig};
+use h_divexplorer::core::{ExplorationMode, HDivExplorer, HDivExplorerConfig, OutcomeFn};
+use h_divexplorer::datasets::{default_rows, synthetic_peak};
+use h_divexplorer::mining::Transactions;
+
+fn main() {
+    let dataset = synthetic_peak(default_rows::SYNTHETIC_PEAK, 42);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::ErrorRate);
+    let losses: Vec<f64> = outcomes.iter().map(|o| o.value().unwrap_or(0.0)).collect();
+
+    let pipeline = HDivExplorer::new(HDivExplorerConfig {
+        min_support: 0.05,
+        tree_min_support: 0.1,
+        ..HDivExplorerConfig::default()
+    });
+    let (catalog, hierarchies, _) = pipeline.discretize(&dataset.frame, &outcomes);
+    let leaf_items = hierarchies.leaf_items();
+
+    println!("== Slice Finder (default parameters) ==");
+    let sf = SliceFinder::new(SliceFinderConfig::default());
+    match sf
+        .find(&dataset.frame, &catalog, &leaf_items, &losses)
+        .first()
+    {
+        Some(s) => println!(
+            "stops at {}  (size {}, effect {:.2})\n",
+            s.label, s.size, s.effect_size
+        ),
+        None => println!("found nothing\n"),
+    }
+
+    println!("== SliceLine (α = 0.95, σ = 5% of rows) ==");
+    let sl = SliceLine::new(SliceLineConfig {
+        alpha: 0.95,
+        min_size: dataset.n_rows() / 20,
+        k: 3,
+        ..SliceLineConfig::default()
+    });
+    for s in sl.find(&dataset.frame, &catalog, &leaf_items, &losses) {
+        println!(
+            "{}  (size {}, mean error {:.3}, score {:.3})",
+            s.label, s.size, s.mean_error, s.score
+        );
+    }
+
+    println!("\n== base DivExplorer (same leaf items) ==");
+    let base = pipeline.fit_mode(&dataset.frame, &outcomes, ExplorationMode::Base);
+    println!("{}", base.report.table(3));
+
+    println!("== H-DivExplorer (hierarchical) ==");
+    let hier = pipeline.fit_mode(&dataset.frame, &outcomes, ExplorationMode::Generalized);
+    println!("{}", hier.report.table(3));
+    println!(
+        "hierarchical exploration finds Δerror {:+.3} vs base {:+.3} at the same support",
+        hier.report.max_divergence().unwrap(),
+        base.report.max_divergence().unwrap(),
+    );
+
+    // Bonus: the pipeline internals are reusable — count generalized items.
+    let transactions =
+        Transactions::encode_generalized(&dataset.frame, &catalog, &hierarchies, &outcomes);
+    println!(
+        "item universe: {} leaves, {} items at all granularities",
+        leaf_items.len(),
+        transactions.distinct_items().len(),
+    );
+}

@@ -1,0 +1,120 @@
+//! Ranking-bias audit: which candidate subgroups are under-exposed in a
+//! ranker's top-k?
+//!
+//! ```text
+//! cargo run --release --example ranking_bias
+//! ```
+//!
+//! §III-B notes the divergence framework covers "rates related to rankings".
+//! We simulate a hiring ranker that systematically under-ranks older
+//! candidates from one region, then analyse top-20 exposure divergence and
+//! discounted (position-weighted) exposure divergence.
+
+use h_divexplorer::core::{
+    discounted_exposure_outcomes, topk_exposure_outcomes, HDivExplorer, HDivExplorerConfig,
+};
+use h_divexplorer::data::{DataFrameBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 3_000;
+    let lists = 150; // candidates are ranked within lists of 20
+
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("age").unwrap();
+    b.add_continuous("experience").unwrap();
+    b.add_categorical("region").unwrap();
+
+    // Score candidates; the ranker penalises age>50 in the "south" region.
+    let mut scored: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let age: f64 = rng.random_range(22.0..65.0);
+        let exp: f64 = rng.random_range(0.0..(age - 20.0).min(30.0));
+        let region = ["north", "south", "east"][rng.random_range(0..3)];
+        let merit = exp * 2.0 + rng.random_range(0.0..20.0);
+        let penalty = if age > 50.0 && region == "south" {
+            25.0
+        } else {
+            0.0
+        };
+        scored.push((i, merit - penalty));
+        rows.push((age.round(), exp.round(), region));
+    }
+    for &(age, exp, region) in &rows {
+        b.push_row(vec![
+            Value::Num(age),
+            Value::Num(exp),
+            Value::Cat(region.into()),
+        ])
+        .unwrap();
+    }
+    let frame = b.finish();
+
+    // Rank within lists of n/lists candidates each.
+    let per_list = n / lists;
+    let mut ranks: Vec<Option<u32>> = vec![None; n];
+    for chunk in scored.chunks_mut(per_list) {
+        chunk.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        for (pos, &(idx, _)) in chunk.iter().enumerate() {
+            ranks[idx] = Some(pos as u32 + 1);
+        }
+    }
+
+    let pipeline = HDivExplorer::new(HDivExplorerConfig {
+        min_support: 0.05,
+        ..HDivExplorerConfig::default()
+    });
+
+    // 1. Top-5 exposure: is the subgroup's chance of ranking in the top 5 of
+    //    its list divergent?
+    let topk = topk_exposure_outcomes(&ranks, 5);
+    let result = pipeline.fit(&frame, &topk);
+    println!(
+        "top-5 exposure rate overall: {:.3}",
+        result.report.global_statistic.unwrap()
+    );
+    println!("\nmost under-exposed subgroups (negative divergence):");
+    let mut under: Vec<_> = result
+        .report
+        .records
+        .iter()
+        .filter(|r| r.divergence.is_some())
+        .collect();
+    under.sort_by(|a, b| a.divergence.partial_cmp(&b.divergence).unwrap());
+    for r in under.iter().take(5) {
+        println!(
+            "  {:40} sup={:.3} Δexposure={:+.3} p={:.2e}",
+            r.label,
+            r.support,
+            r.divergence.unwrap(),
+            r.p_value
+        );
+    }
+
+    // 2. Discounted exposure (position-weighted): same story, softer signal.
+    let discounted = discounted_exposure_outcomes(&ranks);
+    let result2 = pipeline.fit(&frame, &discounted);
+    let worst = result2
+        .report
+        .records
+        .iter()
+        .filter(|r| r.divergence.is_some())
+        .min_by(|a, b| a.divergence.partial_cmp(&b.divergence).unwrap())
+        .unwrap();
+    println!(
+        "\nworst discounted-exposure subgroup: {}  Δ={:+.3}",
+        worst.label,
+        worst.divergence.unwrap()
+    );
+
+    // 3. FDR-controlled findings (10% false-discovery rate).
+    let survivors = result.report.significant_fdr(0.1);
+    println!(
+        "\n{} of {} subgroups survive FDR control at q = 0.1",
+        survivors.len(),
+        result.report.records.len()
+    );
+}

@@ -1,0 +1,71 @@
+//! Paper-scale stress tests — `#[ignore]`d by default because they take
+//! minutes in release mode. Run with:
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use h_divexplorer::core::{ExplorationMode, HDivExplorerConfig};
+use h_divexplorer::datasets::{compas, default_rows, folktables, synthetic_peak};
+use hdx_bench::experiments::run_exploration;
+
+/// Full-size compas (6,172 rows), s = 0.01 — the hardest Table III cell.
+#[test]
+#[ignore = "paper-scale; run with --ignored"]
+fn compas_full_scale_table3() {
+    let d = compas(default_rows::COMPAS, 42);
+    let config = HDivExplorerConfig {
+        min_support: 0.01,
+        ..HDivExplorerConfig::default()
+    };
+    let (_, base) = run_exploration(&d, config, ExplorationMode::Base);
+    let (_, hier) = run_exploration(&d, config, ExplorationMode::Generalized);
+    assert!(hier.max_divergence >= base.max_divergence);
+    assert!(hier.max_divergence > 0.5, "hier = {}", hier.max_divergence);
+}
+
+/// Full-size synthetic-peak (10,000 rows), the Fig. 5 setting.
+#[test]
+#[ignore = "paper-scale; run with --ignored"]
+fn synthetic_peak_full_scale_fig5() {
+    let d = synthetic_peak(default_rows::SYNTHETIC_PEAK, 42);
+    for s in [0.05, 0.025] {
+        let config = HDivExplorerConfig {
+            min_support: s,
+            ..HDivExplorerConfig::default()
+        };
+        let (_, base) = run_exploration(&d, config, ExplorationMode::Base);
+        let (_, hier) = run_exploration(&d, config, ExplorationMode::Generalized);
+        assert!(
+            hier.max_divergence > 2.0 * base.max_divergence,
+            "s={s}: hier {} vs base {}",
+            hier.max_divergence,
+            base.max_divergence
+        );
+    }
+}
+
+/// Full-size folktables (195,556 rows), Table IV at s = 0.025 with the
+/// paper's max itemset length.
+#[test]
+#[ignore = "paper-scale; run with --ignored"]
+fn folktables_full_scale_table4() {
+    let d = folktables(default_rows::FOLKTABLES, 42);
+    let config = HDivExplorerConfig {
+        min_support: 0.025,
+        max_len: Some(4),
+        ..HDivExplorerConfig::default()
+    };
+    let (_, base) = run_exploration(&d, config, ExplorationMode::Base);
+    let (result, hier) = run_exploration(&d, config, ExplorationMode::Generalized);
+    assert!(hier.max_divergence > base.max_divergence);
+    // The winner uses a generalized (non-leaf) item, as in Table IV.
+    let top = result.report.top().unwrap();
+    let uses_generalized = top.itemset.items().iter().any(|&item| {
+        result
+            .hierarchies
+            .get(result.catalog.attr_of(item))
+            .is_some_and(|h| !h.is_leaf(item))
+    });
+    assert!(uses_generalized, "top = {}", top.label);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the baseline implementations: SliceLine's
+//! upper-bound pruning never changes the top-k, Slice Finder's effect sizes
+//! match a brute-force computation, and the combined tree always partitions.
+
+use h_divexplorer::baselines::{
+    CombinedTreeConfig, CombinedTreeExplorer, SliceFinder, SliceFinderConfig, SliceLine,
+    SliceLineConfig,
+};
+use h_divexplorer::data::{DataFrame, DataFrameBuilder, Value};
+use h_divexplorer::items::{Interval, Item, ItemCatalog, ItemId};
+use h_divexplorer::stats::{MeanVar, Outcome};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    xs: Vec<f64>,
+    gs: Vec<u8>,
+    losses: Vec<f64>,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    proptest::collection::vec(
+        (
+            0.0..100.0f64,
+            0u8..3,
+            prop_oneof![3 => Just(0.0), 1 => Just(1.0), 1 => 0.0..1.0f64],
+        ),
+        40..200,
+    )
+    .prop_map(|rows| {
+        let mut case = Case {
+            xs: Vec::new(),
+            gs: Vec::new(),
+            losses: Vec::new(),
+        };
+        for (x, g, loss) in rows {
+            case.xs.push(x);
+            case.gs.push(g);
+            case.losses.push(loss);
+        }
+        case
+    })
+}
+
+fn build(case: &Case) -> (DataFrame, ItemCatalog, Vec<ItemId>) {
+    let mut b = DataFrameBuilder::new();
+    let x = b.add_continuous("x").unwrap();
+    let g = b.add_categorical("g").unwrap();
+    for i in 0..case.xs.len() {
+        b.push_row(vec![
+            Value::Num(case.xs[i]),
+            Value::Cat(format!("g{}", case.gs[i])),
+        ])
+        .unwrap();
+    }
+    let df = b.finish();
+    let mut catalog = ItemCatalog::new();
+    let mut items = vec![
+        catalog.intern(Item::range(x, Interval::at_most(33.0), "x")),
+        catalog.intern(Item::range(x, Interval::new(33.0, 66.0), "x")),
+        catalog.intern(Item::range(x, Interval::greater_than(66.0), "x")),
+    ];
+    let col = df.categorical(g).clone();
+    for code in 0..col.n_levels() as u32 {
+        items.push(catalog.intern(Item::cat_eq(g, code, "g", col.level(code))));
+    }
+    (df, catalog, items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SliceLine with small k (aggressive pruning) finds exactly the same
+    /// top slices as an effectively-exhaustive run.
+    #[test]
+    fn sliceline_pruning_is_lossless(case in case_strategy(), alpha in 0.5f64..1.0) {
+        prop_assume!(case.losses.iter().sum::<f64>() > 0.0);
+        let (df, catalog, items) = build(&case);
+        let config = SliceLineConfig {
+            alpha,
+            k: 2,
+            min_size: 5,
+            max_len: 2,
+        };
+        let pruned = SliceLine::new(config).find(&df, &catalog, &items, &case.losses);
+        let exhaustive = SliceLine::new(SliceLineConfig { k: 10_000, ..config })
+            .find(&df, &catalog, &items, &case.losses);
+        for (p, e) in pruned.iter().zip(&exhaustive) {
+            prop_assert!((p.score - e.score).abs() < 1e-9,
+                "rank mismatch: {} ({}) vs {} ({})", p.label, p.score, e.label, e.score);
+        }
+        prop_assert!(pruned.len() <= 2);
+    }
+
+    /// Slice Finder's reported effect sizes and sizes match a brute-force
+    /// recomputation over the slice rows.
+    #[test]
+    fn slice_finder_matches_brute_force(case in case_strategy()) {
+        let (df, catalog, items) = build(&case);
+        let results = SliceFinder::new(SliceFinderConfig {
+            effect_size_threshold: 0.0,
+            k: 5,
+            max_len: 2,
+            min_t: 0.0,
+        })
+        .find(&df, &catalog, &items, &case.losses);
+        for r in results {
+            // Recount the slice rows.
+            let mut slice = MeanVar::new();
+            let mut rest = MeanVar::new();
+            for row in 0..df.n_rows() {
+                let inside = r
+                    .itemset
+                    .items()
+                    .iter()
+                    .all(|&i| h_divexplorer::items::item_matches(&df, &catalog, i, row));
+                if inside {
+                    slice.push(case.losses[row]);
+                } else {
+                    rest.push(case.losses[row]);
+                }
+            }
+            prop_assert_eq!(slice.count() as usize, r.size);
+            prop_assert!((slice.mean() - r.mean_loss).abs() < 1e-9);
+            let denom = ((slice.variance() + rest.variance()) / 2.0).sqrt();
+            let expected = if denom > 0.0 { (slice.mean() - rest.mean()) / denom } else { 0.0 };
+            prop_assert!((expected - r.effect_size).abs() < 1e-9);
+        }
+    }
+
+    /// The combined tree's leaves always partition the dataset and respect
+    /// the support constraint, for any outcome mix.
+    #[test]
+    fn combined_tree_partitions(case in case_strategy(), min_support in 0.05f64..0.4) {
+        let (df, _, _) = build(&case);
+        let outcomes: Vec<Outcome> = case
+            .losses
+            .iter()
+            .map(|&l| Outcome::Bool(l > 0.5))
+            .collect();
+        let leaves = CombinedTreeExplorer::new(CombinedTreeConfig {
+            min_support,
+            max_depth: None,
+        })
+        .explore(&df, &outcomes);
+        let total: f64 = leaves.iter().map(|l| l.support).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "supports sum to {total}");
+        let min_frac = min_support - 1e-9;
+        for leaf in &leaves {
+            prop_assert!(leaf.support >= min_frac, "{}: {}", leaf.label, leaf.support);
+        }
+    }
+}

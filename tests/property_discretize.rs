@@ -1,0 +1,170 @@
+//! Property-based tests of discretization: trees always produce valid item
+//! hierarchies whose leaves partition the data, under both gain criteria and
+//! arbitrary data/outcome configurations.
+
+use h_divexplorer::data::{DataFrameBuilder, Value};
+use h_divexplorer::discretize::{
+    quantile_hierarchy, uniform_hierarchy, GainCriterion, TreeDiscretizer,
+};
+use h_divexplorer::items::{item_cover, item_matches, HierarchySet, ItemCatalog};
+use h_divexplorer::stats::Outcome;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    values: Vec<f64>,
+    outcomes: Vec<Outcome>,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    let cell = (
+        prop_oneof![
+            8 => -50.0..50.0f64,
+            1 => Just(f64::NAN), // nulls
+            1 => (0..5i32).prop_map(f64::from), // heavy ties
+        ],
+        prop_oneof![
+            3 => any::<bool>().prop_map(Outcome::Bool),
+            1 => Just(Outcome::Undefined),
+            2 => (-10.0..10.0f64).prop_map(Outcome::Real),
+        ],
+    );
+    proptest::collection::vec(cell, 20..200).prop_map(|cells| {
+        let (values, outcomes) = cells.into_iter().unzip();
+        Case { values, outcomes }
+    })
+}
+
+fn frame_of(case: &Case) -> h_divexplorer::data::DataFrame {
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("x").unwrap();
+    for &v in &case.values {
+        b.push_row(vec![if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Num(v)
+        }])
+        .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tree leaves partition the non-null rows; every node's support honours
+    /// `st`; the hierarchy mirrors the tree and satisfies Definition 4.1.
+    #[test]
+    fn tree_invariants(
+        case in case_strategy(),
+        st in 0.05f64..0.45,
+        entropy in any::<bool>(),
+    ) {
+        let df = frame_of(&case);
+        let attr = df.schema().id("x").unwrap();
+        let criterion = if entropy { GainCriterion::Entropy } else { GainCriterion::Divergence };
+        let mut catalog = ItemCatalog::new();
+        let discretizer = TreeDiscretizer::with_support(st, criterion);
+        let (hierarchy, tree) =
+            discretizer.discretize_attribute(&df, attr, &case.outcomes, &mut catalog);
+
+        // Supports.
+        let min_count = (st * df.n_rows() as f64).ceil();
+        for node in &tree.nodes[1..] {
+            prop_assert!(node.support * df.n_rows() as f64 >= min_count - 1e-9);
+        }
+
+        if hierarchy.is_empty() {
+            return Ok(());
+        }
+
+        // Leaves partition the non-null rows.
+        let leaves = hierarchy.leaves();
+        for row in 0..df.n_rows() {
+            let matched = leaves
+                .iter()
+                .filter(|&&l| item_matches(&df, &catalog, l, row))
+                .count();
+            if case.values[row].is_nan() {
+                prop_assert_eq!(matched, 0, "null rows match nothing");
+            } else {
+                prop_assert_eq!(matched, 1, "row {} value {}", row, case.values[row]);
+            }
+        }
+
+        // Definition 4.1 partition property via covers.
+        let mut set = HierarchySet::new();
+        set.push(hierarchy);
+        prop_assert_eq!(
+            set.validate_partition(&catalog, |i| item_cover(&df, &catalog, i)),
+            Ok(())
+        );
+    }
+
+    /// Parent statistics are consistent: a node's accumulated statistic is
+    /// the cover-weighted combination of its children's.
+    #[test]
+    fn tree_statistics_consistent(case in case_strategy(), st in 0.05f64..0.3) {
+        let df = frame_of(&case);
+        let attr = df.schema().id("x").unwrap();
+        let mut catalog = ItemCatalog::new();
+        let discretizer = TreeDiscretizer::with_support(st, GainCriterion::Divergence);
+        let (_, tree) = discretizer.discretize_attribute(&df, attr, &case.outcomes, &mut catalog);
+        for node in &tree.nodes {
+            if node.children.is_empty() {
+                continue;
+            }
+            // Support adds up exactly.
+            let child_support: f64 = node.children.iter().map(|&c| tree.nodes[c].support).sum();
+            prop_assert!((child_support - node.support).abs() < 1e-9);
+        }
+    }
+
+    /// Flat discretizers (quantile/uniform) produce partitions too.
+    #[test]
+    fn flat_discretizers_partition(case in case_strategy(), k in 2usize..10) {
+        let df = frame_of(&case);
+        let attr = df.schema().id("x").unwrap();
+        for flavour in 0..2 {
+            let mut catalog = ItemCatalog::new();
+            let h = if flavour == 0 {
+                quantile_hierarchy(&df, attr, k, &mut catalog)
+            } else {
+                uniform_hierarchy(&df, attr, k, &mut catalog)
+            };
+            if h.is_empty() {
+                continue;
+            }
+            for row in 0..df.n_rows() {
+                let matched = h
+                    .items()
+                    .iter()
+                    .filter(|&&i| item_matches(&df, &catalog, i, row))
+                    .count();
+                if case.values[row].is_nan() {
+                    prop_assert_eq!(matched, 0);
+                } else {
+                    prop_assert_eq!(matched, 1);
+                }
+            }
+        }
+    }
+
+    /// Determinism: the same inputs give the same tree.
+    #[test]
+    fn tree_is_deterministic(case in case_strategy()) {
+        let df = frame_of(&case);
+        let attr = df.schema().id("x").unwrap();
+        let discretizer = TreeDiscretizer::with_support(0.1, GainCriterion::Divergence);
+        let mut c1 = ItemCatalog::new();
+        let (h1, t1) = discretizer.discretize_attribute(&df, attr, &case.outcomes, &mut c1);
+        let mut c2 = ItemCatalog::new();
+        let (h2, t2) = discretizer.discretize_attribute(&df, attr, &case.outcomes, &mut c2);
+        prop_assert_eq!(h1.items(), h2.items());
+        prop_assert_eq!(t1.nodes.len(), t2.nodes.len());
+        for (a, b) in t1.nodes.iter().zip(&t2.nodes) {
+            prop_assert_eq!(a.interval, b.interval);
+            prop_assert_eq!(a.support, b.support);
+        }
+    }
+}
