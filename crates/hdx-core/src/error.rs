@@ -1,0 +1,59 @@
+//! Error type for the exploration pipeline.
+
+use std::fmt;
+
+/// Errors produced by the fallible pipeline entry points
+/// ([`crate::HDivExplorer::try_fit`] and friends).
+#[derive(Debug)]
+pub enum CoreError {
+    /// The outcome vector is not parallel to the data frame's rows.
+    OutcomeLengthMismatch {
+        /// Number of rows in the data frame.
+        expected: usize,
+        /// Length of the supplied outcome vector.
+        found: usize,
+    },
+    /// A mining parameter is outside its valid range.
+    InvalidParameter {
+        /// Parameter name (e.g. `min_support`).
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OutcomeLengthMismatch { expected, found } => write!(
+                f,
+                "outcome vector has {found} entries, expected {expected} (one per row)"
+            ),
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::OutcomeLengthMismatch {
+            expected: 10,
+            found: 7,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("10"));
+        let e = CoreError::InvalidParameter {
+            name: "min_support",
+            message: "must be in (0, 1]".into(),
+        };
+        assert!(e.to_string().contains("min_support"));
+    }
+}

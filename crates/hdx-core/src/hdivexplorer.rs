@@ -16,6 +16,7 @@ use hdx_items::{HierarchySet, Item, ItemCatalog, ItemHierarchy, Taxonomy};
 use hdx_mining::MiningAlgorithm;
 use hdx_stats::Outcome;
 
+use crate::error::CoreError;
 use crate::explorer::{DivExplorer, ExplorationConfig};
 use crate::report::DivergenceReport;
 
@@ -194,14 +195,25 @@ impl HDivExplorer {
     }
 
     /// Runs the full pipeline in [`ExplorationMode::Generalized`].
+    ///
+    /// # Panics
+    /// Panics when `outcomes.len() != df.n_rows()`; use [`Self::try_fit`]
+    /// for a fallible variant.
     pub fn fit(&self, df: &DataFrame, outcomes: &[Outcome]) -> HDivResult {
         self.fit_mode(df, outcomes, ExplorationMode::Generalized)
+    }
+
+    /// Fallible variant of [`Self::fit`]: returns a typed error instead of
+    /// panicking on malformed input.
+    pub fn try_fit(&self, df: &DataFrame, outcomes: &[Outcome]) -> Result<HDivResult, CoreError> {
+        self.try_fit_mode(df, outcomes, ExplorationMode::Generalized)
     }
 
     /// Runs the full pipeline in the given exploration mode.
     ///
     /// # Panics
-    /// Panics when `outcomes.len() != df.n_rows()`.
+    /// Panics when `outcomes.len() != df.n_rows()`; use
+    /// [`Self::try_fit_mode`] for a fallible variant.
     pub fn fit_mode(
         &self,
         df: &DataFrame,
@@ -209,6 +221,45 @@ impl HDivExplorer {
         mode: ExplorationMode,
     ) -> HDivResult {
         assert_eq!(outcomes.len(), df.n_rows(), "outcomes not parallel to rows");
+        self.fit_mode_checked(df, outcomes, mode)
+    }
+
+    /// Fallible variant of [`Self::fit_mode`]: returns a typed error instead
+    /// of panicking on malformed input.
+    pub fn try_fit_mode(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+        mode: ExplorationMode,
+    ) -> Result<HDivResult, CoreError> {
+        if outcomes.len() != df.n_rows() {
+            return Err(CoreError::OutcomeLengthMismatch {
+                expected: df.n_rows(),
+                found: outcomes.len(),
+            });
+        }
+        if !(self.config.min_support > 0.0 && self.config.min_support <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "min_support",
+                message: format!("must be in (0, 1], got {}", self.config.min_support),
+            });
+        }
+        if !(self.config.tree_min_support > 0.0 && self.config.tree_min_support < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tree_min_support",
+                message: format!("must be in (0, 1), got {}", self.config.tree_min_support),
+            });
+        }
+        Ok(self.fit_mode_checked(df, outcomes, mode))
+    }
+
+    /// Pipeline body; `outcomes` has already been validated against `df`.
+    fn fit_mode_checked(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+        mode: ExplorationMode,
+    ) -> HDivResult {
         let start = Instant::now();
         let (catalog, hierarchies, trees) = self.discretize(df, outcomes);
         let discretization_time = start.elapsed();

@@ -40,6 +40,10 @@
 //! assert!(top.divergence.unwrap() > 0.0);
 //! ```
 
+/// Runtime validators for the polarity sign-homogeneity invariant (§V-C).
+pub mod invariants;
+
+mod error;
 mod explorer;
 mod hdivexplorer;
 mod json;
@@ -49,6 +53,7 @@ mod polarity;
 mod report;
 mod shapley;
 
+pub use error::CoreError;
 pub use explorer::{DivExplorer, ExplorationConfig};
 pub use hdivexplorer::{ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult};
 pub use json::{report_to_json, result_to_json, tree_to_json};

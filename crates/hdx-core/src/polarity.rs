@@ -53,11 +53,14 @@ pub fn mine_with_polarity(
             itemsets.push(fi);
         }
     }
-    MiningResult {
+    let result = MiningResult {
         itemsets,
         n_rows: transactions.n_rows(),
         global: transactions.global_accum(),
-    }
+    };
+    #[cfg(feature = "debug-invariants")]
+    crate::invariants::assert_sign_homogeneity(&result, transactions);
+    result
 }
 
 #[cfg(test)]

@@ -187,7 +187,8 @@ impl DivergenceReport {
                     // The subset already reaches (almost) the same divergence
                     // in the same direction.
                     sub_div.abs() >= d.abs() - epsilon
-                        && (sub_div == 0.0 || sub_div.signum() == d.signum())
+                        && (hdx_stats::approx::approx_zero(sub_div)
+                            || hdx_stats::approx::same_sign(sub_div, d))
                 };
                 !r.itemset.sub_itemsets().any(|sub| {
                     if sub.is_empty() {

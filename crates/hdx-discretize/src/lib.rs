@@ -40,6 +40,10 @@
 //! assert_eq!(first_split.interval.hi, 69.0);
 //! ```
 
+/// Runtime validators for discretization trees (split support,
+/// binary splits, partition property).
+pub mod invariants;
+
 mod flat;
 mod mdlp;
 mod tree;

@@ -35,7 +35,7 @@ impl Counts {
     /// Class entropy in bits (MDLP is conventionally stated in log₂).
     fn entropy(&self) -> f64 {
         let n = self.total();
-        if n == 0.0 {
+        if hdx_stats::approx::approx_zero(n) {
             return 0.0;
         }
         let mut h = 0.0;

@@ -134,15 +134,16 @@ impl Prefix {
     fn build(outcomes: &[Outcome], order: &[usize]) -> Self {
         let mut valid = Vec::with_capacity(order.len() + 1);
         let mut sum = Vec::with_capacity(order.len() + 1);
-        valid.push(0.0);
-        sum.push(0.0);
+        let (mut running_valid, mut running_sum) = (0.0, 0.0);
+        valid.push(running_valid);
+        sum.push(running_sum);
         for &row in order {
-            let (dv, ds) = match outcomes[row].value() {
-                Some(v) => (1.0, v),
-                None => (0.0, 0.0),
-            };
-            valid.push(valid.last().unwrap() + dv);
-            sum.push(sum.last().unwrap() + ds);
+            if let Some(v) = outcomes[row].value() {
+                running_valid += 1.0;
+                running_sum += v;
+            }
+            valid.push(running_valid);
+            sum.push(running_sum);
         }
         Self { valid, sum }
     }
@@ -201,7 +202,7 @@ impl TreeDiscretizer {
 
         // Sort non-null row indices by attribute value.
         let mut order: Vec<usize> = (0..n_total).filter(|&r| !values[r].is_nan()).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaNs filtered"));
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let sorted_vals: Vec<f64> = order.iter().map(|&r| values[r]).collect();
         let prefix = Prefix::build(outcomes, &order);
 
@@ -266,6 +267,8 @@ impl TreeDiscretizer {
                 queue.push((child_idx, range.start, range.end));
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        crate::invariants::assert_tree(&tree, self.config.min_support);
         (hierarchy, tree)
     }
 

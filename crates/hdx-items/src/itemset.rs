@@ -114,9 +114,12 @@ impl Itemset {
     /// Intended for the miners, which maintain the invariants themselves.
     ///
     /// # Panics
-    /// Debug-asserts canonical order.
+    /// Debug-asserts canonical order (always checked under the
+    /// `debug-invariants` feature).
     pub fn from_sorted_unchecked(items: Vec<ItemId>) -> Self {
         debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        #[cfg(feature = "debug-invariants")]
+        crate::invariants::assert_canonical_order(&items);
         Self { items }
     }
 }

@@ -21,6 +21,10 @@
 //!   automatically from (approximate) functional dependencies between
 //!   categorical attributes (§IV-B).
 
+/// Runtime validators for itemset well-formedness (canonical order, one
+/// item per attribute).
+pub mod invariants;
+
 mod bitset;
 mod catalog;
 mod cover;

@@ -1,0 +1,379 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! Produces a flat token stream with line numbers. String/char literals,
+//! comments and doc comments are lexed as single tokens so rule passes
+//! never match text inside them (e.g. an `unwrap()` mentioned in a doc
+//! example is *not* a violation). The lexer is deliberately small and
+//! dependency-free: it does not parse, it only tokenizes, which is enough
+//! for the lexical rules `hdx-lint` enforces.
+
+/// Token classification, as coarse as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `pub`, `fn`, ...).
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Floating-point literal (`1.0`, `1.`, `2e-5`, `1f64`).
+    Float,
+    /// String literal (normal, raw or byte).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    Doc,
+    /// Punctuation / operator, possibly multi-character (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (operators store the full operator, e.g. `"=="`).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True when the token is the identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "::", "->", "=>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Ordinary (non-doc) comments and
+/// whitespace are dropped; everything else becomes a token.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comments (and `///` / `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            // `///x` and `//!x` are doc comments; `////...` is a plain
+            // comment per rustdoc, but treating it as doc is harmless here.
+            if text.starts_with("///") || text.starts_with("//!") {
+                toks.push(Tok {
+                    kind: TokKind::Doc,
+                    text,
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Block comments, nested, doc variants `/**` `/*!`.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i.min(n)].iter().collect();
+            if text.starts_with("/**") || text.starts_with("/*!") {
+                toks.push(Tok {
+                    kind: TokKind::Doc,
+                    text,
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#, c"..".
+        if is_ident_start(c) {
+            if let Some((len, lines)) = try_prefixed_string(&chars[i..]) {
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                i += len;
+                line += lines;
+                continue;
+            }
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\x'`-style escapes are always char literals; `'a'` is a char
+            // when the quote closes right after one character; otherwise it
+            // is a lifetime (`'a`, `'static`).
+            if i + 1 < n && chars[i + 1] == '\\' {
+                i += 2; // consume `'\`
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1; // closing quote
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                i += 3;
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: `.` belongs to the number unless it starts
+                // `..` (range) or a method/field access (`1.max(2)`).
+                if i < n && chars[i] == '.' {
+                    let after = chars.get(i + 1).copied();
+                    let part_of_number = match after {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some('.') => false,
+                        Some(a) if is_ident_start(a) => false,
+                        _ => true, // `1.` followed by whitespace/operator/EOF
+                    };
+                    if part_of_number {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && matches!(chars[i], 'e' | 'E')
+                    && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())
+                        | matches!(
+                            (chars.get(i + 1), chars.get(i + 2)),
+                            (Some('+') | Some('-'), Some(d)) if d.is_ascii_digit()
+                        )
+                {
+                    is_float = true;
+                    i += 1;
+                    if matches!(chars.get(i), Some('+') | Some('-')) {
+                        i += 1;
+                    }
+                    while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Suffix (`f64`, `u32`, ...). An `f32`/`f64` suffix makes the
+                // literal a float even without a dot (`1f64`).
+                if i < n && is_ident_start(chars[i]) {
+                    let sfx_start = i;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    let sfx: String = chars[sfx_start..i].iter().collect();
+                    if sfx.starts_with("f32") || sfx.starts_with("f64") {
+                        is_float = true;
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Punctuation: greedy multi-char operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oplen = op.len();
+            if i + oplen <= n && chars[i..i + oplen].iter().collect::<String>() == **op {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += oplen;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Recognizes a raw/byte/C string starting at `rest[0]` (an identifier
+/// character). Returns `(consumed_chars, newlines)` when `rest` begins with
+/// `r"`, `r#"`, `b"`, `br#"`, `c"` etc.; `None` means "lex as identifier".
+fn try_prefixed_string(rest: &[char]) -> Option<(usize, u32)> {
+    let mut j = 0usize;
+    // Prefix letters: any of r/b/c combinations actually used in Rust.
+    while j < rest.len() && j < 2 && matches!(rest[j], 'r' | 'b' | 'c') {
+        j += 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let raw = rest[..j].contains(&'r');
+    let mut hashes = 0usize;
+    if raw {
+        while j < rest.len() && rest[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= rest.len() || rest[j] != '"' {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None;
+    }
+    j += 1;
+    let mut lines = 0u32;
+    while j < rest.len() {
+        let c = rest[j];
+        if c == '\n' {
+            lines += 1;
+            j += 1;
+        } else if c == '\\' && !raw {
+            j += 2;
+        } else if c == '"' {
+            if raw {
+                // Need `hashes` trailing `#`.
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < rest.len() && rest[j + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((j + 1 + hashes, lines));
+                }
+                j += 1;
+            } else {
+                return Some((j + 1, lines));
+            }
+        } else {
+            j += 1;
+        }
+    }
+    Some((j, lines))
+}

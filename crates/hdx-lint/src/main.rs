@@ -1,0 +1,432 @@
+//! `hdx-lint`: workspace static-analysis pass for the H-DivExplorer repo.
+//!
+//! Enforces the project's reliability rules over every workspace crate
+//! (see `crates/hdx-lint/README.md` and the "Invariants & static analysis"
+//! section of `DESIGN.md`):
+//!
+//! 1. `no-unwrap`   — no `.unwrap()` / `.expect()` / `panic!` in library
+//!    crates outside `#[cfg(test)]`.
+//! 2. `no-float-eq` — no `==` / `!=` against float literals; comparisons go
+//!    through `hdx_stats::approx`.
+//! 3. `missing-docs` — all `pub` items in library crates are documented.
+//! 4. `no-exit`     — no `std::process::exit` outside `hdx-cli`.
+//!
+//! Violations not covered by `crates/hdx-lint/allowlist.txt` fail the run
+//! (exit code 1). `--format json` / `--output <path>` emit a
+//! machine-readable report for CI.
+//!
+//! Usage: `cargo lint` / `cargo xtask lint` / `cargo run -p hdx-lint --`
+//! with optional flags `[--format text|json] [--output <path>]
+//! [--allowlist <path>] [--root <dir>] [--self-test]`.
+
+mod lexer;
+mod rules;
+mod selftest;
+
+use rules::Violation;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Library crates subject to rules 1–3. Binary/tooling crates (`hdx-cli`,
+/// `hdx-bench`, `hdx-lint` itself) and the facade crate are exempt from
+/// those but still checked for rule 4.
+const LIB_CRATES: &[&str] = &[
+    "hdx-core",
+    "hdx-mining",
+    "hdx-items",
+    "hdx-stats",
+    "hdx-discretize",
+    "hdx-data",
+];
+
+/// One allowlist entry: `rule path [max=N]`.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    /// `None` allows any count in the file; `Some(n)` caps it (a ratchet:
+    /// lower the cap as violations are burned down).
+    max: Option<usize>,
+    used: bool,
+}
+
+#[derive(Debug)]
+struct Options {
+    format_json: bool,
+    output: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    root: Option<PathBuf>,
+    self_test: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("hdx-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.self_test {
+        return selftest::run();
+    }
+
+    let root = match workspace_root(opts.root.as_deref()) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("hdx-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("crates/hdx-lint/allowlist.txt"));
+    let mut allowlist = match load_allowlist(&allowlist_path) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("hdx-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = collect_sources(&root);
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(src) = fs::read_to_string(file) else {
+            eprintln!("hdx-lint: warning: cannot read {}", file.display());
+            continue;
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        check_file(&rel, &src, &mut violations);
+    }
+
+    let (reported, allowlisted) = apply_allowlist(violations, &mut allowlist);
+    let report = render_report(&reported, allowlisted, files.len(), allowlist.len());
+
+    if let Some(path) = &opts.output {
+        if let Err(e) = fs::write(path, &report) {
+            eprintln!("hdx-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.format_json {
+        println!("{report}");
+    } else {
+        print_text(&reported, allowlisted, files.len(), &allowlist);
+    }
+
+    if reported.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        format_json: false,
+        output: None,
+        allowlist: None,
+        root: None,
+        self_test: false,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    // Accept a leading `lint` subcommand so the `cargo xtask lint` alias
+    // (which expands to `cargo run -p hdx-lint -- lint`) works.
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = args.next().ok_or("--format requires a value")?;
+                match v.as_str() {
+                    "json" => opts.format_json = true,
+                    "text" => opts.format_json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--output" => {
+                opts.output = Some(PathBuf::from(
+                    args.next().ok_or("--output requires a path")?,
+                ));
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist requires a path")?,
+                ));
+            }
+            "--root" => {
+                opts.root = Some(PathBuf::from(args.next().ok_or("--root requires a path")?));
+            }
+            "--self-test" => opts.self_test = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hdx-lint [lint] [--format text|json] [--output <path>] \
+                     [--allowlist <path>] [--root <dir>] [--self-test]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Locates the workspace root: an explicit `--root`, else the grandparent of
+/// this crate's manifest dir (compiled in), else the current directory —
+/// whichever contains a `Cargo.toml` with a `[workspace]` table.
+fn workspace_root(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    if let Some(p) = explicit {
+        candidates.push(p.to_path_buf());
+    }
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(p) = manifest_dir.parent().and_then(Path::parent) {
+        candidates.push(p.to_path_buf());
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        let mut dir = Some(cwd);
+        while let Some(d) = dir {
+            candidates.push(d.clone());
+            dir = d.parent().map(Path::to_path_buf);
+        }
+    }
+    for c in candidates {
+        let manifest = c.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(c);
+            }
+        }
+    }
+    Err("cannot locate workspace root (pass --root)".to_string())
+}
+
+/// All `.rs` files under `crates/*/src` and the facade `src/`, sorted.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files);
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        walk_rs(&facade, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/...`),
+/// or `"."` for the facade crate.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or(".")
+}
+
+/// Runs every applicable rule over one file.
+fn check_file(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let krate = crate_of(rel);
+    let is_lib = LIB_CRATES.contains(&krate);
+    let exit_exempt = krate == "hdx-cli";
+    if !is_lib && exit_exempt {
+        return;
+    }
+    let toks = lexer::lex(src);
+    let mask = rules::test_mask(&toks);
+    if is_lib {
+        rules::rule_no_unwrap(&toks, &mask, rel, out);
+        rules::rule_no_float_eq(&toks, &mask, rel, out);
+        rules::rule_missing_docs(&toks, &mask, rel, out);
+    }
+    rules::rule_no_exit(&toks, &mask, rel, out);
+}
+
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected `rule path [max=N]`",
+                lineno + 1
+            ));
+        };
+        if !rules::RULES.contains(&rule) {
+            return Err(format!("allowlist line {}: unknown rule `{rule}`", lineno + 1));
+        }
+        let mut max = None;
+        if let Some(extra) = parts.next() {
+            let Some(n) = extra.strip_prefix("max=").and_then(|v| v.parse().ok()) else {
+                return Err(format!(
+                    "allowlist line {}: expected `max=N`, got `{extra}`",
+                    lineno + 1
+                ));
+            };
+            max = Some(n);
+        }
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            max,
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits violations into (reported, allowlisted-count). A `max=N` entry
+/// suppresses up to `N` violations of its rule in its file; beyond the cap
+/// *all* of them are reported (the ratchet tripped).
+fn apply_allowlist(
+    violations: Vec<Violation>,
+    allowlist: &mut [AllowEntry],
+) -> (Vec<Violation>, usize) {
+    let mut grouped: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        grouped
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_default()
+            .push(v);
+    }
+    let mut reported = Vec::new();
+    let mut allowed = 0usize;
+    for ((rule, file), group) in grouped {
+        let entry = allowlist
+            .iter_mut()
+            .find(|e| e.rule == rule && e.path == file);
+        match entry {
+            Some(e) => {
+                e.used = true;
+                match e.max {
+                    Some(cap) if group.len() > cap => {
+                        let found = group.len();
+                        for mut v in group {
+                            v.message = format!(
+                                "{} [allowlist cap max={cap} exceeded: {found} in file]",
+                                v.message
+                            );
+                            reported.push(v);
+                        }
+                    }
+                    _ => allowed += group.len(),
+                }
+            }
+            None => reported.extend(group),
+        }
+    }
+    reported.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    (reported, allowed)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (hand-rolled: the linter is
+/// deliberately dependency-free so it builds before the workspace does).
+fn render_report(
+    reported: &[Violation],
+    allowlisted: usize,
+    files_scanned: usize,
+    allowlist_entries: usize,
+) -> String {
+    let mut out = String::from("{\n  \"tool\": \"hdx-lint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"allowlisted\": {allowlisted},\n"));
+    out.push_str(&format!("  \"allowlist_entries\": {allowlist_entries},\n"));
+    out.push_str(&format!("  \"ok\": {},\n", reported.is_empty()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in reported.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message)
+        ));
+    }
+    if !reported.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn print_text(
+    reported: &[Violation],
+    allowlisted: usize,
+    files_scanned: usize,
+    allowlist: &[AllowEntry],
+) {
+    for v in reported {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    for e in allowlist.iter().filter(|e| !e.used) {
+        println!(
+            "note: unused allowlist entry `{} {}` (can be removed)",
+            e.rule, e.path
+        );
+    }
+    println!(
+        "hdx-lint: {} file(s) scanned, {} violation(s), {} allowlisted",
+        files_scanned,
+        reported.len(),
+        allowlisted
+    );
+}

@@ -1,0 +1,319 @@
+//! The lint rules.
+//!
+//! Every rule is a pure pass over the token stream of one file (see
+//! [`crate::lexer`]), with a precomputed *test mask* excluding tokens that
+//! belong to `#[cfg(test)]` items (or `#[test]` functions). Rules:
+//!
+//! * `no-unwrap` — no `.unwrap()`, `.expect(...)` or `panic!` in library
+//!   crates outside test code.
+//! * `no-float-eq` — no `==`/`!=` against a floating-point literal; use the
+//!   epsilon helpers in `hdx_stats::approx`.
+//! * `missing-docs` — every `pub` item in a library crate carries a doc
+//!   comment (or `#[doc...]` attribute).
+//! * `no-exit` — no `std::process::exit` outside `hdx-cli`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Rule identifiers, in reporting order.
+pub const RULES: &[&str] = &["no-unwrap", "no-float-eq", "missing-docs", "no-exit"];
+
+/// Computes a mask marking tokens inside `#[cfg(test)]` / `#[test]` items.
+///
+/// When a test attribute is found, the attribute itself, any further
+/// attributes/doc comments, and the following item (up to its closing brace
+/// or terminating semicolon) are all masked.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") || !matches!(toks.get(i + 1), Some(t) if t.is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (attr_end, is_test) = scan_attribute(toks, i + 1);
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Mask this attribute, any trailing attributes / doc comments, and
+        // then the item body.
+        let mut j = attr_end + 1;
+        loop {
+            if matches!(toks.get(j), Some(t) if t.kind == TokKind::Doc) {
+                j += 1;
+            } else if matches!(toks.get(j), Some(t) if t.is_punct("#"))
+                && matches!(toks.get(j + 1), Some(t) if t.is_punct("["))
+            {
+                let (end, _) = scan_attribute(toks, j + 1);
+                j = end + 1;
+            } else {
+                break;
+            }
+        }
+        // Item body: first balanced `{...}` block, or a `;` before any brace.
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                depth += 1;
+                seen_brace = true;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+                if seen_brace && depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(";") && !seen_brace {
+                break;
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(attr_start) {
+            *m = true;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Scans an attribute whose `[` is at `open`. Returns the index of the
+/// matching `]` and whether the attribute marks test-only code
+/// (`#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]`, ...).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut first_ident: Option<&str> = None;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if first_ident.is_none() {
+                first_ident = Some(&t.text);
+            }
+            if t.text == "cfg" {
+                has_cfg = true;
+            }
+            if t.text == "test" {
+                has_test = true;
+            }
+        }
+        j += 1;
+    }
+    let is_test = match first_ident {
+        Some("cfg") => has_cfg && has_test,
+        Some("test") => true,
+        _ => false,
+    };
+    (j.min(toks.len().saturating_sub(1)), is_test)
+}
+
+/// `no-unwrap`: flags `.unwrap(`, `.expect(` and `panic!` outside tests.
+pub fn rule_no_unwrap(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next_paren = matches!(toks.get(i + 1), Some(n) if n.is_punct("("));
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_paren => out.push(Violation {
+                rule: "no-unwrap",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("`.{}(...)` in library crate (use a typed error)", t.text),
+            }),
+            "panic" if matches!(toks.get(i + 1), Some(n) if n.is_punct("!")) => {
+                out.push(Violation {
+                    rule: "no-unwrap",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: "`panic!` in library crate (use a typed error)".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `no-float-eq`: flags `==`/`!=` whose left or right operand is a
+/// floating-point literal. `f64::INFINITY`-style constant comparisons are
+/// intentionally not matched (exact unboundedness checks are sound).
+pub fn rule_no_float_eq(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let lhs_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+        let rhs_float = match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Float => true,
+            Some(n) if n.is_punct("-") => {
+                matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Float)
+            }
+            _ => false,
+        };
+        if lhs_float || rhs_float {
+            out.push(Violation {
+                rule: "no-float-eq",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` against a float literal (use `hdx_stats::approx`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Item keywords that require documentation when `pub`.
+const ITEM_KWS: &[&str] = &["fn", "struct", "enum", "trait", "type", "mod", "static", "union"];
+
+/// `missing-docs`: flags `pub` items in library crates without a preceding
+/// doc comment or `#[doc ...]` attribute. `pub(crate)`/`pub(super)` items
+/// and `pub use` re-exports are exempt; struct fields are not checked.
+pub fn rule_missing_docs(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !t.is_ident("pub") {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` / `pub(in ...)` are not public API.
+        if matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+            continue;
+        }
+        let Some((kind, name)) = item_after_pub(toks, i) else {
+            continue;
+        };
+        if !is_documented(toks, i) {
+            out.push(Violation {
+                rule: "missing-docs",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("public {kind} `{name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+/// Identifies the item declared after a `pub` at index `i`:
+/// `Some((kind, name))` for doc-requiring items, `None` otherwise
+/// (e.g. `pub use`, struct fields).
+fn item_after_pub(toks: &[Tok], i: usize) -> Option<(String, String)> {
+    let mut j = i + 1;
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Str => {
+                // ABI string after `extern`.
+                j += 1;
+            }
+            TokKind::Ident => match t.text.as_str() {
+                "async" | "unsafe" | "extern" | "default" => j += 1,
+                "const" => {
+                    // `pub const fn f` (modifier) vs `pub const NAME` (item).
+                    if matches!(toks.get(j + 1), Some(n) if n.is_ident("fn")) {
+                        j += 1;
+                    } else {
+                        let name = toks.get(j + 1)?.text.clone();
+                        return Some(("const".to_string(), name));
+                    }
+                }
+                kw if ITEM_KWS.contains(&kw) => {
+                    let name = toks.get(j + 1)?.text.clone();
+                    return Some((kw.to_string(), name));
+                }
+                _ => return None, // `pub use`, `pub field: T`, macro output...
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// Walks backwards from the `pub` at index `i` over attributes and doc
+/// comments; true when a doc comment or `#[doc ...]` attribute is found.
+fn is_documented(toks: &[Tok], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        let prev = &toks[k - 1];
+        if prev.kind == TokKind::Doc {
+            // Outer docs (`///`, `/**`) document the following item; inner
+            // docs (`//!`, `/*!`) document the *enclosing* module and leave
+            // the next item undocumented.
+            return prev.text.starts_with("///") || prev.text.starts_with("/**");
+        }
+        if prev.is_punct("]") {
+            // Walk back to the matching `[`, noting a `doc` ident inside.
+            let mut depth = 0usize;
+            let mut m = k - 1;
+            let mut saw_doc = false;
+            loop {
+                let t = &toks[m];
+                if t.is_punct("]") {
+                    depth += 1;
+                } else if t.is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("doc") {
+                    saw_doc = true;
+                }
+                if m == 0 {
+                    return false;
+                }
+                m -= 1;
+            }
+            if saw_doc {
+                return true;
+            }
+            // Step over the `#` introducing the attribute.
+            if m > 0 && toks[m - 1].is_punct("#") {
+                k = m - 1;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// `no-exit`: flags `process::exit` calls (any path ending in them).
+pub fn rule_no_exit(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !t.is_ident("exit") {
+            continue;
+        }
+        if i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("process") {
+            out.push(Violation {
+                rule: "no-exit",
+                file: file.to_string(),
+                line: t.line,
+                message: "`std::process::exit` outside hdx-cli (return an exit code instead)"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Built-in self-test (`hdx-lint --self-test`).
+//!
+//! Runs the rule passes over embedded fixture snippets with deliberately
+//! planted violations — an `unwrap()` in "hdx-mining", a float `==` in
+//! "hdx-stats", an undocumented `pub fn`, a `process::exit` — and negative
+//! fixtures that must stay clean. This guards the analyzer itself: a lexer
+//! or masking regression that silently stops reporting would otherwise look
+//! like a green run.
+
+use crate::lexer;
+use crate::rules::{self, Violation};
+use std::process::ExitCode;
+
+struct Fixture {
+    name: &'static str,
+    /// Pretend workspace-relative path (controls which rules apply).
+    path: &'static str,
+    src: &'static str,
+    /// Expected `(rule, line)` pairs, in any order.
+    expect: &'static [(&'static str, u32)],
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "planted unwrap/expect/panic in a library crate",
+        path: "crates/hdx-mining/src/planted.rs",
+        src: "//! Module docs.\n\
+              /// Docs.\n\
+              pub fn f(x: Option<u32>) -> u32 {\n\
+              \x20   let y = x.unwrap();\n\
+              \x20   let z = x.expect(\"msg\");\n\
+              \x20   if y > z { panic!(\"boom\"); }\n\
+              \x20   y\n\
+              }\n",
+        expect: &[("no-unwrap", 4), ("no-unwrap", 5), ("no-unwrap", 6)],
+    },
+    Fixture {
+        name: "planted float == in hdx-stats",
+        path: "crates/hdx-stats/src/planted.rs",
+        src: "/// Docs.\n\
+              pub fn g(t: f64) -> bool {\n\
+              \x20   if t == 0.0 { return true; }\n\
+              \x20   t != 1.5e-3\n\
+              }\n",
+        expect: &[("no-float-eq", 3), ("no-float-eq", 4)],
+    },
+    Fixture {
+        name: "planted undocumented pub items",
+        path: "crates/hdx-core/src/planted.rs",
+        src: "//! Module docs.\n\
+              pub fn naked() {}\n\
+              /// Documented.\n\
+              pub struct Ok1;\n\
+              #[derive(Debug)]\n\
+              pub struct Naked2;\n\
+              pub(crate) fn internal() {}\n",
+        expect: &[("missing-docs", 2), ("missing-docs", 6)],
+    },
+    Fixture {
+        name: "planted process::exit in a non-cli crate",
+        path: "crates/hdx-data/src/planted.rs",
+        src: "/// Docs.\n\
+              pub fn h() {\n\
+              \x20   std::process::exit(1);\n\
+              }\n",
+        expect: &[("no-exit", 3)],
+    },
+    Fixture {
+        name: "test code, doc examples and unwrap_or are exempt",
+        path: "crates/hdx-items/src/clean.rs",
+        src: "//! Module docs with `x.unwrap()` in prose.\n\
+              /// ```\n\
+              /// let v = Some(1).unwrap();\n\
+              /// ```\n\
+              pub fn k(x: Option<f64>) -> f64 {\n\
+              \x20   x.unwrap_or(0.0)\n\
+              }\n\
+              #[cfg(test)]\n\
+              mod tests {\n\
+              \x20   #[test]\n\
+              \x20   fn t() {\n\
+              \x20       let v: Option<f64> = Some(0.0);\n\
+              \x20       assert!(v.unwrap() == 0.0);\n\
+              \x20       panic!(\"fine in tests\");\n\
+              \x20   }\n\
+              }\n",
+        expect: &[],
+    },
+    Fixture {
+        name: "infinity comparisons and non-literal float == are not flagged",
+        path: "crates/hdx-items/src/clean2.rs",
+        src: "/// Docs.\n\
+              pub fn unbounded(lo: f64, hi: f64) -> bool {\n\
+              \x20   lo == f64::NEG_INFINITY && hi == f64::INFINITY\n\
+              }\n",
+        expect: &[],
+    },
+    Fixture {
+        name: "cfg(test) fn followed by more code keeps masking scoped",
+        path: "crates/hdx-items/src/clean3.rs",
+        src: "#[cfg(test)]\n\
+              fn helper() { let _ = Some(1).unwrap(); }\n\
+              /// Docs.\n\
+              pub fn live(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        expect: &[("no-unwrap", 4)],
+    },
+    Fixture {
+        name: "exit is allowed in hdx-cli",
+        path: "crates/hdx-cli/src/clean.rs",
+        src: "fn bail() { std::process::exit(2); }\n",
+        expect: &[],
+    },
+];
+
+/// Runs all fixtures; prints a PASS/FAIL line per fixture.
+pub fn run() -> ExitCode {
+    let mut failures = 0usize;
+    for fx in FIXTURES {
+        let mut got: Vec<Violation> = Vec::new();
+        check_fixture(fx.path, fx.src, &mut got);
+        let mut got_pairs: Vec<(&str, u32)> = got.iter().map(|v| (v.rule, v.line)).collect();
+        let mut want: Vec<(&str, u32)> = fx.expect.to_vec();
+        got_pairs.sort_unstable();
+        want.sort_unstable();
+        if got_pairs == want {
+            println!("PASS {}", fx.name);
+        } else {
+            failures += 1;
+            println!("FAIL {}", fx.name);
+            println!("  expected: {want:?}");
+            println!("  got:      {got_pairs:?}");
+            for v in &got {
+                println!("    {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+        }
+    }
+    if failures == 0 {
+        println!("hdx-lint self-test: {} fixture(s) passed", FIXTURES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("hdx-lint self-test: {failures} fixture(s) FAILED");
+        ExitCode::from(1)
+    }
+}
+
+/// Mirrors `main::check_file`'s rule dispatch for a fixture path.
+fn check_fixture(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let toks = lexer::lex(src);
+    let mask = rules::test_mask(&toks);
+    let krate = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or(".");
+    let is_lib = matches!(
+        krate,
+        "hdx-core" | "hdx-mining" | "hdx-items" | "hdx-stats" | "hdx-discretize" | "hdx-data"
+    );
+    if is_lib {
+        rules::rule_no_unwrap(&toks, &mask, rel, out);
+        rules::rule_no_float_eq(&toks, &mask, rel, out);
+        rules::rule_missing_docs(&toks, &mask, rel, out);
+    }
+    if krate != "hdx-cli" {
+        rules::rule_no_exit(&toks, &mask, rel, out);
+    }
+}

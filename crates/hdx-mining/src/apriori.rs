@@ -68,15 +68,19 @@ pub fn apriori(
             }
             for a in i..j {
                 for b in (a + 1)..j {
-                    let la = *level[a].items().last().expect("non-empty");
-                    let lb = *level[b].items().last().expect("non-empty");
+                    let ([.., la], [.., lb]) = (level[a].items(), level[b].items()) else {
+                        debug_assert!(false, "level itemsets are non-empty");
+                        continue;
+                    };
+                    let (la, lb) = (*la, *lb);
                     debug_assert!(la < lb, "level sorted lexicographically");
                     if catalog.attr_of(la) == catalog.attr_of(lb) {
                         continue;
                     }
-                    let candidate = level[a]
-                        .with_item(lb, catalog)
-                        .expect("attrs checked disjoint");
+                    let Some(candidate) = level[a].with_item(lb, catalog) else {
+                        debug_assert!(false, "join pair attrs checked disjoint");
+                        continue;
+                    };
                     // Prune: every (k-1)-subset must be frequent.
                     if candidate.sub_itemsets().all(|s| prev.contains(&s)) {
                         next.push(candidate);
@@ -89,10 +93,12 @@ pub fn apriori(
         // Count step: intersect member covers.
         let mut survivors: Vec<Itemset> = Vec::new();
         for candidate in next {
-            let mut it = candidate.items().iter();
-            let first = *it.next().expect("candidates have k >= 2 items");
-            let mut joint = cover_of(first).clone();
-            for &item in it {
+            let [first, rest @ ..] = candidate.items() else {
+                debug_assert!(false, "candidates have k >= 2 items");
+                continue;
+            };
+            let mut joint = cover_of(*first).clone();
+            for &item in rest {
                 joint.and_assign(cover_of(item));
             }
             if joint.count() as u64 >= min_count {

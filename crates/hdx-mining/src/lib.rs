@@ -54,6 +54,10 @@
 //! assert_eq!(result.divergence(joint), Some(0.5));
 //! ```
 
+/// Runtime validators for mining results (itemset validity, support
+/// threshold, anti-monotonicity).
+pub mod invariants;
+
 mod apriori;
 mod fpgrowth;
 mod result;
@@ -114,8 +118,12 @@ impl MiningConfig {
 
 /// Mines all frequent itemsets of `transactions` under `config`.
 ///
+/// Under the `debug-invariants` feature, every result is validated against
+/// the mining-lattice invariants (see [`invariants`]) before it is returned.
+///
 /// # Panics
-/// Panics when `config.min_support` is outside `(0, 1]`.
+/// Panics when `config.min_support` is outside `(0, 1]` (and, under
+/// `debug-invariants`, when the produced result violates an invariant).
 pub fn mine(
     transactions: &Transactions,
     catalog: &ItemCatalog,
@@ -125,12 +133,15 @@ pub fn mine(
         config.min_support > 0.0 && config.min_support <= 1.0,
         "min_support must be in (0, 1]"
     );
-    match config.algorithm {
+    let result = match config.algorithm {
         MiningAlgorithm::Apriori => apriori(transactions, catalog, config),
         MiningAlgorithm::FpGrowth => fpgrowth(transactions, catalog, config),
         MiningAlgorithm::Vertical => vertical(transactions, catalog, config),
         MiningAlgorithm::VerticalParallel => vertical_parallel(transactions, catalog, config),
-    }
+    };
+    #[cfg(feature = "debug-invariants")]
+    invariants::assert_result(&result, catalog, config.min_count(transactions.n_rows()));
+    result
 }
 
 #[cfg(test)]

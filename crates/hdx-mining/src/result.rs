@@ -84,17 +84,13 @@ impl MiningResult {
 
     /// Itemsets sorted by descending divergence.
     pub fn ranked_by_divergence(&self) -> Vec<&FrequentItemset> {
-        let mut v: Vec<&FrequentItemset> = self
+        let mut v: Vec<(&FrequentItemset, f64)> = self
             .itemsets
             .iter()
-            .filter(|fi| self.divergence(fi).is_some())
+            .filter_map(|fi| self.divergence(fi).map(|d| (fi, d)))
             .collect();
-        v.sort_by(|a, b| {
-            self.divergence(b)
-                .partial_cmp(&self.divergence(a))
-                .expect("divergences filtered to Some")
-        });
-        v
+        v.sort_by(|(_, a), (_, b)| b.total_cmp(a));
+        v.into_iter().map(|(fi, _)| fi).collect()
     }
 
     /// The *closed* frequent itemsets: those with no frequent superset of

@@ -96,7 +96,7 @@ impl Transactions {
                             catalog.item(leaf).interval().map(|j| (j.lo, j.hi, leaf))
                         })
                         .collect();
-                    leaves.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite his"));
+                    leaves.sort_by(|a, b| a.1.total_cmp(&b.1));
                     let values = df.continuous(attr).values();
                     for (row, &v) in values.iter().enumerate() {
                         if v.is_nan() {

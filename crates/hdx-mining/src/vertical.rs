@@ -185,7 +185,11 @@ pub fn vertical_parallel(
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("mining worker panicked"));
+            match handle.join() {
+                Ok(local) => out.extend(local),
+                // Re-raise the worker's panic on the caller thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
 

@@ -1,0 +1,110 @@
+//! Epsilon-aware floating-point comparisons.
+//!
+//! Divergences, t-values and probabilities flow through long chains of
+//! floating-point arithmetic; comparing them with `==`/`!=` is a recurring
+//! source of silent bugs (and is forbidden workspace-wide by `hdx-lint`'s
+//! `no-float-eq` rule). These helpers centralise the tolerance policy:
+//! a tight absolute epsilon combined with a relative one, suited to the
+//! `[-1, 1]`-ish magnitudes of divergences and probabilities as well as
+//! large t-values.
+//!
+//! Exact comparisons against *structural* constants (`f64::INFINITY` for
+//! unbounded interval ends, for instance) remain legitimate and are not
+//! routed through this module.
+
+/// Absolute tolerance: far below statistical noise, far above accumulated
+/// rounding error of the pipelines in this workspace.
+pub const ABS_EPS: f64 = 1e-12;
+
+/// Relative tolerance applied on top of [`ABS_EPS`] for large magnitudes.
+pub const REL_EPS: f64 = 1e-12;
+
+/// True when `a` and `b` are equal within tolerance
+/// (`|a − b| ≤ ABS_EPS + REL_EPS · max(|a|, |b|)`).
+///
+/// `NaN` is equal to nothing, like `==`. Infinities of the same sign
+/// compare equal.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        // Covers equal infinities (where the tolerance arithmetic would
+        // produce NaN) and the common exact case.
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        // Opposite-sign infinities and NaN: the tolerance formula below
+        // degenerates to `inf ≤ inf` / NaN and must not be consulted.
+        return false;
+    }
+    (a - b).abs() <= ABS_EPS + REL_EPS * a.abs().max(b.abs())
+}
+
+/// True when `a` and `b` differ beyond tolerance. `NaN` differs from
+/// everything (including itself), like `!=`.
+pub fn approx_ne(a: f64, b: f64) -> bool {
+    !approx_eq(a, b) || a.is_nan() || b.is_nan()
+}
+
+/// True when `x` is zero within the absolute tolerance.
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= ABS_EPS
+}
+
+/// True when `a` and `b` have the same sign (both positive, both negative,
+/// or both zero). `NaN` never shares a sign with anything.
+pub fn same_sign(a: f64, b: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    (a > 0.0) == (b > 0.0) && (a < 0.0) == (b < 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_within_tolerance() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-15));
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(!approx_eq(1.0, 1.0 + 1e-9));
+        // Relative tolerance matters at large magnitudes.
+        assert!(approx_eq(1e9, 1e9 + 1e-4));
+        assert!(!approx_eq(1e9, 1e9 + 1.0));
+    }
+
+    #[test]
+    fn ne_mirrors_eq_except_nan() {
+        assert!(!approx_ne(0.3, 0.1 + 0.2));
+        assert!(approx_ne(1.0, 2.0));
+        assert!(approx_ne(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(-0.0));
+        assert!(approx_zero(1e-15));
+        assert!(!approx_zero(1e-9));
+        assert!(!approx_zero(f64::NAN));
+    }
+
+    #[test]
+    fn infinities() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY));
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn sign_agreement() {
+        assert!(same_sign(0.5, 3.0));
+        assert!(same_sign(-0.5, -3.0));
+        assert!(same_sign(0.0, 0.0));
+        assert!(same_sign(0.0, -0.0));
+        assert!(!same_sign(0.5, -3.0));
+        assert!(!same_sign(0.0, 1.0));
+        assert!(!same_sign(f64::NAN, 1.0));
+        assert!(!same_sign(f64::NAN, f64::NAN));
+    }
+}

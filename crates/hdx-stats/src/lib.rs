@@ -14,7 +14,13 @@
 //!   discretization baseline (paper §VI-D);
 //! * [`Outcome`] / [`StatAccum`] — the outcome-function values of §III-B and
 //!   the additive accumulator that lets the miners compute divergence in the
-//!   same pass as support.
+//!   same pass as support;
+//! * [`approx`] — epsilon-aware float comparisons (the only sanctioned way
+//!   to compare divergences/t-values for equality; see `hdx-lint`'s
+//!   `no-float-eq` rule).
+
+/// Tolerance-based floating-point comparison helpers.
+pub mod approx;
 
 mod accum;
 mod dist;
@@ -25,6 +31,7 @@ mod tdist;
 mod welch;
 
 pub use accum::MeanVar;
+pub use approx::{approx_eq, approx_ne, approx_zero, same_sign};
 pub use dist::{cholesky, MultivariateNormal, Normal};
 pub use entropy::{binary_entropy, entropy_of_counts};
 pub use outcome::{Outcome, StatAccum};

@@ -144,7 +144,7 @@ impl StatAccum {
     /// variance): no evidence against the null.
     pub fn p_value(&self, global: &StatAccum) -> f64 {
         let t = self.t_value(global);
-        if t == 0.0 {
+        if crate::approx::approx_zero(t) {
             return 1.0;
         }
         welch_p_value(

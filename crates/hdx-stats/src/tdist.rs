@@ -40,10 +40,10 @@ fn ln_gamma(x: f64) -> f64 {
 fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
     assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
-    if x == 0.0 {
+    if crate::approx::approx_zero(x) {
         return 0.0;
     }
-    if x == 1.0 {
+    if crate::approx::approx_eq(x, 1.0) {
         return 1.0;
     }
     // `front` is symmetric under (a, b, x) ↔ (b, a, 1−x), so both branches

@@ -1,7 +1,9 @@
 //! Property-based tests of the core data structures: bitsets, intervals,
 //! accumulators and itemsets.
 
-use h_divexplorer::data::AttrId;
+use h_divexplorer::data::{AttrId, DataFrameBuilder, Value};
+use h_divexplorer::discretize::invariants as tree_invariants;
+use h_divexplorer::discretize::{GainCriterion, TreeDiscretizer};
 use h_divexplorer::items::{Bitset, Interval, Item, ItemCatalog, Itemset};
 use h_divexplorer::stats::{MeanVar, Outcome, StatAccum};
 use proptest::prelude::*;
@@ -142,5 +144,36 @@ proptest! {
                 prop_assert!(unique.len() < attrs.len());
             }
         }
+    }
+
+    /// Every tree the discretizer builds satisfies the structural invariants
+    /// checked by `--features debug-invariants`: non-root supports ≥ st,
+    /// binary splits only, children partitioning their parent's support —
+    /// for both gain criteria, across arbitrary value/outcome columns
+    /// (including missing values and undefined outcomes).
+    #[test]
+    fn discretization_trees_satisfy_invariants(
+        cells in proptest::collection::vec(
+            (proptest::option::of(-50.0f64..50.0), proptest::option::of(any::<bool>())),
+            10..120,
+        ),
+        min_support in 0.05f64..0.45,
+        entropy in any::<bool>(),
+    ) {
+        let mut b = DataFrameBuilder::new();
+        let attr = b.add_continuous("x").expect("fresh builder accepts x");
+        let mut outcomes = Vec::with_capacity(cells.len());
+        for (value, outcome) in &cells {
+            b.push_row(vec![Value::Num(value.unwrap_or(f64::NAN))])
+                .expect("row arity matches schema");
+            outcomes.push(outcome.map_or(Outcome::Undefined, Outcome::Bool));
+        }
+        let df = b.finish();
+        let criterion = if entropy { GainCriterion::Entropy } else { GainCriterion::Divergence };
+        let discretizer = TreeDiscretizer::with_support(min_support, criterion);
+        let mut catalog = ItemCatalog::new();
+        let (_, tree) = discretizer.discretize_attribute(&df, attr, &outcomes, &mut catalog);
+        let verdict = tree_invariants::validate_tree(&tree, min_support);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
     }
 }

@@ -4,9 +4,12 @@
 
 use std::collections::HashMap;
 
+use h_divexplorer::core::invariants::validate_sign_homogeneity;
 use h_divexplorer::core::{mine_with_polarity, split_by_polarity};
 use h_divexplorer::data::AttrId;
-use h_divexplorer::items::{Item, ItemCatalog, ItemId, Itemset};
+use h_divexplorer::items::invariants as item_invariants;
+use h_divexplorer::items::{Interval, Item, ItemCatalog, ItemId, Itemset};
+use h_divexplorer::mining::invariants as mining_invariants;
 use h_divexplorer::mining::{mine, MiningAlgorithm, MiningConfig, Transactions};
 use h_divexplorer::stats::Outcome;
 use proptest::prelude::*;
@@ -238,6 +241,85 @@ proptest! {
         let (pos, neg) = split_by_polarity(&db.transactions);
         for item in db.transactions.distinct_items() {
             prop_assert!(pos.contains(&item) || neg.contains(&item));
+        }
+    }
+
+    /// The runtime invariant checker accepts every miner's output: canonical
+    /// itemsets, support ≥ ⌈s·n⌉ and anti-monotonicity. These are exactly the
+    /// checks `--features debug-invariants` runs inside `mine` itself, so this
+    /// doubles as a meta-test of the checker on arbitrary databases.
+    #[test]
+    fn invariant_checker_accepts_miner_output(db in db_strategy(), s in 0.05f64..0.5) {
+        for algorithm in [
+            MiningAlgorithm::Apriori,
+            MiningAlgorithm::FpGrowth,
+            MiningAlgorithm::Vertical,
+            MiningAlgorithm::VerticalParallel,
+        ] {
+            let config = MiningConfig { min_support: s, max_len: None, algorithm };
+            let result = mine(&db.transactions, &db.catalog, &config);
+            let min_count = config.min_count(db.transactions.n_rows());
+            let verdict = mining_invariants::validate_result(&result, &db.catalog, min_count);
+            prop_assert!(verdict.is_ok(), "{:?}: {}", algorithm, verdict.unwrap_err());
+        }
+    }
+
+    /// The sign-homogeneity checker accepts every polarity-pruned result
+    /// (§V-C): no mined itemset mixes strictly-positive and strictly-negative
+    /// items.
+    #[test]
+    fn invariant_checker_accepts_polarity_output(db in db_strategy(), s in 0.05f64..0.5) {
+        let config = MiningConfig {
+            min_support: s,
+            max_len: None,
+            algorithm: MiningAlgorithm::Vertical,
+        };
+        let pruned = mine_with_polarity(&db.transactions, &db.catalog, &config);
+        let verdict = validate_sign_homogeneity(&pruned, &db.transactions);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+}
+
+/// Negative tests: the checker must reject hand-built ill-formed itemsets
+/// that no miner should ever produce.
+mod invariant_rejections {
+    use super::*;
+
+    /// An itemset combining an ancestor interval item with its descendant —
+    /// two items of the same attribute — violates the one-item-per-attribute
+    /// invariant and is rejected with `DuplicateAttribute`.
+    #[test]
+    fn ancestor_descendant_itemset_rejected() {
+        let mut catalog = ItemCatalog::new();
+        let attr = AttrId(0);
+        let ancestor = catalog.intern(Item::range(attr, Interval::new(0.0, 10.0), "x"));
+        let descendant = catalog.intern(Item::range(attr, Interval::new(0.0, 5.0), "x"));
+        let mut ids = vec![ancestor, descendant];
+        ids.sort();
+        // Bypasses `Itemset::new`'s attribute check (ids are sorted, so the
+        // canonical-order debug assertion stays quiet).
+        let itemset = Itemset::from_sorted_unchecked(ids);
+        match item_invariants::validate_itemset(&itemset, &catalog) {
+            Err(item_invariants::InvariantViolation::DuplicateAttribute {
+                first, second, ..
+            }) => {
+                let mut reported = [first, second];
+                reported.sort();
+                let mut expected = [ancestor, descendant];
+                expected.sort();
+                assert_eq!(reported, expected);
+            }
+            other => panic!("expected DuplicateAttribute, got {other:?}"),
+        }
+    }
+
+    /// Out-of-order item ids are rejected with `NotCanonical`.
+    #[test]
+    fn unsorted_items_rejected() {
+        let ids = [ItemId(3), ItemId(1)];
+        match item_invariants::validate_canonical_order(&ids) {
+            Err(item_invariants::InvariantViolation::NotCanonical { .. }) => {}
+            other => panic!("expected NotCanonical, got {other:?}"),
         }
     }
 }
