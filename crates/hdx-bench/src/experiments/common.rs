@@ -1,6 +1,8 @@
 //! Shared experiment plumbing.
 
-use hdx_core::{ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult, OutcomeFn};
+use hdx_core::{
+    ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult, OutcomeFn, Termination,
+};
 use hdx_datasets::Dataset;
 use hdx_stats::Outcome;
 
@@ -44,6 +46,9 @@ pub struct RunStats {
     pub top_t: f64,
     /// Number of frequent subgroups explored.
     pub n_subgroups: usize,
+    /// How the run ended (`Complete` unless a budget/deadline tripped —
+    /// a partial run's timings are not comparable to a complete one's).
+    pub termination: Termination,
 }
 
 /// Runs a full pipeline exploration on a dataset and condenses the result.
@@ -70,5 +75,6 @@ pub fn condense(result: &HDivResult) -> RunStats {
         top_statistic: top.and_then(|r| r.statistic).unwrap_or(f64::NAN),
         top_t: top.map_or(0.0, |r| r.t_value),
         n_subgroups: result.report.records.len(),
+        termination: result.termination(),
     }
 }

@@ -72,6 +72,7 @@ pub fn rows(args: Args) -> Vec<Row> {
                 top_statistic: top.and_then(|r| r.statistic).unwrap_or(f64::NAN),
                 top_t: top.map_or(0.0, |r| r.t_value),
                 n_subgroups: report.records.len(),
+                termination: report.termination,
             },
         });
 

@@ -1,6 +1,7 @@
 //! Command-line parsing (hand-rolled; no dependencies).
 
 use std::fmt;
+use std::time::Duration;
 
 /// CLI failure: a message shown to the user (exit code 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +114,13 @@ pub struct ExploreOpts {
     pub fd_tolerance: Option<f64>,
     /// JSON output.
     pub json: bool,
+    /// Wall-clock budget for the run (partial results + exit code 3 when
+    /// exceeded).
+    pub timeout: Option<Duration>,
+    /// Cap on mined itemsets (partial results + exit code 3 when hit).
+    pub max_itemsets: Option<u64>,
+    /// Retry with doubled support when the itemset budget trips.
+    pub adaptive_support: bool,
 }
 
 /// `hdx discretize` options.
@@ -233,6 +241,26 @@ fn check_tree_support(st: f64) -> Result<(), CliError> {
     }
 }
 
+/// Parses a duration flag value: a number with an `ms`, `s` or `m` suffix
+/// (`500ms`, `30s`, `5m`); a bare number means seconds.
+fn parse_duration(raw: &str) -> Result<Duration, CliError> {
+    let (digits, scale_ms) = if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1000.0)
+    } else if let Some(d) = raw.strip_suffix('m') {
+        (d, 60_000.0)
+    } else {
+        (raw, 1000.0)
+    };
+    match digits.parse::<f64>() {
+        Ok(v) if v >= 0.0 && v.is_finite() => Ok(Duration::from_secs_f64(v * scale_ms / 1000.0)),
+        _ => Err(CliError::new(format!(
+            "invalid --timeout `{raw}` (use e.g. 500ms, 30s, 5m)"
+        ))),
+    }
+}
+
 fn parse_criterion(cur: &mut Cursor) -> Result<bool, CliError> {
     match cur.value("--criterion")?.as_str() {
         "divergence" => Ok(false),
@@ -282,6 +310,9 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 non_redundant: false,
                 fd_tolerance: None,
                 json: false,
+                timeout: None,
+                max_itemsets: None,
+                adaptive_support: false,
             };
             while let Some(flag) = cur.args.next() {
                 if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
@@ -302,6 +333,9 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                     "--non-redundant" => opts.non_redundant = true,
                     "--fd" => opts.fd_tolerance = Some(cur.parse_value(&flag)?),
                     "--json" => opts.json = true,
+                    "--timeout" => opts.timeout = Some(parse_duration(&cur.value(&flag)?)?),
+                    "--max-itemsets" => opts.max_itemsets = Some(cur.parse_value(&flag)?),
+                    "--adaptive-support" => opts.adaptive_support = true,
                     other => return Err(CliError::new(format!("unknown flag `{other}`"))),
                 }
             }
@@ -483,6 +517,48 @@ mod tests {
         assert!(parse(v(&["baselines", "d.csv", "--st", "2"])).is_err());
         // s = 1.0 is legal (everything is one subgroup).
         assert!(parse(v(&["explore", "d.csv", "-s", "1.0"])).is_ok());
+    }
+
+    #[test]
+    fn governor_flags() {
+        let Command::Explore(o) = parse(v(&[
+            "explore",
+            "d.csv",
+            "--timeout",
+            "500ms",
+            "--max-itemsets",
+            "1000",
+            "--adaptive-support",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(o.max_itemsets, Some(1000));
+        assert!(o.adaptive_support);
+        // Defaults: unbounded.
+        let Command::Explore(o) = parse(v(&["explore", "d.csv"])).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.timeout, None);
+        assert_eq!(o.max_itemsets, None);
+        assert!(!o.adaptive_support);
+    }
+
+    #[test]
+    fn timeout_suffixes() {
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(parse_duration("30s").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("5m").unwrap(), Duration::from_secs(300));
+        assert_eq!(parse_duration("2").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        for bad in ["", "ms", "-1s", "abc", "1h"] {
+            assert!(parse_duration(bad).is_err(), "`{bad}` should be rejected");
+        }
+        assert!(parse(v(&["explore", "d.csv", "--timeout", "soon"]))
+            .unwrap_err()
+            .0
+            .contains("invalid --timeout"));
     }
 
     #[test]

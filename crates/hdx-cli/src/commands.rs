@@ -6,6 +6,7 @@ use hdx_baselines::{
 };
 use hdx_core::{
     real_outcomes, report_to_json, ExplorationMode, HDivExplorer, HDivExplorerConfig, OutcomeFn,
+    RunBudget,
 };
 use hdx_data::{read_csv, AttributeKind, Column, CsvOptions, DataFrame, NULL_CODE};
 use hdx_discretize::GainCriterion;
@@ -16,13 +17,33 @@ use crate::args::{
 };
 use crate::USAGE;
 
-/// Runs a parsed command, returning its output text.
+/// The output of a successful command.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// `Some(reason)` when the run degraded (deadline, budget, cancellation
+    /// or a lost worker) and the results are a partial-but-valid subset; the
+    /// binary reports the reason on stderr and exits with code 3.
+    pub partial: Option<String>,
+}
+
+impl RunOutput {
+    fn complete(text: String) -> Self {
+        Self {
+            text,
+            partial: None,
+        }
+    }
+}
+
+/// Runs a parsed command, returning its output.
 ///
 /// # Errors
 /// Returns a [`CliError`] with a user-facing message on any failure.
-pub fn run(command: Command) -> Result<String, CliError> {
+pub fn run(command: Command) -> Result<RunOutput, CliError> {
     match command {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => Ok(RunOutput::complete(USAGE.to_string())),
         Command::Describe { path, separator } => {
             let df = read_csv(
                 &path,
@@ -32,12 +53,12 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 },
             )
             .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-            Ok(hdx_data::describe(&df).to_string())
+            Ok(RunOutput::complete(hdx_data::describe(&df).to_string()))
         }
         Command::Explore(opts) => explore(&opts),
-        Command::Discretize(opts) => discretize(&opts),
-        Command::Baselines(opts) => baselines(&opts),
-        Command::Generate(opts) => generate(&opts),
+        Command::Discretize(opts) => discretize(&opts).map(RunOutput::complete),
+        Command::Baselines(opts) => baselines(&opts).map(RunOutput::complete),
+        Command::Generate(opts) => generate(&opts).map(RunOutput::complete),
     }
 }
 
@@ -152,15 +173,26 @@ fn pipeline_config(
     }
 }
 
-fn explore(opts: &ExploreOpts) -> Result<String, CliError> {
+fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
     let (frame, outcomes) = load(&opts.input)?;
-    let mut pipeline = HDivExplorer::new(pipeline_config(
-        opts.support,
-        opts.tree_support,
-        opts.entropy,
-        opts.polarity,
-        opts.max_len,
-    ));
+    let mut budget = RunBudget::unbounded();
+    if let Some(timeout) = opts.timeout {
+        budget = budget.with_deadline(timeout);
+    }
+    if let Some(max) = opts.max_itemsets {
+        budget = budget.with_max_itemsets(max);
+    }
+    let mut pipeline = HDivExplorer::new(HDivExplorerConfig {
+        budget,
+        adaptive_support: opts.adaptive_support,
+        ..pipeline_config(
+            opts.support,
+            opts.tree_support,
+            opts.entropy,
+            opts.polarity,
+            opts.max_len,
+        )
+    });
     if let Some(tolerance) = opts.fd_tolerance {
         pipeline = pipeline.with_discovered_taxonomies(&frame, tolerance);
     }
@@ -170,9 +202,19 @@ fn explore(opts: &ExploreOpts) -> Result<String, CliError> {
         ExplorationMode::Generalized
     };
     let result = pipeline.fit_mode(&frame, &outcomes, mode);
+    let partial = result.is_partial().then(|| {
+        let mut reason = result.termination().to_string();
+        for e in &result.report.errors {
+            reason.push_str(&format!("; {e}"));
+        }
+        reason
+    });
 
     if opts.json {
-        return Ok(report_to_json(&result.report, &result.catalog));
+        return Ok(RunOutput {
+            text: report_to_json(&result.report, &result.catalog),
+            partial,
+        });
     }
     let mut out = format!(
         "{} rows, {} attributes; global statistic {}\n{} subgroups above support {}\n\n",
@@ -185,6 +227,21 @@ fn explore(opts: &ExploreOpts) -> Result<String, CliError> {
         result.report.records.len(),
         opts.support,
     );
+    if let Some(reason) = &partial {
+        out.push_str(&format!("PARTIAL RESULTS ({reason})"));
+        if result.adaptive_retries > 0 {
+            out.push_str(&format!(
+                "; adaptive support raised to {}",
+                result.effective_min_support
+            ));
+        }
+        out.push('\n');
+    } else if result.adaptive_retries > 0 {
+        out.push_str(&format!(
+            "adaptive support: completed at s={} after {} retries\n",
+            result.effective_min_support, result.adaptive_retries
+        ));
+    }
     if opts.non_redundant {
         let filtered = result.report.non_redundant(1e-9);
         out.push_str("itemset | sup | f | Δf | t  (non-redundant)\n");
@@ -201,7 +258,7 @@ fn explore(opts: &ExploreOpts) -> Result<String, CliError> {
     } else {
         out.push_str(&result.report.table(opts.top));
     }
-    Ok(out)
+    Ok(RunOutput { text: out, partial })
 }
 
 fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
@@ -309,9 +366,9 @@ fn generate(opts: &GenerateOpts) -> Result<String, CliError> {
             .add_attribute(attr.clone())
             .map_err(|e| CliError(e.to_string()))?;
     }
-    let has_labels = dataset.y_true.is_some();
-    let has_target = dataset.target.is_some();
-    if has_labels {
+    let labels = dataset.y_true.as_ref().zip(dataset.y_pred.as_ref());
+    let target = dataset.target.as_ref();
+    if labels.is_some() {
         builder
             .add_categorical("y_true")
             .map_err(|e| CliError(e.to_string()))?;
@@ -319,7 +376,7 @@ fn generate(opts: &GenerateOpts) -> Result<String, CliError> {
             .add_categorical("y_pred")
             .map_err(|e| CliError(e.to_string()))?;
     }
-    if has_target {
+    if target.is_some() {
         builder
             .add_continuous("target")
             .map_err(|e| CliError(e.to_string()))?;
@@ -331,16 +388,12 @@ fn generate(opts: &GenerateOpts) -> Result<String, CliError> {
             .iter()
             .map(|(id, _)| dataset.frame.column(id).value(row))
             .collect();
-        if has_labels {
-            let t = dataset.y_true.as_ref().expect("has_labels")[row];
-            let p = dataset.y_pred.as_ref().expect("has_labels")[row];
-            cells.push(hdx_data::Value::Cat(t.to_string()));
-            cells.push(hdx_data::Value::Cat(p.to_string()));
+        if let Some((y_true, y_pred)) = labels {
+            cells.push(hdx_data::Value::Cat(y_true[row].to_string()));
+            cells.push(hdx_data::Value::Cat(y_pred[row].to_string()));
         }
-        if has_target {
-            cells.push(hdx_data::Value::Num(
-                dataset.target.as_ref().expect("has_target")[row],
-            ));
+        if let Some(values) = target {
+            cells.push(hdx_data::Value::Num(values[row]));
         }
         builder
             .push_row(cells)
@@ -377,6 +430,10 @@ mod tests {
     }
 
     fn run_args(args: &[&str]) -> Result<String, CliError> {
+        run(parse(v(args))?).map(|o| o.text)
+    }
+
+    fn run_full(args: &[&str]) -> Result<RunOutput, CliError> {
         run(parse(v(args))?)
     }
 
@@ -483,6 +540,64 @@ mod tests {
         assert!(err2.0.contains("cannot read"));
         let err3 = run_args(&["explore", &path, "--stat", "target"]).unwrap_err();
         assert!(err3.0.contains("--target-col"));
+    }
+
+    #[test]
+    fn budgeted_explore_reports_partial() {
+        let path = write_fixture();
+        // A complete run is not partial.
+        let full = run_full(&["explore", &path]).unwrap();
+        assert!(full.partial.is_none());
+        // An itemset cap produces partial results, flagged for exit code 3.
+        let capped = run_full(&["explore", &path, "-s", "0.01", "--max-itemsets", "3"]).unwrap();
+        let reason = capped.partial.as_deref().expect("capped run is partial");
+        assert!(reason.contains("budget_exhausted"), "reason: {reason}");
+        assert!(capped.text.contains("PARTIAL RESULTS"));
+        assert!(capped.text.contains("3 subgroups"), "text:\n{}", capped.text);
+        // JSON mode carries the verdict in-band.
+        let json = run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.01",
+            "--max-itemsets",
+            "3",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.partial.is_some());
+        assert!(json.text.contains("\"termination\":\"budget_exhausted\""));
+        assert!(json.text.contains("\"partial\":true"));
+    }
+
+    #[test]
+    fn zero_timeout_still_produces_a_report() {
+        let path = write_fixture();
+        let out = run_full(&["explore", &path, "--timeout", "0ms"]).unwrap();
+        let reason = out.partial.as_deref().expect("zero timeout is partial");
+        assert!(reason.contains("deadline_exceeded"), "reason: {reason}");
+        assert!(out.text.contains("0 subgroups"), "text:\n{}", out.text);
+    }
+
+    #[test]
+    fn adaptive_support_coarsens_instead_of_truncating() {
+        let path = write_fixture();
+        let out = run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.01",
+            "--max-itemsets",
+            "6",
+            "--adaptive-support",
+        ])
+        .unwrap();
+        // Either the coarser retry completes (no partial flag) or the budget
+        // still trips at the support ceiling — both must mention adaptation.
+        match &out.partial {
+            None => assert!(out.text.contains("adaptive support"), "{}", out.text),
+            Some(reason) => assert!(reason.contains("budget_exhausted"), "{reason}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub use args::{
     parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
     Stat,
 };
-pub use commands::run;
+pub use commands::{run, RunOutput};
 
 /// Usage text for `hdx help` and errors.
 pub const USAGE: &str = "\
@@ -54,6 +54,11 @@ EXPLORE OPTIONS:
   --non-redundant        drop subgroups explained by a sub-pattern
   --fd <tolerance>       discover taxonomies from functional dependencies
   --json                 emit the full report as JSON
+  --timeout <dur>        wall-clock budget (500ms, 30s, 5m; bare = seconds);
+                         on expiry the partial results print and exit code is 3
+  --max-itemsets <n>     cap on mined subgroups; exceeding it exits 3 likewise
+  --adaptive-support     when --max-itemsets trips, retry with doubled support
+                         (coarser but complete results)
 
 DISCRETIZE OPTIONS:
   --st <f>, --criterion <...> as above

@@ -1,4 +1,8 @@
-//! The `hdx` binary: parse, run, print (or fail with exit code 2).
+//! The `hdx` binary: parse, run, print.
+//!
+//! Exit codes: 0 = success, 2 = error, 3 = success with **partial results**
+//! (a deadline, budget or cancellation tripped; the printed subgroups are a
+//! valid subset of the full answer).
 
 use std::process::ExitCode;
 
@@ -6,8 +10,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match hdx_cli::parse(args).and_then(hdx_cli::run) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            match output.partial {
+                None => ExitCode::SUCCESS,
+                Some(reason) => {
+                    eprintln!("hdx: partial results ({reason})");
+                    ExitCode::from(3)
+                }
+            }
         }
         Err(e) => {
             eprintln!("hdx: {e}");

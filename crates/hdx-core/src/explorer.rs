@@ -3,11 +3,12 @@
 use std::time::Instant;
 
 use hdx_data::DataFrame;
+use hdx_governor::{CancelToken, Governor, RunBudget};
 use hdx_items::{HierarchySet, ItemCatalog};
-use hdx_mining::{mine, MiningAlgorithm, MiningConfig, Transactions};
+use hdx_mining::{mine_governed, MiningAlgorithm, MiningConfig, Transactions};
 use hdx_stats::Outcome;
 
-use crate::polarity::mine_with_polarity;
+use crate::polarity::mine_with_polarity_governed;
 use crate::report::DivergenceReport;
 
 /// Parameters of a divergence exploration.
@@ -21,6 +22,11 @@ pub struct ExplorationConfig {
     pub max_len: Option<usize>,
     /// Whether to apply polarity pruning (§V-C).
     pub polarity_pruning: bool,
+    /// Work/time limits for the run (unbounded by default). When a limit
+    /// trips, the exploration degrades gracefully: the report carries a
+    /// partial-but-valid subset and a non-`Complete`
+    /// [`Termination`](hdx_governor::Termination).
+    pub budget: RunBudget,
 }
 
 impl Default for ExplorationConfig {
@@ -30,6 +36,7 @@ impl Default for ExplorationConfig {
             algorithm: MiningAlgorithm::default(),
             max_len: None,
             polarity_pruning: false,
+            budget: RunBudget::unbounded(),
         }
     }
 }
@@ -50,17 +57,30 @@ impl ExplorationConfig {
 #[derive(Debug, Clone, Default)]
 pub struct DivExplorer {
     config: ExplorationConfig,
+    cancel: CancelToken,
 }
 
 impl DivExplorer {
     /// Creates an explorer.
     pub fn new(config: ExplorationConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cancel: CancelToken::new(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ExplorationConfig {
         &self.config
+    }
+
+    /// Observes an external cancellation token (builder style): cancelling
+    /// the caller's handle makes every subsequent exploration wind down at
+    /// its next poll point and return partial results.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Explores the leaf items of `hierarchies` over `df`.
@@ -88,18 +108,59 @@ impl DivExplorer {
         self.explore_transactions(&transactions, catalog)
     }
 
-    /// Explores pre-encoded transactions.
+    /// [`explore_generalized`](Self::explore_generalized) under an external
+    /// [`Governor`] (used by the hierarchical pipeline to share one budget
+    /// across stages). The governor's limits apply *instead of* the
+    /// config's own [`budget`](ExplorationConfig::budget).
+    pub fn explore_generalized_governed(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+        governor: &Governor,
+    ) -> DivergenceReport {
+        let transactions = Transactions::encode_generalized(df, catalog, hierarchies, outcomes);
+        self.explore_transactions_governed(&transactions, catalog, governor)
+    }
+
+    /// [`explore`](Self::explore) under an external [`Governor`].
+    pub fn explore_governed(
+        &self,
+        df: &DataFrame,
+        catalog: &ItemCatalog,
+        hierarchies: &HierarchySet,
+        outcomes: &[Outcome],
+        governor: &Governor,
+    ) -> DivergenceReport {
+        let transactions = Transactions::encode_base(df, catalog, hierarchies, outcomes);
+        self.explore_transactions_governed(&transactions, catalog, governor)
+    }
+
+    /// Explores pre-encoded transactions under the config's own budget and
+    /// the explorer's cancellation token.
     pub fn explore_transactions(
         &self,
         transactions: &Transactions,
         catalog: &ItemCatalog,
     ) -> DivergenceReport {
+        let governor = Governor::with_token(self.config.budget, self.cancel.clone());
+        self.explore_transactions_governed(transactions, catalog, &governor)
+    }
+
+    /// Explores pre-encoded transactions under an external [`Governor`].
+    pub fn explore_transactions_governed(
+        &self,
+        transactions: &Transactions,
+        catalog: &ItemCatalog,
+        governor: &Governor,
+    ) -> DivergenceReport {
         let start = Instant::now();
         let mining = self.config.mining_config();
         let result = if self.config.polarity_pruning {
-            mine_with_polarity(transactions, catalog, &mining)
+            mine_with_polarity_governed(transactions, catalog, &mining, governor)
         } else {
-            mine(transactions, catalog, &mining)
+            mine_governed(transactions, catalog, &mining, governor)
         };
         DivergenceReport::from_mining(&result, catalog, start.elapsed())
     }
@@ -199,6 +260,48 @@ mod tests {
         let rp = pruned.explore_generalized(&df, &catalog, &hs, &outcomes);
         assert_eq!(rf.max_divergence(), rp.max_divergence());
         assert!(rp.records.len() <= rf.records.len());
+    }
+
+    #[test]
+    fn itemset_budget_truncates_report_and_flags_partial() {
+        use hdx_governor::Termination;
+        let (df, catalog, hs, outcomes) = setup();
+        let explorer = DivExplorer::new(ExplorationConfig {
+            min_support: 0.05,
+            budget: RunBudget::unbounded().with_max_itemsets(3),
+            ..ExplorationConfig::default()
+        });
+        let report = explorer.explore_generalized(&df, &catalog, &hs, &outcomes);
+        assert_eq!(report.records.len(), 3, "exactly the budgeted itemsets");
+        assert_eq!(report.termination, Termination::BudgetExhausted);
+        assert!(report.is_partial());
+        // The truncated records are a subset of the unbounded report.
+        let full = DivExplorer::new(ExplorationConfig {
+            min_support: 0.05,
+            ..ExplorationConfig::default()
+        })
+        .explore_generalized(&df, &catalog, &hs, &outcomes);
+        assert!(full.termination.is_complete());
+        for r in &report.records {
+            let twin = full
+                .records
+                .iter()
+                .find(|f| f.itemset == r.itemset)
+                .expect("truncated record exists in full report");
+            assert_eq!(twin.support, r.support);
+        }
+    }
+
+    #[test]
+    fn external_cancel_token_stops_exploration() {
+        use hdx_governor::{CancelToken, Termination};
+        let (df, catalog, hs, outcomes) = setup();
+        let token = CancelToken::new();
+        token.cancel();
+        let explorer = DivExplorer::default().with_cancel_token(token);
+        let report = explorer.explore_generalized(&df, &catalog, &hs, &outcomes);
+        assert!(report.records.is_empty());
+        assert_eq!(report.termination, Termination::Cancelled);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use hdx_data::{AttributeKind, DataFrame};
 use hdx_discretize::{DiscretizationTree, GainCriterion, TreeDiscretizer, TreeDiscretizerConfig};
+use hdx_governor::{CancelToken, Governor, RunBudget, RunCounters, Termination};
 use hdx_items::{HierarchySet, Item, ItemCatalog, ItemHierarchy, Taxonomy};
 use hdx_mining::MiningAlgorithm;
 use hdx_stats::Outcome;
@@ -48,7 +49,21 @@ pub struct HDivExplorerConfig {
     pub max_len: Option<usize>,
     /// Whether to apply polarity pruning (§V-C).
     pub polarity_pruning: bool,
+    /// Work/time limits for the whole run. The discretization stage charges
+    /// tree nodes; the mining stage charges itemsets and candidate bytes;
+    /// the deadline and the cancel token span both stages.
+    pub budget: RunBudget,
+    /// When the mining stage exhausts its budget, retry with the minimum
+    /// support doubled (up to [`ADAPTIVE_MAX_SUPPORT`], at most
+    /// [`ADAPTIVE_MAX_RETRIES`] times): a coarser-but-complete exploration
+    /// often fits where a fine-grained one cannot.
+    pub adaptive_support: bool,
 }
+
+/// Ceiling for [`HDivExplorerConfig::adaptive_support`] retries.
+pub const ADAPTIVE_MAX_SUPPORT: f64 = 0.5;
+/// Maximum number of adaptive-support retries.
+pub const ADAPTIVE_MAX_RETRIES: u32 = 4;
 
 impl Default for HDivExplorerConfig {
     fn default() -> Self {
@@ -60,17 +75,22 @@ impl Default for HDivExplorerConfig {
             algorithm: MiningAlgorithm::default(),
             max_len: None,
             polarity_pruning: false,
+            budget: RunBudget::unbounded(),
+            adaptive_support: false,
         }
     }
 }
 
 impl HDivExplorerConfig {
-    fn exploration(&self) -> ExplorationConfig {
+    fn exploration(&self, min_support: f64) -> ExplorationConfig {
         ExplorationConfig {
-            min_support: self.min_support,
+            min_support,
             algorithm: self.algorithm,
             max_len: self.max_len,
             polarity_pruning: self.polarity_pruning,
+            // The pipeline drives the governed explorer entry points
+            // directly; the per-stage governors carry the limits.
+            budget: RunBudget::unbounded(),
         }
     }
 
@@ -97,6 +117,31 @@ pub struct HDivResult {
     pub trees: Vec<DiscretizationTree>,
     /// Wall-clock time of the discretization step.
     pub discretization_time: Duration,
+    /// Number of adaptive-support retries the mining stage performed
+    /// (always 0 unless [`HDivExplorerConfig::adaptive_support`] is set).
+    pub adaptive_retries: u32,
+    /// The minimum support the final mining pass actually ran with (equals
+    /// the configured `min_support` unless adaptive retries raised it).
+    pub effective_min_support: f64,
+}
+
+impl HDivResult {
+    /// How the run ended, across both pipeline stages (the worst stage
+    /// outcome; also stamped on [`report`](Self::report)).
+    pub fn termination(&self) -> Termination {
+        self.report.termination
+    }
+
+    /// Work charged across both pipeline stages.
+    pub fn counters(&self) -> RunCounters {
+        self.report.counters
+    }
+
+    /// Whether the run degraded (tripped a limit, was cancelled, or lost a
+    /// worker) and the report is a partial-but-valid subset.
+    pub fn is_partial(&self) -> bool {
+        self.report.is_partial()
+    }
 }
 
 /// The hierarchical subgroup discovery pipeline.
@@ -104,6 +149,7 @@ pub struct HDivResult {
 pub struct HDivExplorer {
     config: HDivExplorerConfig,
     taxonomies: Vec<(String, Taxonomy)>,
+    cancel: CancelToken,
 }
 
 impl HDivExplorer {
@@ -112,12 +158,23 @@ impl HDivExplorer {
         Self {
             config,
             taxonomies: Vec::new(),
+            cancel: CancelToken::new(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &HDivExplorerConfig {
         &self.config
+    }
+
+    /// Observes an external cancellation token (builder style): cancelling
+    /// the caller's handle stops both pipeline stages at their next poll
+    /// point; [`fit`](Self::fit) then returns whatever was computed so far
+    /// with [`Termination::Cancelled`].
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Attaches a taxonomy to a categorical attribute (builder style).
@@ -148,6 +205,18 @@ impl HDivExplorer {
         df: &DataFrame,
         outcomes: &[Outcome],
     ) -> (ItemCatalog, HierarchySet, Vec<DiscretizationTree>) {
+        self.discretize_governed(df, outcomes, &Governor::unbounded())
+    }
+
+    /// [`discretize`](Self::discretize) under a [`Governor`]: tree nodes
+    /// are charged against `max_tree_nodes`, and a tripped governor leaves
+    /// the remaining attributes with coarser (or empty) hierarchies.
+    pub fn discretize_governed(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+        governor: &Governor,
+    ) -> (ItemCatalog, HierarchySet, Vec<DiscretizationTree>) {
         let mut catalog = ItemCatalog::new();
         let mut hierarchies = HierarchySet::new();
         let mut trees = Vec::new();
@@ -155,8 +224,13 @@ impl HDivExplorer {
         for (attr, attribute) in df.schema().iter() {
             match attribute.kind() {
                 AttributeKind::Continuous => {
-                    let (hierarchy, tree) =
-                        discretizer.discretize_attribute(df, attr, outcomes, &mut catalog);
+                    let (hierarchy, tree) = discretizer.discretize_attribute_governed(
+                        df,
+                        attr,
+                        outcomes,
+                        &mut catalog,
+                        governor,
+                    );
                     if !hierarchy.is_empty() {
                         hierarchies.push(hierarchy);
                     }
@@ -254,6 +328,11 @@ impl HDivExplorer {
     }
 
     /// Pipeline body; `outcomes` has already been validated against `df`.
+    ///
+    /// Each stage runs under its own [`Governor`] so that a budget trip in
+    /// one stage (say, the tree-node cap) degrades *that* stage without
+    /// starving the next: a coarser discretization is still worth mining.
+    /// The wall-clock deadline and the cancel token span the whole run.
     fn fit_mode_checked(
         &self,
         df: &DataFrame,
@@ -261,21 +340,59 @@ impl HDivExplorer {
         mode: ExplorationMode,
     ) -> HDivResult {
         let start = Instant::now();
-        let (catalog, hierarchies, trees) = self.discretize(df, outcomes);
+        let budget = self.config.budget;
+        let disc_governor = Governor::with_token(budget, self.cancel.clone());
+        let (catalog, hierarchies, trees) = self.discretize_governed(df, outcomes, &disc_governor);
         let discretization_time = start.elapsed();
-        let explorer = DivExplorer::new(self.config.exploration());
-        let report = match mode {
-            ExplorationMode::Base => explorer.explore(df, &catalog, &hierarchies, outcomes),
-            ExplorationMode::Generalized => {
-                explorer.explore_generalized(df, &catalog, &hierarchies, outcomes)
-            }
+
+        let remaining_deadline = |budget: RunBudget| RunBudget {
+            deadline: budget.deadline.map(|d| d.saturating_sub(start.elapsed())),
+            ..budget
         };
+        let mut min_support = self.config.min_support;
+        let mut adaptive_retries = 0;
+        let (mut report, mine_governor) = loop {
+            let governor = Governor::with_token(remaining_deadline(budget), self.cancel.clone());
+            let explorer = DivExplorer::new(self.config.exploration(min_support));
+            let report = match mode {
+                ExplorationMode::Base => {
+                    explorer.explore_governed(df, &catalog, &hierarchies, outcomes, &governor)
+                }
+                ExplorationMode::Generalized => explorer.explore_generalized_governed(
+                    df,
+                    &catalog,
+                    &hierarchies,
+                    outcomes,
+                    &governor,
+                ),
+            };
+            // Adaptive degradation: trade granularity for completeness by
+            // re-mining at doubled support. Only budget trips qualify — a
+            // deadline or cancellation would cut the retry short too.
+            let exhausted = report.termination == Termination::BudgetExhausted;
+            if self.config.adaptive_support
+                && exhausted
+                && adaptive_retries < ADAPTIVE_MAX_RETRIES
+                && min_support < ADAPTIVE_MAX_SUPPORT
+            {
+                min_support = (min_support * 2.0).min(ADAPTIVE_MAX_SUPPORT);
+                adaptive_retries += 1;
+                continue;
+            }
+            break (report, governor);
+        };
+        // The report speaks for the whole run: worst stage outcome, summed
+        // stage counters.
+        report.termination = report.termination.worst(disc_governor.termination());
+        report.counters = mine_governor.counters().merged(disc_governor.counters());
         HDivResult {
             report,
             catalog,
             hierarchies,
             trees,
             discretization_time,
+            adaptive_retries,
+            effective_min_support: min_support,
         }
     }
 }
@@ -301,7 +418,7 @@ mod tests {
         for _ in 0..n {
             let x: f64 = rng.random_range(0.0..100.0);
             let y: f64 = rng.random_range(0.0..100.0);
-            let g = ["a", "b", "c"][rng.random_range(0..3)];
+            let g = ["a", "b", "c"][rng.random_range(0..3usize)];
             b.push_row(vec![Value::Num(x), Value::Num(y), Value::Cat(g.into())])
                 .unwrap();
             let truth = rng.random::<f64>() < 0.5;
@@ -475,6 +592,104 @@ mod tests {
             pruned.report.max_divergence()
         );
         assert!(pruned.report.records.len() <= complete.report.records.len());
+    }
+
+    #[test]
+    fn pathological_run_degrades_instead_of_dying() {
+        // The ISSUE's acceptance scenario: tiny support over a sizeable
+        // dataset with an itemset cap and a deadline. The run must come back
+        // with non-empty partial results and a `BudgetExhausted` verdict.
+        let (df, outcomes) = setup(2000);
+        let result = HDivExplorer::new(HDivExplorerConfig {
+            min_support: 0.01,
+            budget: RunBudget::unbounded()
+                .with_max_itemsets(5)
+                .with_deadline(Duration::from_secs(30)),
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        assert_eq!(result.termination(), Termination::BudgetExhausted);
+        assert!(result.is_partial());
+        assert_eq!(result.report.records.len(), 5, "budgeted itemsets arrive");
+        assert_eq!(result.counters().itemsets, 5);
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_exceeded() {
+        let (df, outcomes) = setup(500);
+        let result = HDivExplorer::new(HDivExplorerConfig {
+            budget: RunBudget::unbounded().with_deadline(Duration::ZERO),
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        assert_eq!(result.termination(), Termination::DeadlineExceeded);
+        assert!(result.report.records.is_empty());
+    }
+
+    #[test]
+    fn cancelled_pipeline_returns_partial_result() {
+        let (df, outcomes) = setup(500);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = HDivExplorer::default()
+            .with_cancel_token(token)
+            .fit(&df, &outcomes);
+        assert_eq!(result.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn tree_node_budget_starves_only_the_discretizer() {
+        // Per-stage governors: exhausting the tree-node budget must leave a
+        // coarser discretization but still let the mining stage run to
+        // completion over it (plus the categorical attribute).
+        let (df, outcomes) = setup(1000);
+        let result = HDivExplorer::new(HDivExplorerConfig {
+            budget: RunBudget::unbounded().with_max_tree_nodes(2),
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        assert_eq!(result.termination(), Termination::BudgetExhausted);
+        assert_eq!(result.counters().tree_nodes, 2);
+        assert!(
+            !result.report.records.is_empty(),
+            "coarse hierarchy still mined"
+        );
+        assert!(result.counters().itemsets > 0);
+    }
+
+    #[test]
+    fn adaptive_support_trades_granularity_for_completion() {
+        let (df, outcomes) = setup(800);
+        // How many subgroups fit at a coarse support?
+        let coarse = HDivExplorer::new(HDivExplorerConfig {
+            min_support: 0.2,
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        let cap = coarse.report.records.len() as u64;
+        assert!(cap > 0);
+        // A fine-grained run under that cap must climb back up to a support
+        // level that fits, and finish there.
+        let adaptive = HDivExplorer::new(HDivExplorerConfig {
+            min_support: 0.025,
+            budget: RunBudget::unbounded().with_max_itemsets(cap),
+            adaptive_support: true,
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        assert!(adaptive.termination().is_complete());
+        assert!(adaptive.adaptive_retries > 0);
+        assert!(adaptive.effective_min_support > 0.025);
+        assert_eq!(adaptive.report.records.len() as u64, cap);
+        // Without the adaptive flag the same budget just truncates.
+        let truncated = HDivExplorer::new(HDivExplorerConfig {
+            min_support: 0.025,
+            budget: RunBudget::unbounded().with_max_itemsets(cap),
+            ..HDivExplorerConfig::default()
+        })
+        .fit(&df, &outcomes);
+        assert_eq!(truncated.termination(), Termination::BudgetExhausted);
+        assert_eq!(truncated.adaptive_retries, 0);
     }
 
     #[test]

@@ -115,17 +115,17 @@ mod tests {
     }
 
     fn result_with(t: &Transactions, itemsets: Vec<Vec<ItemId>>) -> MiningResult {
-        MiningResult {
-            itemsets: itemsets
+        MiningResult::complete(
+            itemsets
                 .into_iter()
                 .map(|items| FrequentItemset {
                     itemset: Itemset::from_sorted_unchecked(items),
                     accum: StatAccum::from_outcomes(&[Outcome::Bool(true)]),
                 })
                 .collect(),
-            n_rows: t.n_rows(),
-            global: t.global_accum(),
-        }
+            t.n_rows(),
+            t.global_accum(),
+        )
     }
 
     #[test]

@@ -50,12 +50,26 @@ fn opt_number(x: Option<f64>) -> String {
 /// statistic and row count.
 pub fn report_to_json(report: &DivergenceReport, catalog: &ItemCatalog) -> String {
     let mut out = String::from("{");
+    let errors: Vec<String> = report
+        .errors
+        .iter()
+        .map(|e| format!("\"{}\"", escape(&e.to_string())))
+        .collect();
     let _ = write!(
         out,
-        "\"n_rows\":{},\"global_statistic\":{},\"elapsed_seconds\":{},\"subgroups\":[",
+        "\"n_rows\":{},\"global_statistic\":{},\"elapsed_seconds\":{},\
+         \"termination\":\"{}\",\"partial\":{},\
+         \"counters\":{{\"itemsets\":{},\"candidate_bytes\":{},\"tree_nodes\":{}}},\
+         \"errors\":[{}],\"subgroups\":[",
         report.n_rows,
         opt_number(report.global_statistic),
         number(report.elapsed.as_secs_f64()),
+        report.termination,
+        report.is_partial(),
+        report.counters.itemsets,
+        report.counters.candidate_bytes,
+        report.counters.tree_nodes,
+        errors.join(","),
     );
     for (i, r) in report.records.iter().enumerate() {
         if i > 0 {
@@ -123,9 +137,12 @@ pub fn result_to_json(result: &HDivResult) -> String {
         })
         .collect();
     format!(
-        "{{\"report\":{},\"discretization_seconds\":{},\"trees\":[{}]}}",
+        "{{\"report\":{},\"discretization_seconds\":{},\
+         \"adaptive_retries\":{},\"effective_min_support\":{},\"trees\":[{}]}}",
         report_to_json(&result.report, &result.catalog),
         number(result.discretization_time.as_secs_f64()),
+        result.adaptive_retries,
+        number(result.effective_min_support),
         trees.join(","),
     )
 }
@@ -198,6 +215,9 @@ mod tests {
         check_json(&json);
         assert!(json.contains("\"subgroups\":["));
         assert!(json.contains("\"divergence\":"));
+        assert!(json.contains("\"termination\":\"complete\""));
+        assert!(json.contains("\"partial\":false"));
+        assert!(json.contains("\"counters\":{\"itemsets\":"));
         assert!(json.contains("a\\\"quote"), "quotes escaped");
     }
 

@@ -166,7 +166,6 @@ impl<'a> Lattice<'a> {
 mod tests {
     use super::*;
     use hdx_items::ItemId;
-    use std::time::Duration;
 
     /// Report with itemsets {0}, {1}, {0,1}, {0,2}, {2} and prescribed
     /// divergences.
@@ -191,8 +190,7 @@ mod tests {
             ],
             global_statistic: Some(0.0),
             n_rows: 100,
-            elapsed: Duration::ZERO,
-            global_accum: hdx_stats::StatAccum::new(),
+            ..DivergenceReport::empty()
         }
     }
 
@@ -280,8 +278,8 @@ mod tests {
             ],
             global_statistic: Some(0.1),
             n_rows: 1000,
-            elapsed: Duration::ZERO,
             global_accum: acc(100, 900),
+            ..DivergenceReport::empty()
         };
         let lattice = Lattice::new(&report);
         let inherited = lattice.corner_t(&set(&[0, 1])).unwrap();
@@ -297,13 +295,7 @@ mod tests {
 
     #[test]
     fn empty_report_lattice() {
-        let r = DivergenceReport {
-            records: Vec::new(),
-            global_statistic: None,
-            n_rows: 0,
-            elapsed: Duration::ZERO,
-            global_accum: hdx_stats::StatAccum::new(),
-        };
+        let r = DivergenceReport::empty();
         let lattice = Lattice::new(&r);
         assert!(lattice.is_empty());
         assert!(lattice.steepest_path().is_empty());

@@ -55,12 +55,20 @@ mod shapley;
 
 pub use error::CoreError;
 pub use explorer::{DivExplorer, ExplorationConfig};
-pub use hdivexplorer::{ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult};
+pub use hdivexplorer::{
+    ExplorationMode, HDivExplorer, HDivExplorerConfig, HDivResult, ADAPTIVE_MAX_RETRIES,
+    ADAPTIVE_MAX_SUPPORT,
+};
 pub use json::{report_to_json, result_to_json, tree_to_json};
 pub use lattice::Lattice;
 pub use outcome_fn::{
     discounted_exposure_outcomes, real_outcomes, topk_exposure_outcomes, OutcomeFn,
 };
-pub use polarity::{mine_with_polarity, split_by_polarity};
+pub use polarity::{mine_with_polarity, mine_with_polarity_governed, split_by_polarity};
 pub use report::{DivergenceReport, SubgroupRecord};
 pub use shapley::{global_item_contributions, item_contributions};
+
+/// The run-governor subsystem (re-exported from `hdx-governor`): budgets,
+/// deadlines, cooperative cancellation and fail-point injection.
+pub use hdx_governor as governor;
+pub use hdx_governor::{CancelToken, Governor, RunBudget, RunCounters, Termination};

@@ -9,7 +9,10 @@
 use std::collections::HashSet;
 
 use hdx_items::{ItemCatalog, ItemId, Itemset};
-use hdx_mining::{mine, MiningConfig, MiningResult, Transactions};
+use hdx_mining::{mine_governed, Governor, MiningConfig, MiningResult, Transactions};
+
+#[cfg(test)]
+use hdx_mining::mine;
 
 /// Splits the items of `transactions` by the sign of their single-item
 /// divergence. Items with zero or undefined divergence land in *both* sets
@@ -42,24 +45,39 @@ pub fn mine_with_polarity(
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    mine_with_polarity_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`mine_with_polarity`] under a [`Governor`]. Both polarity runs share the
+/// governor (and therefore the budget/deadline); errors from both runs are
+/// merged and the shared termination is reported once.
+pub fn mine_with_polarity_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     let (positive, negative) = split_by_polarity(transactions);
-    let pos_result = mine(&transactions.restrict(&positive), catalog, config);
-    let neg_result = mine(&transactions.restrict(&negative), catalog, config);
+    let pos_result = mine_governed(&transactions.restrict(&positive), catalog, config, governor);
+    let neg_result = mine_governed(&transactions.restrict(&negative), catalog, config, governor);
 
     let mut seen: HashSet<Itemset> = HashSet::new();
     let mut itemsets = Vec::with_capacity(pos_result.itemsets.len());
+    let mut errors = pos_result.errors;
+    errors.extend(neg_result.errors);
     for fi in pos_result.itemsets.into_iter().chain(neg_result.itemsets) {
         if seen.insert(fi.itemset.clone()) {
             itemsets.push(fi);
         }
     }
-    let result = MiningResult {
-        itemsets,
-        n_rows: transactions.n_rows(),
-        global: transactions.global_accum(),
-    };
+    let mut result =
+        MiningResult::complete(itemsets, transactions.n_rows(), transactions.global_accum())
+            .governed_by(governor);
+    result.errors = errors;
     #[cfg(feature = "debug-invariants")]
-    crate::invariants::assert_sign_homogeneity(&result, transactions);
+    if result.termination.is_complete() && result.errors.is_empty() {
+        crate::invariants::assert_sign_homogeneity(&result, transactions);
+    }
     result
 }
 

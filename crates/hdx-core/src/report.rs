@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use hdx_data::AttrId;
 use hdx_items::{ItemCatalog, Itemset};
-use hdx_mining::MiningResult;
+use hdx_mining::{MiningError, MiningResult, RunCounters, Termination};
 use hdx_stats::StatAccum;
 
 /// One discovered subgroup with its statistics.
@@ -56,9 +56,31 @@ pub struct DivergenceReport {
     pub elapsed: Duration,
     /// The statistics of the whole dataset (for lazy per-record intervals).
     pub global_accum: StatAccum,
+    /// How the underlying mining run ended. Anything but
+    /// [`Termination::Complete`] means `records` is a valid subset of the
+    /// unbounded result.
+    pub termination: Termination,
+    /// Work charged against the run's budget.
+    pub counters: RunCounters,
+    /// Non-fatal errors absorbed during mining (e.g. worker panics).
+    pub errors: Vec<MiningError>,
 }
 
 impl DivergenceReport {
+    /// An empty, complete report — also handy as a struct-update base.
+    pub fn empty() -> Self {
+        Self {
+            records: Vec::new(),
+            global_statistic: None,
+            n_rows: 0,
+            elapsed: Duration::ZERO,
+            global_accum: StatAccum::new(),
+            termination: Termination::Complete,
+            counters: RunCounters::default(),
+            errors: Vec::new(),
+        }
+    }
+
     /// Builds a report from a mining result, ranking by divergence.
     pub fn from_mining(result: &MiningResult, catalog: &ItemCatalog, elapsed: Duration) -> Self {
         let mut records: Vec<SubgroupRecord> = result
@@ -77,7 +99,7 @@ impl DivergenceReport {
             .collect();
         records.sort_by(|a, b| {
             match (b.divergence, a.divergence) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite divergences"),
+                (Some(x), Some(y)) => x.total_cmp(&y),
                 (Some(_), None) => std::cmp::Ordering::Greater,
                 (None, Some(_)) => std::cmp::Ordering::Less,
                 (None, None) => std::cmp::Ordering::Equal,
@@ -90,7 +112,16 @@ impl DivergenceReport {
             n_rows: result.n_rows,
             elapsed,
             global_accum: result.global,
+            termination: result.termination,
+            counters: result.counters,
+            errors: result.errors.clone(),
         }
+    }
+
+    /// `true` when the run was cut short (budget, deadline, cancellation) or
+    /// absorbed a worker error — the report is then a valid subset.
+    pub fn is_partial(&self) -> bool {
+        self.termination.is_partial() || !self.errors.is_empty()
     }
 
     /// Two-sided `(1 − alpha)` Welch confidence interval for a record's
@@ -155,7 +186,7 @@ impl DivergenceReport {
             return Vec::new();
         }
         let mut by_p: Vec<&SubgroupRecord> = self.records.iter().collect();
-        by_p.sort_by(|a, b| a.p_value.partial_cmp(&b.p_value).expect("p in [0,1]"));
+        by_p.sort_by(|a, b| a.p_value.total_cmp(&b.p_value));
         let mut cutoff = 0;
         for (i, r) in by_p.iter().enumerate() {
             if r.p_value <= (i + 1) as f64 * q / m as f64 {
@@ -218,7 +249,7 @@ impl DivergenceReport {
             }
         }
         let mut out: Vec<(AttrId, f64)> = best.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -280,8 +311,8 @@ mod tests {
             Outcome::Bool(false),
             Outcome::Bool(false),
         ]);
-        let result = MiningResult {
-            itemsets: vec![
+        let result = MiningResult::complete(
+            vec![
                 FrequentItemset {
                     itemset: Itemset::singleton(a),
                     accum: StatAccum::from_outcomes(&[Outcome::Bool(true), Outcome::Bool(true)]),
@@ -295,9 +326,9 @@ mod tests {
                     accum: StatAccum::from_outcomes(&[Outcome::Bool(false), Outcome::Bool(false)]),
                 },
             ],
-            n_rows: 4,
+            4,
             global,
-        };
+        );
         (result, catalog)
     }
 
@@ -374,13 +405,7 @@ mod tests {
         assert!(report.significant_fdr(0.001).len() <= kept.len());
         assert_eq!(report.significant_fdr(1.0).len(), 4);
         // Empty report.
-        let empty = DivergenceReport {
-            records: Vec::new(),
-            global_statistic: None,
-            n_rows: 0,
-            elapsed: Duration::ZERO,
-            global_accum: StatAccum::new(),
-        };
+        let empty = DivergenceReport::empty();
         assert!(empty.significant_fdr(0.1).is_empty());
     }
 

@@ -122,7 +122,6 @@ mod tests {
     use super::*;
     use crate::report::SubgroupRecord;
     use hdx_items::Itemset;
-    use std::time::Duration;
 
     /// Builds a report with prescribed divergences per itemset.
     fn report(entries: &[(&[u32], f64)]) -> DivergenceReport {
@@ -147,8 +146,7 @@ mod tests {
             records,
             global_statistic: Some(0.0),
             n_rows: 100,
-            elapsed: Duration::ZERO,
-            global_accum: hdx_stats::StatAccum::new(),
+            ..DivergenceReport::empty()
         }
     }
 

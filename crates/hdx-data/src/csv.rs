@@ -9,6 +9,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use hdx_governor::fail_point;
+
 use crate::builder::DataFrameBuilder;
 use crate::error::DataError;
 use crate::frame::DataFrame;
@@ -83,6 +85,10 @@ fn quote_field(field: &str, sep: char) -> String {
 /// Returns [`DataError::Csv`] on malformed input (ragged rows, bad quoting,
 /// missing header).
 pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataError> {
+    fail_point!("data::csv-read", |message: String| DataError::Csv {
+        line: 0,
+        message,
+    });
     let mut lines = text
         .lines()
         .enumerate()

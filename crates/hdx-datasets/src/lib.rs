@@ -34,7 +34,7 @@ mod uci;
 pub use compas::compas;
 pub use dataset::Dataset;
 pub use folktables::folktables;
-pub use missing::inject_nulls;
+pub use missing::{inject_nulls, InjectError};
 pub use peak::{peak_error_probability, synthetic_peak, PEAK_MEAN};
 pub use uci::{adult, bank, german, intentions, wine};
 

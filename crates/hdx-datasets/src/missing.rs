@@ -4,22 +4,57 @@
 //! utility knocks out a random fraction of cells so tests can exercise the
 //! pipeline's null handling (null cells match no item and join no subgroup).
 
-use hdx_data::{DataFrame, DataFrameBuilder, Value};
+use hdx_data::{DataError, DataFrame, DataFrameBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
+
+/// Why [`inject_nulls`] could not produce a frame.
+#[derive(Debug)]
+pub enum InjectError {
+    /// The null rate is outside `[0, 1]` (or not a number).
+    InvalidRate(f64),
+    /// Rebuilding the frame failed.
+    Frame(DataError),
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRate(rate) => write!(f, "null rate must be in [0, 1], got {rate}"),
+            Self::Frame(e) => write!(f, "rebuilding frame with nulls: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidRate(_) => None,
+            Self::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<DataError> for InjectError {
+    fn from(e: DataError) -> Self {
+        Self::Frame(e)
+    }
+}
 
 /// Returns a copy of `df` with each cell independently nulled with
 /// probability `rate`.
 ///
-/// # Panics
-/// Panics when `rate` is outside `[0, 1]`.
-pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> DataFrame {
-    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+/// # Errors
+/// [`InjectError::InvalidRate`] when `rate` is outside `[0, 1]`;
+/// [`InjectError::Frame`] when the copy cannot be rebuilt.
+pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> Result<DataFrame, InjectError> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(InjectError::InvalidRate(rate));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = DataFrameBuilder::new();
     for (_, attr) in df.schema().iter() {
-        b.add_attribute(attr.clone())
-            .expect("names unique in source");
+        b.add_attribute(attr.clone())?;
     }
     for row in 0..df.n_rows() {
         let cells: Vec<Value> = df
@@ -33,9 +68,9 @@ pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> DataFrame {
                 }
             })
             .collect();
-        b.push_row(cells).expect("row kinds preserved");
+        b.push_row(cells)?;
     }
-    b.finish()
+    Ok(b.finish())
 }
 
 #[cfg(test)]
@@ -46,7 +81,7 @@ mod tests {
     #[test]
     fn injects_roughly_the_requested_fraction() {
         let d = synthetic_peak(2_000, 1);
-        let holey = inject_nulls(&d.frame, 0.2, 7);
+        let holey = inject_nulls(&d.frame, 0.2, 7).unwrap();
         assert_eq!(holey.n_rows(), d.frame.n_rows());
         let total_cells = holey.n_rows() * holey.n_attributes();
         let nulls: usize = holey
@@ -61,8 +96,8 @@ mod tests {
     #[test]
     fn rate_zero_is_identity_rate_one_all_null() {
         let d = synthetic_peak(200, 2);
-        assert_eq!(inject_nulls(&d.frame, 0.0, 1), d.frame);
-        let all = inject_nulls(&d.frame, 1.0, 1);
+        assert_eq!(inject_nulls(&d.frame, 0.0, 1).unwrap(), d.frame);
+        let all = inject_nulls(&d.frame, 1.0, 1).unwrap();
         let nulls: usize = all
             .schema()
             .iter()
@@ -75,12 +110,22 @@ mod tests {
     fn deterministic_per_seed() {
         let d = synthetic_peak(300, 3);
         assert_eq!(
-            inject_nulls(&d.frame, 0.3, 9),
-            inject_nulls(&d.frame, 0.3, 9)
+            inject_nulls(&d.frame, 0.3, 9).unwrap(),
+            inject_nulls(&d.frame, 0.3, 9).unwrap()
         );
         assert_ne!(
-            inject_nulls(&d.frame, 0.3, 9),
-            inject_nulls(&d.frame, 0.3, 10)
+            inject_nulls(&d.frame, 0.3, 9).unwrap(),
+            inject_nulls(&d.frame, 0.3, 10).unwrap()
         );
+    }
+
+    #[test]
+    fn out_of_range_rate_is_an_error_not_a_panic() {
+        let d = synthetic_peak(50, 4);
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = inject_nulls(&d.frame, bad, 1).unwrap_err();
+            assert!(matches!(err, InjectError::InvalidRate(_)), "rate {bad}");
+            assert!(err.to_string().contains("null rate"));
+        }
     }
 }

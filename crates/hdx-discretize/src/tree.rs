@@ -8,6 +8,7 @@
 //! become the refinement relation `≻`.
 
 use hdx_data::{AttrId, DataFrame};
+use hdx_governor::{fail_point, Governor};
 use hdx_items::{Interval, Item, ItemCatalog, ItemHierarchy, ItemId};
 use hdx_stats::{binary_entropy, Outcome, StatAccum};
 
@@ -191,6 +192,23 @@ impl TreeDiscretizer {
         outcomes: &[Outcome],
         catalog: &mut ItemCatalog,
     ) -> (ItemHierarchy, DiscretizationTree) {
+        self.discretize_attribute_governed(df, attr, outcomes, catalog, &Governor::unbounded())
+    }
+
+    /// [`discretize_attribute`](Self::discretize_attribute) under a
+    /// [`Governor`]: each split charges two tree nodes against
+    /// `max_tree_nodes` and the work queue polls for deadline/cancellation.
+    /// A tripped governor stops refining — the tree stays *valid*, just
+    /// coarser, so downstream mining degrades to a coarser hierarchy instead
+    /// of dying.
+    pub fn discretize_attribute_governed(
+        &self,
+        df: &DataFrame,
+        attr: AttrId,
+        outcomes: &[Outcome],
+        catalog: &mut ItemCatalog,
+        governor: &Governor,
+    ) -> (ItemHierarchy, DiscretizationTree) {
         assert_eq!(outcomes.len(), df.n_rows(), "outcomes not parallel to rows");
         assert!(
             self.config.min_support > 0.0 && self.config.min_support < 1.0,
@@ -231,6 +249,10 @@ impl TreeDiscretizer {
         // Work queue of (node index, lo, hi) sorted-ranges to try splitting.
         let mut queue = vec![(DiscretizationTree::ROOT, 0usize, order.len())];
         while let Some((node_idx, lo, hi)) = queue.pop() {
+            if !governor.keep_going() {
+                break;
+            }
+            fail_point!("discretize::split");
             let depth = tree.nodes[node_idx].depth;
             if let Some(max) = self.config.max_depth {
                 if depth >= max {
@@ -241,6 +263,11 @@ impl TreeDiscretizer {
             else {
                 continue;
             };
+            // Charge both children before interning anything: a refused
+            // charge leaves tree, hierarchy and catalog untouched.
+            if !governor.record_tree_nodes(2) {
+                break;
+            }
             let split_value = sorted_vals[cut - 1];
             let parent_interval = tree.nodes[node_idx].interval;
             let (left_iv, right_iv) = parent_interval.split_at(split_value);
@@ -546,5 +573,49 @@ mod tests {
         let mut catalog = ItemCatalog::new();
         let disc = TreeDiscretizer::with_support(0.0, GainCriterion::Divergence);
         let _ = disc.discretize_attribute(&df, x, &outcomes, &mut catalog);
+    }
+
+    #[test]
+    fn tree_node_budget_yields_coarser_but_valid_tree() {
+        use hdx_governor::{Governor, RunBudget, Termination};
+        let (df, outcomes, x) = step_frame(1000, 130.0);
+        let disc = TreeDiscretizer::with_support(0.01, GainCriterion::Divergence);
+
+        let mut full_catalog = ItemCatalog::new();
+        let (_, full_tree) = disc.discretize_attribute(&df, x, &outcomes, &mut full_catalog);
+        assert!(full_tree.nodes.len() > 3, "fixture must want many splits");
+
+        let governor = Governor::new(RunBudget::unbounded().with_max_tree_nodes(2));
+        let mut catalog = ItemCatalog::new();
+        let (h, tree) =
+            disc.discretize_attribute_governed(&df, x, &outcomes, &mut catalog, &governor);
+        // Exactly one split landed: root + two children, budget exhausted.
+        assert_eq!(tree.nodes.len(), 3);
+        assert_eq!(h.len(), 2);
+        assert_eq!(governor.termination(), Termination::BudgetExhausted);
+        assert_eq!(governor.counters().tree_nodes, 2);
+        // The coarser tree is still valid: support holds on every node.
+        for node in &tree.nodes[1..] {
+            assert!(node.support >= 0.01 - 1e-12);
+        }
+        // And it is a prefix of the unbounded refinement: the one split it
+        // made is the same first split the full run made.
+        assert_eq!(tree.nodes[1].interval, full_tree.nodes[1].interval);
+        assert_eq!(tree.nodes[2].interval, full_tree.nodes[2].interval);
+    }
+
+    #[test]
+    fn cancelled_token_stops_refinement_immediately() {
+        use hdx_governor::{Governor, RunBudget, Termination};
+        let (df, outcomes, x) = step_frame(200, 80.0);
+        let governor = Governor::new(RunBudget::unbounded());
+        governor.cancel_token().cancel();
+        let mut catalog = ItemCatalog::new();
+        let disc = TreeDiscretizer::with_support(0.1, GainCriterion::Divergence);
+        let (h, tree) =
+            disc.discretize_attribute_governed(&df, x, &outcomes, &mut catalog, &governor);
+        assert!(h.is_empty());
+        assert_eq!(tree.nodes.len(), 1, "only the root survives cancellation");
+        assert_eq!(governor.termination(), Termination::Cancelled);
     }
 }

@@ -1,0 +1,201 @@
+//! Dependency-free fail-point fault injection (compiled only under the
+//! `hdx-fail` feature).
+//!
+//! Library code marks named trigger points with the
+//! [`fail_point!`](crate::fail_point) macro; tests *arm* a point with a
+//! [`FailAction`] and a 1-based hit index, then drive the code under test and
+//! assert that the degradation paths behave. Without the feature the macro
+//! expands to nothing, so production builds carry zero overhead.
+//!
+//! The registry is process-global (tests touching the same point must not
+//! run concurrently; keep fail-point tests in a dedicated integration-test
+//! binary or serialise them with a mutex).
+//!
+//! ```
+//! use hdx_governor::failpoint::{self, FailAction};
+//!
+//! failpoint::arm("demo", FailAction::Error("boom".into()), 2);
+//! assert_eq!(failpoint::hit("demo"), None); // 1st hit: pass through
+//! assert_eq!(failpoint::hit("demo"), Some("boom".into())); // 2nd: fire
+//! failpoint::reset();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed fail point does when it fires.
+#[derive(Debug, Clone)]
+pub enum FailAction {
+    /// Panic with the fail point's name (simulates a crashing worker).
+    Panic,
+    /// Sleep for the given duration (simulates a stall / slow dependency).
+    Stall(Duration),
+    /// Surface the message as an error to the caller.
+    Error(String),
+}
+
+#[derive(Debug)]
+struct Armed {
+    action: FailAction,
+    /// Fire on the `nth` hit (1-based); repeating ones keep firing after it.
+    nth: u64,
+    /// Fire on exactly the `nth` hit, then pass through again.
+    once: bool,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `name` to perform `action` from the `nth` hit (1-based) onward.
+/// Re-arming replaces the previous action and resets the hit count.
+pub fn arm(name: &str, action: FailAction, nth: u64) {
+    insert(name, action, nth, false);
+}
+
+/// Arms `name` to perform `action` on exactly the `nth` hit (1-based); every
+/// other hit passes through. Use to fault a single worker out of a pool.
+pub fn arm_once(name: &str, action: FailAction, nth: u64) {
+    insert(name, action, nth, true);
+}
+
+fn insert(name: &str, action: FailAction, nth: u64, once: bool) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.insert(
+        name.to_owned(),
+        Armed {
+            action,
+            nth: nth.max(1),
+            once,
+            hits: 0,
+        },
+    );
+}
+
+/// Disarms `name` (no-op when not armed).
+pub fn disarm(name: &str) {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(name);
+}
+
+/// Disarms every fail point. Call from test teardown.
+pub fn reset() {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Hits the fail point `name`. Returns `Some(message)` when an armed
+/// [`FailAction::Error`] fires; panics when [`FailAction::Panic`] fires;
+/// sleeps then returns `None` when [`FailAction::Stall`] fires; returns
+/// `None` when unarmed or before the armed hit index.
+pub fn hit(name: &str) -> Option<String> {
+    // Decide while holding the lock, act after releasing it, so a panicking
+    // fail point never poisons the registry.
+    let fired: Option<FailAction> = {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.get_mut(name).and_then(|armed| {
+            armed.hits += 1;
+            let fires = if armed.once {
+                armed.hits == armed.nth
+            } else {
+                armed.hits >= armed.nth
+            };
+            fires.then(|| armed.action.clone())
+        })
+    };
+    match fired {
+        None => None,
+        Some(FailAction::Panic) => panic!("fail point `{name}` fired: injected panic"),
+        Some(FailAction::Stall(d)) => {
+            std::thread::sleep(d);
+            None
+        }
+        Some(FailAction::Error(msg)) => Some(msg),
+    }
+}
+
+/// How many times `name` has been hit since it was (re-)armed.
+pub fn hit_count(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(name)
+        .map_or(0, |a| a.hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests use distinct names so they
+    // can run concurrently.
+
+    #[test]
+    fn unarmed_points_pass_through() {
+        assert_eq!(hit("fp-tests::unarmed"), None);
+        assert_eq!(hit_count("fp-tests::unarmed"), 0);
+    }
+
+    #[test]
+    fn error_fires_from_nth_hit() {
+        arm("fp-tests::err", FailAction::Error("boom".into()), 3);
+        assert_eq!(hit("fp-tests::err"), None);
+        assert_eq!(hit("fp-tests::err"), None);
+        assert_eq!(hit("fp-tests::err"), Some("boom".into()));
+        assert_eq!(hit("fp-tests::err"), Some("boom".into()), "keeps firing");
+        assert_eq!(hit_count("fp-tests::err"), 4);
+        disarm("fp-tests::err");
+        assert_eq!(hit("fp-tests::err"), None);
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        arm("fp-tests::panic", FailAction::Panic, 1);
+        let err = std::panic::catch_unwind(|| hit("fp-tests::panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("fp-tests::panic"));
+        disarm("fp-tests::panic");
+        // The registry survived the panic un-poisoned.
+        assert_eq!(hit("fp-tests::panic"), None);
+    }
+
+    #[test]
+    fn stall_sleeps_then_passes() {
+        arm(
+            "fp-tests::stall",
+            FailAction::Stall(Duration::from_millis(20)),
+            1,
+        );
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit("fp-tests::stall"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        disarm("fp-tests::stall");
+    }
+
+    #[test]
+    fn arm_once_fires_exactly_once() {
+        arm_once("fp-tests::once", FailAction::Error("boom".into()), 2);
+        assert_eq!(hit("fp-tests::once"), None);
+        assert_eq!(hit("fp-tests::once"), Some("boom".into()));
+        assert_eq!(hit("fp-tests::once"), None, "one-shot points rearm-safe");
+        assert_eq!(hit_count("fp-tests::once"), 3);
+        disarm("fp-tests::once");
+    }
+
+    #[test]
+    fn rearming_resets_count() {
+        arm("fp-tests::rearm", FailAction::Error("a".into()), 1);
+        assert_eq!(hit("fp-tests::rearm"), Some("a".into()));
+        arm("fp-tests::rearm", FailAction::Error("b".into()), 2);
+        assert_eq!(hit("fp-tests::rearm"), None, "count reset by re-arm");
+        assert_eq!(hit("fp-tests::rearm"), Some("b".into()));
+        disarm("fp-tests::rearm");
+    }
+}

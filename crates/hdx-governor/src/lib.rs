@@ -1,0 +1,568 @@
+//! # hdx-governor
+//!
+//! Run governor: deadlines, budgets, and cooperative cancellation for the
+//! mining pipeline.
+//!
+//! The itemset lattice explored by the miners is exponential in the worst
+//! case; a slightly-too-low `min_support` turns an interactive query into an
+//! unbounded one. This crate provides the substrate that makes every run
+//! *boundable* and every overrun *degrade, not die*:
+//!
+//! * [`RunBudget`] — declarative per-run limits (wall-clock deadline, mined
+//!   itemsets, candidate bitset bytes, discretization tree nodes);
+//! * [`CancelToken`] — a cheap shared flag for caller-initiated cancellation
+//!   (one relaxed atomic load to test);
+//! * [`Governor`] — the runtime object threaded through the miners and the
+//!   discretizer: it polls the deadline and token every
+//!   [`POLL_INTERVAL`] checks, charges work against the budget, and latches
+//!   the first limit that trips;
+//! * [`Termination`] — how a stage ended ([`Complete`](Termination::Complete)
+//!   or one of the degraded-but-usable outcomes);
+//! * [`RunCounters`] — a snapshot of the work charged, reported alongside
+//!   results.
+//!
+//! The design is *cooperative*: hot loops call [`Governor::keep_going`] (or
+//! one of the `record_*` methods) and stop emitting when it returns `false`.
+//! Everything emitted before the trip is exact — an itemset's accumulator is
+//! completed before the itemset is charged — so a truncated result is always
+//! a valid subset of the unbounded result.
+//!
+//! Under the `hdx-fail` feature the [`failpoint`] module adds a
+//! dependency-free fault-injection registry with named trigger points
+//! (armable from tests to panic, stall, or return errors on the Nth hit).
+//!
+//! ```
+//! use hdx_governor::{Governor, RunBudget, Termination};
+//!
+//! let governor = Governor::new(RunBudget::default().with_max_itemsets(2));
+//! assert!(governor.record_itemsets(1)); // 1/2 — keep going
+//! assert!(governor.record_itemsets(1)); // 2/2 — still within budget
+//! assert!(!governor.record_itemsets(1)); // would exceed — trip
+//! assert_eq!(governor.termination(), Termination::BudgetExhausted);
+//! assert_eq!(governor.counters().itemsets, 2);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Dependency-free fault injection: named fail points armed from tests
+/// (compiled only under the `hdx-fail` feature).
+#[cfg(feature = "hdx-fail")]
+pub mod failpoint;
+
+/// Marks a named fail-point trigger site (see [`failpoint`]).
+///
+/// Expands to nothing unless the *calling* crate enables its own `hdx-fail`
+/// feature (which must forward to `hdx-governor/hdx-fail`). Two forms:
+///
+/// * `fail_point!("name")` — an armed [`failpoint::FailAction::Error`]
+///   panics with its message (alongside `Panic`/`Stall`, which behave as
+///   documented on [`failpoint::hit`]);
+/// * `fail_point!("name", |msg| MyError::from(msg))` — an armed `Error`
+///   makes the enclosing function `return Err(...)` instead.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        #[cfg(feature = "hdx-fail")]
+        {
+            if let Some(msg) = $crate::failpoint::hit($name) {
+                panic!("fail point `{}` fired: {}", $name, msg);
+            }
+        }
+    };
+    ($name:expr, $to_err:expr) => {
+        #[cfg(feature = "hdx-fail")]
+        {
+            if let Some(msg) = $crate::failpoint::hit($name) {
+                return Err(($to_err)(msg));
+            }
+        }
+    };
+}
+
+/// How often (in [`Governor::keep_going`] calls) the deadline and the cancel
+/// token are actually polled. Between polls the cost of a check is a single
+/// relaxed atomic load, so governed hot loops stay hot.
+pub const POLL_INTERVAL: u64 = 1024;
+
+/// Declarative limits for one pipeline run. `None` everywhere (the default)
+/// means unbounded.
+///
+/// Budgets are *cooperative*: each limit is enforced at the matching
+/// `record_*` / `keep_going` call sites, so a run may overshoot by at most
+/// one poll interval's worth of work before it notices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Wall-clock deadline for the run, measured from [`Governor`] creation.
+    pub deadline: Option<Duration>,
+    /// Maximum number of frequent itemsets to mine.
+    pub max_itemsets: Option<u64>,
+    /// Maximum bytes of candidate covers (bitsets) the miners may allocate.
+    pub max_candidate_bytes: Option<u64>,
+    /// Maximum nodes across all discretization trees.
+    pub max_tree_nodes: Option<u64>,
+}
+
+impl RunBudget {
+    /// An explicitly unbounded budget (same as `Default`).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` when no limit is set.
+    pub fn is_unbounded(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the mined-itemset cap.
+    #[must_use]
+    pub fn with_max_itemsets(mut self, max: u64) -> Self {
+        self.max_itemsets = Some(max);
+        self
+    }
+
+    /// Sets the candidate-bytes cap.
+    #[must_use]
+    pub fn with_max_candidate_bytes(mut self, max: u64) -> Self {
+        self.max_candidate_bytes = Some(max);
+        self
+    }
+
+    /// Sets the discretization tree-node cap.
+    #[must_use]
+    pub fn with_max_tree_nodes(mut self, max: u64) -> Self {
+        self.max_tree_nodes = Some(max);
+        self
+    }
+}
+
+/// How a governed stage ended.
+///
+/// Ordered by severity: [`Complete`](Termination::Complete) <
+/// [`BudgetExhausted`](Termination::BudgetExhausted) <
+/// [`DeadlineExceeded`](Termination::DeadlineExceeded) <
+/// [`Cancelled`](Termination::Cancelled); [`Termination::worst`] merges
+/// multi-stage outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Termination {
+    /// The stage ran to completion; results are exhaustive.
+    #[default]
+    Complete,
+    /// A [`RunBudget`] work limit tripped; results are a valid subset.
+    BudgetExhausted,
+    /// The wall-clock deadline passed; results are a valid subset.
+    DeadlineExceeded,
+    /// The [`CancelToken`] was cancelled; results are a valid subset.
+    Cancelled,
+}
+
+impl Termination {
+    /// `true` only for [`Termination::Complete`].
+    pub fn is_complete(self) -> bool {
+        self == Self::Complete
+    }
+
+    /// `true` for every degraded (non-`Complete`) outcome.
+    pub fn is_partial(self) -> bool {
+        !self.is_complete()
+    }
+
+    /// The more severe of two stage outcomes (for multi-stage pipelines).
+    #[must_use]
+    pub fn worst(self, other: Self) -> Self {
+        if (other as u8) > (self as u8) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// A stable lower-case label (used in reports and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Complete => "complete",
+            Self::BudgetExhausted => "budget_exhausted",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shared cancellation flag. Cloning yields a handle to the *same* flag,
+/// so a caller can keep one half and hand the other to a [`Governor`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A snapshot of the work a [`Governor`] has charged so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCounters {
+    /// Frequent itemsets charged by the miners.
+    pub itemsets: u64,
+    /// Candidate cover bytes charged by the miners.
+    pub candidate_bytes: u64,
+    /// Discretization tree nodes charged.
+    pub tree_nodes: u64,
+    /// `keep_going` checks performed (≈ candidates examined / poll sites hit).
+    pub checks: u64,
+}
+
+impl RunCounters {
+    /// Field-wise sum of two stage snapshots (for multi-stage pipelines
+    /// whose stages run under separate governors).
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            itemsets: self.itemsets + other.itemsets,
+            candidate_bytes: self.candidate_bytes + other.candidate_bytes,
+            tree_nodes: self.tree_nodes + other.tree_nodes,
+            checks: self.checks + other.checks,
+        }
+    }
+}
+
+/// `Termination` latched as a `u8`; `RUNNING` means nothing tripped yet.
+const RUNNING: u8 = u8::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    deadline_at: Option<Instant>,
+    budget: RunBudget,
+    cancel: CancelToken,
+    /// First trip wins: `RUNNING` until a limit latches a `Termination`.
+    tripped: AtomicU8,
+    itemsets: AtomicU64,
+    candidate_bytes: AtomicU64,
+    tree_nodes: AtomicU64,
+    checks: AtomicU64,
+}
+
+/// The runtime half of a [`RunBudget`]: threaded (by reference or clone —
+/// clones share state) through the miners and the discretizer, which call
+/// [`keep_going`](Governor::keep_going) in their hot loops and `record_*`
+/// when they commit work.
+///
+/// Once any limit trips, the corresponding [`Termination`] is latched and
+/// every subsequent check returns `false`, so all cooperating workers wind
+/// down together.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    inner: Arc<Inner>,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl Governor {
+    /// A governor with `budget` and a fresh internal [`CancelToken`].
+    pub fn new(budget: RunBudget) -> Self {
+        Self::with_token(budget, CancelToken::new())
+    }
+
+    /// A governor with `budget`, observing an external `cancel` token.
+    pub fn with_token(budget: RunBudget, cancel: CancelToken) -> Self {
+        let started = Instant::now();
+        Self {
+            inner: Arc::new(Inner {
+                started,
+                deadline_at: budget.deadline.and_then(|d| started.checked_add(d)),
+                budget,
+                cancel,
+                tripped: AtomicU8::new(RUNNING),
+                itemsets: AtomicU64::new(0),
+                candidate_bytes: AtomicU64::new(0),
+                tree_nodes: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A governor that never trips on its own (no limits, internal token).
+    pub fn unbounded() -> Self {
+        Self::new(RunBudget::default())
+    }
+
+    /// The budget this governor enforces.
+    pub fn budget(&self) -> &RunBudget {
+        &self.inner.budget
+    }
+
+    /// A handle to the cancel token observed by this governor.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Time elapsed since the governor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// Wall-clock budget still available (`None` when no deadline is set;
+    /// zero once the deadline has passed).
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        self.inner
+            .deadline_at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The cheap cooperative check: `true` while the run should continue.
+    ///
+    /// Cost between polls is one relaxed load plus one relaxed increment;
+    /// every [`POLL_INTERVAL`] calls it additionally tests the cancel token
+    /// and the deadline clock.
+    #[inline]
+    pub fn keep_going(&self) -> bool {
+        if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
+            return false;
+        }
+        let n = self.inner.checks.fetch_add(1, Ordering::Relaxed);
+        if n % POLL_INTERVAL == 0 {
+            self.poll()
+        } else {
+            true
+        }
+    }
+
+    /// Forces a full poll of the cancel token and the deadline, regardless
+    /// of the poll interval. Returns `true` while the run should continue.
+    pub fn poll(&self) -> bool {
+        if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
+            return false;
+        }
+        if self.inner.cancel.is_cancelled() {
+            self.trip(Termination::Cancelled);
+            return false;
+        }
+        if let Some(at) = self.inner.deadline_at {
+            if Instant::now() >= at {
+                self.trip(Termination::DeadlineExceeded);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charges `n` mined itemsets. Returns `false` (tripping
+    /// [`Termination::BudgetExhausted`]) when the charge would exceed
+    /// `max_itemsets`; the caller must then *not* emit the work.
+    #[inline]
+    pub fn record_itemsets(&self, n: u64) -> bool {
+        self.charge(&self.inner.itemsets, n, self.inner.budget.max_itemsets)
+    }
+
+    /// Charges `n` bytes of candidate covers against `max_candidate_bytes`.
+    #[inline]
+    pub fn record_candidate_bytes(&self, n: u64) -> bool {
+        self.charge(
+            &self.inner.candidate_bytes,
+            n,
+            self.inner.budget.max_candidate_bytes,
+        )
+    }
+
+    /// Charges `n` discretization tree nodes against `max_tree_nodes`.
+    #[inline]
+    pub fn record_tree_nodes(&self, n: u64) -> bool {
+        self.charge(&self.inner.tree_nodes, n, self.inner.budget.max_tree_nodes)
+    }
+
+    /// Charges `n` units to `counter`. On overflow of `cap` the charge is
+    /// rolled back, the governor trips, and `false` is returned.
+    fn charge(&self, counter: &AtomicU64, n: u64, cap: Option<u64>) -> bool {
+        if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
+            return false;
+        }
+        let total = counter.fetch_add(n, Ordering::Relaxed) + n;
+        if cap.is_some_and(|cap| total > cap) {
+            counter.fetch_sub(n, Ordering::Relaxed);
+            self.trip(Termination::BudgetExhausted);
+            return false;
+        }
+        true
+    }
+
+    /// Latches `termination` as the run outcome (first trip wins).
+    /// Tripping with [`Termination::Complete`] is a no-op.
+    pub fn trip(&self, termination: Termination) {
+        if termination.is_complete() {
+            return;
+        }
+        let _ = self.inner.tripped.compare_exchange(
+            RUNNING,
+            termination as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether any limit has tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::Relaxed) != RUNNING
+    }
+
+    /// The outcome so far: [`Termination::Complete`] while running or after
+    /// an untripped run, otherwise the latched degraded outcome.
+    pub fn termination(&self) -> Termination {
+        match self.inner.tripped.load(Ordering::Relaxed) {
+            x if x == Termination::BudgetExhausted as u8 => Termination::BudgetExhausted,
+            x if x == Termination::DeadlineExceeded as u8 => Termination::DeadlineExceeded,
+            x if x == Termination::Cancelled as u8 => Termination::Cancelled,
+            _ => Termination::Complete,
+        }
+    }
+
+    /// A snapshot of the charged work.
+    pub fn counters(&self) -> RunCounters {
+        RunCounters {
+            itemsets: self.inner.itemsets.load(Ordering::Relaxed),
+            candidate_bytes: self.inner.candidate_bytes.load(Ordering::Relaxed),
+            tree_nodes: self.inner.tree_nodes.load(Ordering::Relaxed),
+            checks: self.inner.checks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_trips() {
+        let g = Governor::unbounded();
+        for _ in 0..(POLL_INTERVAL * 3) {
+            assert!(g.keep_going());
+        }
+        assert!(g.record_itemsets(1_000_000));
+        assert!(g.record_candidate_bytes(u64::MAX / 2));
+        assert_eq!(g.termination(), Termination::Complete);
+        assert!(!g.is_tripped());
+    }
+
+    #[test]
+    fn itemset_budget_trips_and_rolls_back() {
+        let g = Governor::new(RunBudget::default().with_max_itemsets(10));
+        assert!(g.record_itemsets(10));
+        assert!(!g.record_itemsets(1));
+        assert_eq!(g.termination(), Termination::BudgetExhausted);
+        // The rejected charge is rolled back: counters report committed work.
+        assert_eq!(g.counters().itemsets, 10);
+        // Once tripped, everything reports false.
+        assert!(!g.keep_going());
+        assert!(!g.record_candidate_bytes(1));
+    }
+
+    #[test]
+    fn cancel_token_trips_on_poll() {
+        let token = CancelToken::new();
+        let g = Governor::with_token(RunBudget::default(), token.clone());
+        assert!(g.poll());
+        token.cancel();
+        assert!(!g.poll());
+        assert_eq!(g.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn cancel_noticed_within_one_poll_interval() {
+        let g = Governor::unbounded();
+        g.cancel_token().cancel();
+        let mut steps = 0u64;
+        while g.keep_going() {
+            steps += 1;
+            assert!(steps <= POLL_INTERVAL, "cancellation missed a poll window");
+        }
+        assert_eq!(g.termination(), Termination::Cancelled);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let g = Governor::new(RunBudget::default().with_deadline(Duration::ZERO));
+        assert!(!g.poll());
+        assert_eq!(g.termination(), Termination::DeadlineExceeded);
+        assert_eq!(g.remaining_deadline(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let g = Governor::new(RunBudget::default().with_max_itemsets(0));
+        assert!(!g.record_itemsets(1));
+        g.cancel_token().cancel();
+        assert!(!g.poll());
+        assert_eq!(g.termination(), Termination::BudgetExhausted);
+    }
+
+    #[test]
+    fn trip_with_complete_is_noop() {
+        let g = Governor::unbounded();
+        g.trip(Termination::Complete);
+        assert!(!g.is_tripped());
+        assert!(g.keep_going());
+    }
+
+    #[test]
+    fn worst_orders_severity() {
+        use Termination::*;
+        assert_eq!(Complete.worst(BudgetExhausted), BudgetExhausted);
+        assert_eq!(DeadlineExceeded.worst(BudgetExhausted), DeadlineExceeded);
+        assert_eq!(Cancelled.worst(DeadlineExceeded), Cancelled);
+        assert_eq!(Complete.worst(Complete), Complete);
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = RunBudget::default()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_itemsets(7)
+            .with_max_candidate_bytes(1 << 20)
+            .with_max_tree_nodes(64);
+        assert!(!b.is_unbounded());
+        assert_eq!(b.max_itemsets, Some(7));
+        assert_eq!(b.max_candidate_bytes, Some(1 << 20));
+        assert_eq!(b.max_tree_nodes, Some(64));
+        assert!(RunBudget::unbounded().is_unbounded());
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let g = Governor::new(RunBudget::default().with_max_itemsets(5));
+        let g2 = g.clone();
+        assert!(g.record_itemsets(5));
+        assert!(!g2.record_itemsets(1));
+        assert!(g.is_tripped());
+    }
+}

@@ -10,11 +10,12 @@
 
 use std::collections::HashSet;
 
+use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
 
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
-use crate::vertical::{accum_over, item_covers};
+use crate::vertical::{accum_over, cover_bytes, item_covers};
 use crate::MiningConfig;
 
 /// Mines all frequent itemsets level by level.
@@ -23,9 +24,24 @@ pub fn apriori(
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    apriori_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`apriori`] under a [`Governor`]: polls for deadline/budget/cancellation
+/// at candidate granularity and stops emitting once the budget trips, so the
+/// result is a (still exact) subset of the unbounded run.
+pub fn apriori_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
     let outcomes = transactions.outcomes();
+    let candidate_bytes = cover_bytes(n);
+
+    fail_point!("mining::apriori");
 
     // L1 and the cover index.
     let covers: Vec<(ItemId, Bitset)> = item_covers(transactions);
@@ -40,6 +56,11 @@ pub fn apriori(
     let mut level: Vec<Itemset> = Vec::new();
     for (item, cover) in &covers {
         if cover.count() as u64 >= min_count {
+            // Charge each emission before pushing so every emitted itemset
+            // carries its exact accumulator even when truncated.
+            if !governor.keep_going() || !governor.record_itemsets(1) {
+                break;
+            }
             let itemset = Itemset::singleton(*item);
             out.push(FrequentItemset {
                 itemset: itemset.clone(),
@@ -51,7 +72,10 @@ pub fn apriori(
     level.sort();
 
     let mut k = 1usize;
-    while !level.is_empty() && config.max_len.is_none_or(|m| k < m) {
+    'levels: while !level.is_empty() && config.max_len.is_none_or(|m| k < m) {
+        if !governor.keep_going() {
+            break;
+        }
         k += 1;
         let prev: HashSet<&Itemset> = level.iter().collect();
         let mut next: Vec<Itemset> = Vec::new();
@@ -67,6 +91,9 @@ pub fn apriori(
                 j += 1;
             }
             for a in i..j {
+                if !governor.keep_going() {
+                    break 'levels;
+                }
                 for b in (a + 1)..j {
                     let ([.., la], [.., lb]) = (level[a].items(), level[b].items()) else {
                         debug_assert!(false, "level itemsets are non-empty");
@@ -93,6 +120,13 @@ pub fn apriori(
         // Count step: intersect member covers.
         let mut survivors: Vec<Itemset> = Vec::new();
         for candidate in next {
+            if !governor.keep_going() {
+                break 'levels;
+            }
+            // Each candidate materialises one intersection bitset.
+            if !governor.record_candidate_bytes(candidate_bytes) {
+                break 'levels;
+            }
             let [first, rest @ ..] = candidate.items() else {
                 debug_assert!(false, "candidates have k >= 2 items");
                 continue;
@@ -102,6 +136,9 @@ pub fn apriori(
                 joint.and_assign(cover_of(item));
             }
             if joint.count() as u64 >= min_count {
+                if !governor.record_itemsets(1) {
+                    break 'levels;
+                }
                 out.push(FrequentItemset {
                     itemset: candidate.clone(),
                     accum: accum_over(&joint, outcomes),
@@ -113,11 +150,7 @@ pub fn apriori(
         level = survivors;
     }
 
-    MiningResult {
-        itemsets: out,
-        n_rows: n,
-        global: transactions.global_accum(),
-    }
+    MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
 }
 
 #[cfg(test)]
@@ -224,5 +257,35 @@ mod tests {
         assert_eq!(a.accum.count(), 3);
         assert_eq!(a.accum.valid_count(), 2);
         assert_eq!(a.accum.statistic(), Some(15.0));
+        assert_eq!(r.termination, hdx_governor::Termination::Complete);
+    }
+
+    #[test]
+    fn candidate_byte_budget_truncates_to_subset() {
+        use hdx_governor::{Governor, RunBudget, Termination};
+        let (catalog, ids) = catalog3();
+        let rows = vec![
+            vec![ids[0], ids[1], ids[2]],
+            vec![ids[0], ids[1], ids[2]],
+            vec![ids[0], ids[1]],
+            vec![ids[2]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 4]);
+        let config = MiningConfig {
+            min_support: 0.5,
+            ..MiningConfig::default()
+        };
+        let full = apriori(&t, &catalog, &config);
+        assert_eq!(full.itemsets.len(), 7);
+
+        // Enough bytes for L1 (free) plus one k=2 candidate intersection.
+        let governor = Governor::new(RunBudget::unbounded().with_max_candidate_bytes(8));
+        let partial = apriori_governed(&t, &catalog, &config, &governor);
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert!(partial.itemsets.len() < full.itemsets.len());
+        for fi in &partial.itemsets {
+            let reference = full.find(&fi.itemset).expect("subset of unbounded run");
+            assert_eq!(reference.accum.count(), fi.accum.count());
+        }
     }
 }

@@ -11,12 +11,17 @@
 use std::collections::{HashMap, HashSet};
 
 use hdx_data::AttrId;
+use hdx_governor::{fail_point, Governor};
 use hdx_items::{ItemCatalog, ItemId, Itemset};
 use hdx_stats::StatAccum;
 
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
+
+/// Approximate heap bytes of one FP-tree node, charged against the
+/// governor's candidate-byte budget as trees are built.
+const FP_NODE_BYTES: u64 = std::mem::size_of::<FpNode>() as u64;
 
 struct FpNode {
     item: ItemId,
@@ -36,7 +41,11 @@ struct FpTree {
 impl FpTree {
     /// Builds a tree from weighted paths, keeping only items whose summed
     /// count reaches `min_count`.
-    fn build(paths: &[(Vec<ItemId>, StatAccum)], min_count: u64) -> FpTree {
+    ///
+    /// Polls the governor per path; when it trips mid-build the returned
+    /// tree is *partial* (undercounted accumulators) and must not be mined —
+    /// callers check [`Governor::is_tripped`] before mining.
+    fn build(paths: &[(Vec<ItemId>, StatAccum)], min_count: u64, governor: &Governor) -> FpTree {
         // Pass 1: item frequencies.
         let mut freq: HashMap<ItemId, u64> = HashMap::new();
         for (items, accum) in paths {
@@ -66,6 +75,9 @@ impl FpTree {
         // Pass 2: insert paths.
         let mut sorted_items: Vec<ItemId> = Vec::new();
         for (items, accum) in paths {
+            if !governor.keep_going() {
+                return tree;
+            }
             sorted_items.clear();
             sorted_items.extend(items.iter().copied().filter(|i| rank.contains_key(i)));
             sorted_items.sort_by_key(|i| rank[i]);
@@ -74,6 +86,9 @@ impl FpTree {
                 let next = match tree.nodes[cur].children.iter().find(|&&(ci, _)| ci == item) {
                     Some(&(_, idx)) => idx,
                     None => {
+                        if !governor.record_candidate_bytes(FP_NODE_BYTES) {
+                            return tree;
+                        }
                         let idx = tree.nodes.len();
                         tree.nodes.push(FpNode {
                             item,
@@ -115,8 +130,23 @@ pub fn fpgrowth(
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    fpgrowth_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`fpgrowth`] under a [`Governor`]. Tree construction charges node bytes
+/// against the candidate-byte budget; a tree whose build was interrupted is
+/// never mined (its accumulators would be undercounted), so every emitted
+/// itemset is exact and a truncated result is a subset of the unbounded one.
+pub fn fpgrowth_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
+
+    fail_point!("mining::fpgrowth");
 
     let paths: Vec<(Vec<ItemId>, StatAccum)> = (0..n)
         .map(|row| {
@@ -125,39 +155,45 @@ pub fn fpgrowth(
             (transactions.items(row).to_vec(), acc)
         })
         .collect();
-    let tree = FpTree::build(&paths, min_count);
+    let tree = FpTree::build(&paths, min_count, governor);
 
     let mut out = Vec::new();
-    let mut suffix: Vec<ItemId> = Vec::new();
-    let mut suffix_attrs: HashSet<AttrId> = HashSet::new();
-    mine_tree(
-        &tree,
-        catalog,
-        min_count,
-        config.max_len,
-        &mut suffix,
-        &mut suffix_attrs,
-        &mut out,
-    );
-
-    MiningResult {
-        itemsets: out,
-        n_rows: n,
-        global: transactions.global_accum(),
+    // A tree interrupted mid-build has undercounted accumulators — skip
+    // mining entirely (the empty result is trivially a valid subset).
+    if !governor.is_tripped() {
+        let mut suffix: Vec<ItemId> = Vec::new();
+        let mut suffix_attrs: HashSet<AttrId> = HashSet::new();
+        mine_tree(
+            &tree,
+            catalog,
+            min_count,
+            config.max_len,
+            governor,
+            &mut suffix,
+            &mut suffix_attrs,
+            &mut out,
+        );
     }
+
+    MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
 }
 
+#[allow(clippy::too_many_arguments)] // recursion context, not an API
 fn mine_tree(
     tree: &FpTree,
     catalog: &ItemCatalog,
     min_count: u64,
     max_len: Option<usize>,
+    governor: &Governor,
     suffix: &mut Vec<ItemId>,
     suffix_attrs: &mut HashSet<AttrId>,
     out: &mut Vec<FrequentItemset>,
 ) {
     // Least-frequent first (classic bottom-up header traversal).
     for (item, node_indices) in tree.header.iter().rev() {
+        if !governor.keep_going() {
+            return;
+        }
         let attr = catalog.attr_of(*item);
         debug_assert!(
             !suffix_attrs.contains(&attr),
@@ -169,6 +205,11 @@ fn mine_tree(
         }
         if accum.count() < min_count {
             continue;
+        }
+        // Charge before emitting: a refused charge emits nothing, so every
+        // emitted itemset keeps its exact accumulator.
+        if !governor.record_itemsets(1) {
+            return;
         }
         let mut itemset_items: Vec<ItemId> = suffix.clone();
         itemset_items.push(*item);
@@ -197,7 +238,11 @@ fn mine_tree(
         if paths.is_empty() {
             continue;
         }
-        let cond = FpTree::build(&paths, min_count);
+        let cond = FpTree::build(&paths, min_count, governor);
+        // Never mine a conditional tree whose build was interrupted.
+        if governor.is_tripped() {
+            return;
+        }
         if cond.is_empty() {
             continue;
         }
@@ -208,6 +253,7 @@ fn mine_tree(
             catalog,
             min_count,
             max_len,
+            governor,
             suffix,
             suffix_attrs,
             out,
@@ -338,6 +384,50 @@ mod tests {
         let (catalog, _) = catalog3();
         let t = Transactions::from_rows(vec![], vec![]);
         let r = fpgrowth(&t, &catalog, &MiningConfig::default());
+        assert!(r.itemsets.is_empty());
+        assert_eq!(r.termination, hdx_governor::Termination::Complete);
+    }
+
+    #[test]
+    fn itemset_budget_truncates_to_exact_subset() {
+        use hdx_governor::{Governor, RunBudget, Termination};
+        let (catalog, ids) = catalog3();
+        let rows = vec![
+            vec![ids[0], ids[1], ids[2]],
+            vec![ids[0], ids[1]],
+            vec![ids[0], ids[2]],
+            vec![ids[1], ids[2]],
+            vec![ids[0]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 5]);
+        let config = MiningConfig {
+            min_support: 0.4,
+            ..MiningConfig::default()
+        };
+        let full = fpgrowth(&t, &catalog, &config);
+        assert_eq!(full.itemsets.len(), 6);
+
+        let governor = Governor::new(RunBudget::unbounded().with_max_itemsets(2));
+        let partial = fpgrowth_governed(&t, &catalog, &config, &governor);
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert_eq!(partial.itemsets.len(), 2);
+        for fi in &partial.itemsets {
+            let reference = full.find(&fi.itemset).expect("subset of unbounded run");
+            assert_eq!(reference.accum.count(), fi.accum.count());
+        }
+    }
+
+    #[test]
+    fn node_budget_interrupting_build_yields_empty_not_wrong() {
+        use hdx_governor::{Governor, RunBudget, Termination};
+        let (catalog, ids) = catalog3();
+        let rows = vec![vec![ids[0], ids[1], ids[2]]; 8];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 8]);
+        // Budget below one FP-node: the initial build trips immediately and
+        // the (partial, undercounted) tree must never be mined.
+        let governor = Governor::new(RunBudget::unbounded().with_max_candidate_bytes(1));
+        let r = fpgrowth_governed(&t, &catalog, &MiningConfig::default(), &governor);
+        assert_eq!(r.termination, Termination::BudgetExhausted);
         assert!(r.itemsets.is_empty());
     }
 }

@@ -198,11 +198,11 @@ mod tests {
     }
 
     fn result(itemsets: Vec<FrequentItemset>) -> MiningResult {
-        MiningResult {
+        MiningResult::complete(
             itemsets,
-            n_rows: 10,
-            global: StatAccum::from_outcomes(&[Outcome::Bool(false); 10]),
-        }
+            10,
+            StatAccum::from_outcomes(&[Outcome::Bool(false); 10]),
+        )
     }
 
     #[test]

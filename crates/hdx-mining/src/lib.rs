@@ -64,11 +64,15 @@ mod result;
 mod transactions;
 mod vertical;
 
-pub use apriori::apriori;
-pub use fpgrowth::fpgrowth;
-pub use result::{FrequentItemset, MiningResult};
+pub use apriori::{apriori, apriori_governed};
+pub use fpgrowth::{fpgrowth, fpgrowth_governed};
+pub use result::{FrequentItemset, MiningError, MiningResult};
 pub use transactions::Transactions;
-pub use vertical::{vertical, vertical_parallel};
+pub use vertical::{vertical, vertical_governed, vertical_parallel, vertical_parallel_governed};
+
+// Re-exported so downstream crates can build budgets without depending on
+// `hdx-governor` directly.
+pub use hdx_governor::{CancelToken, Governor, RunBudget, RunCounters, Termination};
 
 use hdx_items::ItemCatalog;
 
@@ -129,18 +133,42 @@ pub fn mine(
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    mine_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`mine`] under a [`Governor`]: the selected miner polls the governor for
+/// deadline, budgets and cancellation, and degrades to a partial-but-exact
+/// subset result (see [`MiningResult::termination`]) instead of running away.
+///
+/// Lattice invariants are only asserted for complete runs: a truncated
+/// result legitimately violates anti-monotonicity of the *emitted* set (a
+/// superset can be emitted before a sibling subset's subtree is reached).
+///
+/// # Panics
+/// Panics when `config.min_support` is outside `(0, 1]` (and, under
+/// `debug-invariants`, when a complete result violates an invariant).
+pub fn mine_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     assert!(
         config.min_support > 0.0 && config.min_support <= 1.0,
         "min_support must be in (0, 1]"
     );
     let result = match config.algorithm {
-        MiningAlgorithm::Apriori => apriori(transactions, catalog, config),
-        MiningAlgorithm::FpGrowth => fpgrowth(transactions, catalog, config),
-        MiningAlgorithm::Vertical => vertical(transactions, catalog, config),
-        MiningAlgorithm::VerticalParallel => vertical_parallel(transactions, catalog, config),
+        MiningAlgorithm::Apriori => apriori_governed(transactions, catalog, config, governor),
+        MiningAlgorithm::FpGrowth => fpgrowth_governed(transactions, catalog, config, governor),
+        MiningAlgorithm::Vertical => vertical_governed(transactions, catalog, config, governor),
+        MiningAlgorithm::VerticalParallel => {
+            vertical_parallel_governed(transactions, catalog, config, governor)
+        }
     };
     #[cfg(feature = "debug-invariants")]
-    invariants::assert_result(&result, catalog, config.min_count(transactions.n_rows()));
+    if result.termination.is_complete() && result.errors.is_empty() {
+        invariants::assert_result(&result, catalog, config.min_count(transactions.n_rows()));
+    }
     result
 }
 
@@ -166,8 +194,8 @@ mod cross_tests {
         let mut outcomes = Vec::with_capacity(n);
         for _ in 0..n {
             let xv: f64 = rng.random_range(0.0..100.0);
-            let cv = ["a", "b", "c"][rng.random_range(0..3)];
-            let dv = ["u", "v"][rng.random_range(0..2)];
+            let cv = ["a", "b", "c"][rng.random_range(0..3usize)];
+            let dv = ["u", "v"][rng.random_range(0..2usize)];
             b.push_row(vec![
                 Value::Num(xv),
                 Value::Cat(cv.into()),

@@ -1,5 +1,6 @@
 //! Mining results: frequent itemsets with their accumulated statistics.
 
+use hdx_governor::{Governor, RunCounters, Termination};
 use hdx_items::{ItemCatalog, Itemset};
 use hdx_stats::StatAccum;
 
@@ -13,6 +14,33 @@ pub struct FrequentItemset {
     pub accum: StatAccum,
 }
 
+/// A non-fatal error absorbed during mining. The run degrades instead of
+/// dying: the result still carries every itemset mined by the surviving
+/// workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiningError {
+    /// A worker thread of [`vertical_parallel`](crate::vertical_parallel)
+    /// panicked; its share of the search space is missing from the result.
+    WorkerPanicked {
+        /// Index of the panicked worker.
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MiningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerPanicked { worker, message } => {
+                write!(f, "mining worker {worker} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
 /// The output of one mining run.
 #[derive(Debug, Clone)]
 pub struct MiningResult {
@@ -22,9 +50,42 @@ pub struct MiningResult {
     pub n_rows: usize,
     /// Statistics of the whole database (the empty itemset / `f(D)`).
     pub global: StatAccum,
+    /// How the run ended. Anything but [`Termination::Complete`] means
+    /// `itemsets` is a (still exact) subset of the unbounded result.
+    pub termination: Termination,
+    /// Work charged against the run's budget.
+    pub counters: RunCounters,
+    /// Non-fatal errors absorbed during the run (e.g. worker panics).
+    pub errors: Vec<MiningError>,
 }
 
 impl MiningResult {
+    /// A result from an ungoverned (complete) run: `termination` is
+    /// [`Termination::Complete`], counters zero, no errors.
+    pub fn complete(itemsets: Vec<FrequentItemset>, n_rows: usize, global: StatAccum) -> Self {
+        Self {
+            itemsets,
+            n_rows,
+            global,
+            termination: Termination::Complete,
+            counters: RunCounters::default(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Stamps the governor's termination and counter snapshot onto `self`.
+    #[must_use]
+    pub fn governed_by(mut self, governor: &Governor) -> Self {
+        self.termination = governor.termination();
+        self.counters = governor.counters();
+        self
+    }
+
+    /// `true` when the run was cut short (by budget, deadline, or
+    /// cancellation) or absorbed a worker error.
+    pub fn is_partial(&self) -> bool {
+        self.termination.is_partial() || !self.errors.is_empty()
+    }
     /// The support fraction of a frequent itemset.
     pub fn support(&self, fi: &FrequentItemset) -> f64 {
         fi.accum.count() as f64 / self.n_rows.max(1) as f64
@@ -162,16 +223,16 @@ mod tests {
             Outcome::Bool(false),
             Outcome::Bool(false),
         ]); // f(D) = 0.25
-        MiningResult {
-            itemsets: vec![
+        MiningResult::complete(
+            vec![
                 fi(&[0], &[Outcome::Bool(true), Outcome::Bool(true)]), // f=1, div=.75
                 fi(&[1], &[Outcome::Bool(false), Outcome::Bool(false)]), // f=0, div=-.25
                 fi(&[0, 1], &[Outcome::Bool(true)]),                   // f=1, div=.75
                 fi(&[2], &[Outcome::Undefined]),                       // undefined
             ],
-            n_rows: 4,
+            4,
             global,
-        }
+        )
     }
 
     #[test]
@@ -223,11 +284,7 @@ mod tests {
             itemset: Itemset::from_sorted_unchecked(items.iter().map(|&i| ItemId(i)).collect()),
             accum: StatAccum::from_outcomes(&vec![Outcome::Bool(true); n]),
         };
-        let r = MiningResult {
-            itemsets: vec![mk(&[0], 3), mk(&[1], 2), mk(&[0, 1], 2)],
-            n_rows: 3,
-            global,
-        };
+        let r = MiningResult::complete(vec![mk(&[0], 3), mk(&[1], 2), mk(&[0, 1], 2)], 3, global);
         let closed: Vec<Vec<u32>> = r
             .closed()
             .iter()

@@ -5,11 +5,21 @@
 //! cover with the item's cover. Simple, exact and fast on dense data — used
 //! both as the default algorithm and as the oracle the other miners are
 //! tested against.
+//!
+//! Both entry points come in governed flavours
+//! ([`vertical_governed`]/[`vertical_parallel_governed`]) that poll a
+//! [`Governor`] for deadlines, budgets and cancellation. A tripped governor
+//! stops the search at emission granularity: every itemset already emitted
+//! carries its exact accumulator, so a truncated result is always a subset of
+//! the unbounded one. In the parallel variant a panicking worker is caught
+//! and reported as [`MiningError::WorkerPanicked`](crate::MiningError) while
+//! the remaining workers finish their share.
 
+use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
 use hdx_stats::{Outcome, StatAccum};
 
-use crate::result::{FrequentItemset, MiningResult};
+use crate::result::{FrequentItemset, MiningError, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
 
@@ -37,90 +47,111 @@ pub(crate) fn item_covers(transactions: &Transactions) -> Vec<(ItemId, Bitset)> 
     items.into_iter().zip(covers).collect()
 }
 
+/// Approximate heap bytes of one cover bitset, charged per candidate
+/// intersection against the governor's candidate-byte budget.
+pub(crate) fn cover_bytes(n_rows: usize) -> u64 {
+    (n_rows.div_ceil(8) as u64).max(8)
+}
+
+/// Read-only search context shared by the serial DFS and parallel workers.
+struct DfsCtx<'a> {
+    frequent: &'a [(ItemId, Bitset)],
+    catalog: &'a ItemCatalog,
+    outcomes: &'a [Outcome],
+    min_count: u64,
+    max_len: Option<usize>,
+    governor: &'a Governor,
+    cover_bytes: u64,
+}
+
+/// Depth-first extension of `prefix_items` with items from `start` onward.
+/// Returns early (with whatever was emitted so far) once the governor trips.
+fn dfs(
+    ctx: &DfsCtx<'_>,
+    prefix_items: &mut Vec<ItemId>,
+    prefix_cover: Option<&Bitset>,
+    start: usize,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for idx in start..ctx.frequent.len() {
+        if !ctx.governor.keep_going() {
+            return;
+        }
+        let (item, cover) = &ctx.frequent[idx];
+        let attr = ctx.catalog.attr_of(*item);
+        if prefix_items.iter().any(|&p| ctx.catalog.attr_of(p) == attr) {
+            continue;
+        }
+        // Each candidate allocates one intersection bitset.
+        if !ctx.governor.record_candidate_bytes(ctx.cover_bytes) {
+            return;
+        }
+        let joint = match prefix_cover {
+            None => cover.clone(),
+            Some(pc) => pc.and(cover),
+        };
+        if (joint.count() as u64) < ctx.min_count {
+            continue;
+        }
+        // Charge the emission *before* pushing: on a refused charge nothing
+        // is emitted, so emitted itemsets always have exact accumulators.
+        if !ctx.governor.record_itemsets(1) {
+            return;
+        }
+        prefix_items.push(*item);
+        out.push(FrequentItemset {
+            itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+            accum: accum_over(&joint, ctx.outcomes),
+        });
+        if ctx.max_len.is_none_or(|m| prefix_items.len() < m) {
+            dfs(ctx, prefix_items, Some(&joint), idx + 1, out);
+        }
+        prefix_items.pop();
+    }
+}
+
 /// Mines all frequent itemsets via depth-first vertical search.
 pub fn vertical(
     transactions: &Transactions,
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    vertical_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`vertical`] under a [`Governor`]: polls for deadline/budget/cancellation
+/// and degrades to a partial (subset) result instead of running away.
+pub fn vertical_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
-    let outcomes = transactions.outcomes();
 
-    // Frequent single items with their covers, ascending id order.
+    fail_point!("mining::vertical");
+
     let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
         .into_iter()
         .filter(|(_, c)| c.count() as u64 >= min_count)
         .collect();
 
+    let ctx = DfsCtx {
+        frequent: &frequent,
+        catalog,
+        outcomes: transactions.outcomes(),
+        min_count,
+        max_len: config.max_len,
+        governor,
+        cover_bytes: cover_bytes(n),
+    };
+
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut prefix_items: Vec<ItemId> = Vec::new();
+    dfs(&ctx, &mut prefix_items, None, 0, &mut out);
 
-    // Depth-first extension. `start` indexes into `frequent`.
-    #[allow(clippy::too_many_arguments)] // recursion context, not an API
-    fn dfs(
-        frequent: &[(ItemId, Bitset)],
-        catalog: &ItemCatalog,
-        outcomes: &[Outcome],
-        min_count: u64,
-        max_len: Option<usize>,
-        prefix_items: &mut Vec<ItemId>,
-        prefix_cover: Option<&Bitset>,
-        start: usize,
-        out: &mut Vec<FrequentItemset>,
-    ) {
-        for idx in start..frequent.len() {
-            let (item, cover) = &frequent[idx];
-            let attr = catalog.attr_of(*item);
-            if prefix_items.iter().any(|&p| catalog.attr_of(p) == attr) {
-                continue;
-            }
-            let joint = match prefix_cover {
-                None => cover.clone(),
-                Some(pc) => pc.and(cover),
-            };
-            if (joint.count() as u64) < min_count {
-                continue;
-            }
-            prefix_items.push(*item);
-            out.push(FrequentItemset {
-                itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
-                accum: accum_over(&joint, outcomes),
-            });
-            if max_len.is_none_or(|m| prefix_items.len() < m) {
-                dfs(
-                    frequent,
-                    catalog,
-                    outcomes,
-                    min_count,
-                    max_len,
-                    prefix_items,
-                    Some(&joint),
-                    idx + 1,
-                    out,
-                );
-            }
-            prefix_items.pop();
-        }
-    }
-
-    dfs(
-        &frequent,
-        catalog,
-        outcomes,
-        min_count,
-        config.max_len,
-        &mut prefix_items,
-        None,
-        0,
-        &mut out,
-    );
-
-    MiningResult {
-        itemsets: out,
-        n_rows: n,
-        global: transactions.global_accum(),
-    }
+    MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
 }
 
 /// Parallel variant of [`vertical`]: the depth-first subtrees rooted at each
@@ -133,9 +164,23 @@ pub fn vertical_parallel(
     catalog: &ItemCatalog,
     config: &MiningConfig,
 ) -> MiningResult {
+    vertical_parallel_governed(transactions, catalog, config, &Governor::unbounded())
+}
+
+/// [`vertical_parallel`] under a [`Governor`]. All workers share the
+/// governor, so a tripped budget stops every subtree cooperatively. A worker
+/// that panics is caught and folded into
+/// [`MiningResult::errors`](crate::MiningResult) as
+/// [`MiningError::WorkerPanicked`](crate::MiningError); the other workers
+/// finish and their itemsets are kept.
+pub fn vertical_parallel_governed(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
-    let outcomes = transactions.outcomes();
 
     let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
         .into_iter()
@@ -147,104 +192,84 @@ pub fn vertical_parallel(
         .unwrap_or(1)
         .min(frequent.len().max(1));
 
+    let ctx = DfsCtx {
+        frequent: &frequent,
+        catalog,
+        outcomes: transactions.outcomes(),
+        min_count,
+        max_len: config.max_len,
+        governor,
+        cover_bytes: cover_bytes(n),
+    };
+
     let mut out: Vec<FrequentItemset> = Vec::new();
+    let mut errors: Vec<MiningError> = Vec::new();
     std::thread::scope(|scope| {
-        let frequent = &frequent;
+        let ctx = &ctx;
         let handles: Vec<_> = (0..n_workers)
             .map(|worker| {
                 scope.spawn(move || {
-                    let mut local: Vec<FrequentItemset> = Vec::new();
-                    let mut prefix: Vec<ItemId> = Vec::new();
-                    // Strided assignment of first-level subtrees balances
-                    // the skewed subtree sizes (early items have the largest
-                    // extension sets).
-                    for idx in (worker..frequent.len()).step_by(n_workers) {
-                        let (item, cover) = &frequent[idx];
-                        prefix.push(*item);
-                        local.push(FrequentItemset {
-                            itemset: Itemset::singleton(*item),
-                            accum: accum_over(cover, outcomes),
-                        });
-                        if config.max_len.is_none_or(|m| m > 1) {
-                            dfs_worker(
-                                frequent,
-                                catalog,
-                                outcomes,
-                                min_count,
-                                config.max_len,
-                                &mut prefix,
-                                cover,
-                                idx + 1,
-                                &mut local,
-                            );
+                    // Catch panics inside the worker so one crashing subtree
+                    // degrades the run instead of killing it. The closure
+                    // only reads shared state and writes a thread-local vec,
+                    // so unwinding cannot leave broken invariants behind.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        fail_point!("mining::vertical-worker");
+                        let mut local: Vec<FrequentItemset> = Vec::new();
+                        let mut prefix: Vec<ItemId> = Vec::new();
+                        // Strided assignment of first-level subtrees balances
+                        // the skewed subtree sizes (early items have the
+                        // largest extension sets).
+                        for idx in (worker..ctx.frequent.len()).step_by(n_workers) {
+                            if !ctx.governor.keep_going() {
+                                break;
+                            }
+                            let (item, cover) = &ctx.frequent[idx];
+                            if !ctx.governor.record_itemsets(1) {
+                                break;
+                            }
+                            prefix.push(*item);
+                            local.push(FrequentItemset {
+                                itemset: Itemset::singleton(*item),
+                                accum: accum_over(cover, ctx.outcomes),
+                            });
+                            if ctx.max_len.is_none_or(|m| m > 1) {
+                                dfs(ctx, &mut prefix, Some(cover), idx + 1, &mut local);
+                            }
+                            prefix.pop();
                         }
-                        prefix.pop();
-                    }
-                    local
+                        local
+                    }))
                 })
             })
             .collect();
-        for handle in handles {
-            match handle.join() {
+        for (worker, handle) in handles.into_iter().enumerate() {
+            // `join` cannot fail (the worker catches its own panics), but
+            // fold a hypothetical failure into the same degraded path.
+            match handle.join().unwrap_or_else(Err) {
                 Ok(local) => out.extend(local),
-                // Re-raise the worker's panic on the caller thread.
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => errors.push(MiningError::WorkerPanicked {
+                    worker,
+                    message: panic_message(payload.as_ref()),
+                }),
             }
         }
     });
 
-    MiningResult {
-        itemsets: out,
-        n_rows: n,
-        global: transactions.global_accum(),
-    }
+    let mut result =
+        MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor);
+    result.errors = errors;
+    result
 }
 
-/// DFS body shared by the parallel workers (same recursion as [`vertical`]'s
-/// inner `dfs`, with a mandatory prefix cover).
-#[allow(clippy::too_many_arguments)] // recursion context, not an API
-fn dfs_worker(
-    frequent: &[(ItemId, Bitset)],
-    catalog: &ItemCatalog,
-    outcomes: &[Outcome],
-    min_count: u64,
-    max_len: Option<usize>,
-    prefix_items: &mut Vec<ItemId>,
-    prefix_cover: &Bitset,
-    start: usize,
-    out: &mut Vec<FrequentItemset>,
-) {
-    for idx in start..frequent.len() {
-        let (item, cover) = &frequent[idx];
-        let attr = catalog.attr_of(*item);
-        if prefix_items.iter().any(|&p| catalog.attr_of(p) == attr) {
-            continue;
-        }
-        let joint = prefix_cover.and(cover);
-        if (joint.count() as u64) < min_count {
-            continue;
-        }
-        prefix_items.push(*item);
-        let mut sorted = prefix_items.clone();
-        sorted.sort_unstable();
-        out.push(FrequentItemset {
-            itemset: Itemset::from_sorted_unchecked(sorted),
-            accum: accum_over(&joint, outcomes),
-        });
-        if max_len.is_none_or(|m| prefix_items.len() < m) {
-            dfs_worker(
-                frequent,
-                catalog,
-                outcomes,
-                min_count,
-                max_len,
-                prefix_items,
-                &joint,
-                idx + 1,
-                out,
-            );
-        }
-        prefix_items.pop();
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -252,6 +277,7 @@ fn dfs_worker(
 mod tests {
     use super::*;
     use hdx_data::AttrId;
+    use hdx_governor::{RunBudget, Termination};
     use hdx_items::Item;
 
     /// Catalog with items a0, a1 on attr 0 and b0, b1 on attr 1.
@@ -299,6 +325,8 @@ mod tests {
         assert_eq!(fi.accum.statistic(), Some(1.0), "both joint rows are T");
         assert_eq!(r.global.statistic(), Some(0.5));
         assert_eq!(r.divergence(fi), Some(0.5));
+        assert_eq!(r.termination, Termination::Complete);
+        assert!(!r.is_partial());
     }
 
     #[test]
@@ -342,6 +370,7 @@ mod tests {
         let r = vertical(&t, &catalog, &MiningConfig::default());
         assert!(r.itemsets.is_empty());
         assert_eq!(r.n_rows, 0);
+        assert_eq!(r.termination, Termination::Complete);
     }
 
     #[test]
@@ -369,5 +398,70 @@ mod tests {
             },
         );
         assert!(r2.itemsets.is_empty());
+    }
+
+    #[test]
+    fn itemset_budget_truncates_to_exact_subset() {
+        let (catalog, ids) = catalog();
+        let rows = vec![
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[3]],
+            vec![ids[1], ids[2]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 4]);
+        let config = MiningConfig {
+            min_support: 0.25,
+            ..MiningConfig::default()
+        };
+        let full = vertical(&t, &catalog, &config);
+        assert!(full.itemsets.len() > 2);
+
+        let governor = Governor::new(RunBudget::unbounded().with_max_itemsets(2));
+        let partial = vertical_governed(&t, &catalog, &config, &governor);
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert!(partial.is_partial());
+        assert_eq!(partial.itemsets.len(), 2);
+        assert_eq!(partial.counters.itemsets, 2);
+        for fi in &partial.itemsets {
+            let reference = full.find(&fi.itemset).expect("subset of unbounded run");
+            assert_eq!(reference.accum.count(), fi.accum.count());
+        }
+    }
+
+    #[test]
+    fn parallel_budget_truncates_without_panicking() {
+        let (catalog, ids) = catalog();
+        let rows = vec![
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[3]],
+            vec![ids[1], ids[2]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 4]);
+        let config = MiningConfig {
+            min_support: 0.25,
+            ..MiningConfig::default()
+        };
+        let full = vertical(&t, &catalog, &config);
+        let governor = Governor::new(RunBudget::unbounded().with_max_itemsets(1));
+        let partial = vertical_parallel_governed(&t, &catalog, &config, &governor);
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert!(partial.itemsets.len() <= full.itemsets.len());
+        assert!(partial.errors.is_empty());
+        for fi in &partial.itemsets {
+            assert!(full.find(&fi.itemset).is_some());
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_run_before_work() {
+        let (catalog, ids) = catalog();
+        let rows = vec![vec![ids[0], ids[2]]; 8];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 8]);
+        let governor = Governor::unbounded();
+        governor.cancel_token().cancel();
+        let r = vertical_governed(&t, &catalog, &MiningConfig::default(), &governor);
+        assert_eq!(r.termination, Termination::Cancelled);
     }
 }

@@ -125,7 +125,7 @@ mod tests {
         for _ in 0..n {
             let x: f64 = rng.random_range(0.0..1.0);
             let y: f64 = rng.random_range(0.0..1.0);
-            let g = ["a", "b"][rng.random_range(0..2)];
+            let g = ["a", "b"][rng.random_range(0..2usize)];
             b.push_row(vec![Value::Num(x), Value::Num(y), Value::Cat(g.into())])
                 .unwrap();
             let signal = x + y + f64::from(u8::from(g == "b")) * 0.3 > 1.1;
@@ -190,7 +190,7 @@ mod tests {
         for _ in 0..800 {
             let x: f64 = rng.random_range(0.0..1.0);
             let noise: f64 = rng.random_range(0.0..1.0);
-            let g = ["a", "b"][rng.random_range(0..2)];
+            let g = ["a", "b"][rng.random_range(0..2usize)];
             b.push_row(vec![Value::Num(x), Value::Num(noise), Value::Cat(g.into())])
                 .unwrap();
             labels.push(x > 0.5);

@@ -1,0 +1,158 @@
+//! Fault-injection integration tests (compiled only with
+//! `--features hdx-fail`): arm named fail points in the miners, the tree
+//! discretizer and the CSV loader, and assert that every layer degrades
+//! instead of dying.
+//!
+//! The fail-point registry is process-global; each test arms a *distinct*
+//! point name, so the tests can run concurrently.
+
+#![cfg(feature = "hdx-fail")]
+
+use h_divexplorer::core::{ExplorationMode, HDivExplorerConfig, OutcomeFn, Termination};
+use h_divexplorer::data::{read_csv_str, CsvOptions, DataError};
+use h_divexplorer::datasets::compas;
+use h_divexplorer::governor::failpoint::{self, FailAction};
+use h_divexplorer::governor::{Governor, RunBudget};
+use h_divexplorer::items::{Item, ItemCatalog, ItemId};
+use h_divexplorer::mining::{
+    mine, mine_governed, MiningAlgorithm, MiningConfig, MiningError, Transactions,
+};
+use h_divexplorer::stats::Outcome;
+use std::time::Duration;
+
+/// Same deterministic fixture as `tests/governor.rs`.
+fn fixture() -> (Transactions, ItemCatalog) {
+    let mut catalog = ItemCatalog::new();
+    let ids: Vec<ItemId> = (0..6)
+        .map(|i| {
+            catalog.intern(Item::cat_eq(
+                h_divexplorer::data::AttrId(i as u16),
+                0,
+                &format!("a{i}"),
+                "v",
+            ))
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for r in 0..200usize {
+        let row: Vec<ItemId> = (0..6)
+            .filter(|k| (r * (k + 3) / 7 + r / (k + 1)) % (k + 2) == 0)
+            .map(|k| ids[k])
+            .collect();
+        rows.push(row);
+        outcomes.push(Outcome::Bool(r % 3 == 0));
+    }
+    (Transactions::from_rows(rows, outcomes), catalog)
+}
+
+/// Killing one parallel worker degrades the run: the panic is caught,
+/// reported as a typed [`MiningError::WorkerPanicked`], and the surviving
+/// workers' itemsets — an exact subset of the full answer — are returned.
+#[test]
+fn killed_worker_degrades_instead_of_dying() {
+    let (transactions, catalog) = fixture();
+    let config = MiningConfig {
+        min_support: 0.1,
+        max_len: None,
+        algorithm: MiningAlgorithm::VerticalParallel,
+    };
+    let full = mine(&transactions, &catalog, &config);
+
+    failpoint::arm_once("mining::vertical-worker", FailAction::Panic, 1);
+    // Quiet the default panic hook for the injected panic: it is caught by
+    // the worker's catch_unwind, but the hook would still print a backtrace.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let degraded = mine(&transactions, &catalog, &config);
+    std::panic::set_hook(hook);
+    failpoint::disarm("mining::vertical-worker");
+
+    assert_eq!(degraded.errors.len(), 1, "exactly one worker died");
+    assert!(matches!(
+        degraded.errors[0],
+        MiningError::WorkerPanicked { .. }
+    ));
+    assert_eq!(degraded.termination, Termination::Complete);
+    // Whatever the survivors mined is an exact subset of the full answer.
+    for fi in &degraded.itemsets {
+        assert!(
+            full.itemsets
+                .iter()
+                .any(|f| f.itemset == fi.itemset && f.accum.count() == fi.accum.count()),
+            "orphan itemset {:?}",
+            fi.itemset
+        );
+    }
+    assert!(degraded.itemsets.len() < full.itemsets.len());
+}
+
+/// An injected CSV-layer fault surfaces as a typed `DataError::Csv`, not a
+/// panic.
+#[test]
+fn csv_read_fault_is_a_typed_error() {
+    failpoint::arm("data::csv-read", FailAction::Error("injected I/O fault".into()), 1);
+    let result = read_csv_str("a,b\n1,2\n", &CsvOptions::default());
+    failpoint::disarm("data::csv-read");
+    match result {
+        Err(DataError::Csv { line: 0, message }) => {
+            assert!(message.contains("injected"));
+        }
+        other => panic!("expected injected DataError::Csv, got {other:?}"),
+    }
+}
+
+/// A stalling split search (slow dependency simulation) trips the
+/// wall-clock deadline: the pipeline returns a partial result rather than
+/// hanging.
+#[test]
+fn stalled_discretizer_split_trips_the_deadline() {
+    let dataset = compas(400, 7);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
+    failpoint::arm(
+        "discretize::split",
+        FailAction::Stall(Duration::from_millis(40)),
+        1,
+    );
+    let config = HDivExplorerConfig {
+        min_support: 0.05,
+        budget: RunBudget::unbounded().with_deadline(Duration::from_millis(10)),
+        ..HDivExplorerConfig::default()
+    };
+    let result = h_divexplorer::core::HDivExplorer::new(config).fit_mode(
+        &dataset.frame,
+        &outcomes,
+        ExplorationMode::Base,
+    );
+    failpoint::disarm("discretize::split");
+    assert_eq!(result.termination(), Termination::DeadlineExceeded);
+    assert!(result.is_partial());
+}
+
+/// An injected panic in a single-threaded miner *does* propagate (there is
+/// no worker boundary to absorb it) — but the governor's budget machinery
+/// still prevents the partial state from leaking: the caller sees a clean
+/// unwind, not a corrupt result.
+#[test]
+fn single_thread_miner_panics_are_clean_unwinds() {
+    let (transactions, catalog) = fixture();
+    failpoint::arm("mining::vertical", FailAction::Panic, 1);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        let config = MiningConfig {
+            min_support: 0.1,
+            max_len: None,
+            algorithm: MiningAlgorithm::Vertical,
+        };
+        mine_governed(
+            &transactions,
+            &catalog,
+            &config,
+            &Governor::new(RunBudget::unbounded()),
+        )
+    });
+    std::panic::set_hook(hook);
+    failpoint::disarm("mining::vertical");
+    assert!(outcome.is_err(), "injected panic must propagate");
+}

@@ -1,0 +1,271 @@
+//! Integration tests for the run governor: deadlines, budgets, cooperative
+//! cancellation, and the graceful-degradation guarantee — a truncated run's
+//! itemsets are an *exact subset* of the unbounded run's, across all three
+//! miner families and the full H-DivExplorer pipeline.
+
+use h_divexplorer::core::{ExplorationMode, HDivExplorerConfig, OutcomeFn, Termination};
+use h_divexplorer::datasets::{compas, synthetic_peak};
+use h_divexplorer::governor::{CancelToken, Governor, RunBudget};
+use h_divexplorer::items::{Item, ItemCatalog, ItemId, Itemset};
+use h_divexplorer::mining::{
+    mine, mine_governed, MiningAlgorithm, MiningConfig, Transactions,
+};
+use h_divexplorer::stats::Outcome;
+use hdx_bench::experiments::{outcomes_for, pipeline_for};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const ALGORITHMS: [MiningAlgorithm; 4] = [
+    MiningAlgorithm::Apriori,
+    MiningAlgorithm::FpGrowth,
+    MiningAlgorithm::Vertical,
+    MiningAlgorithm::VerticalParallel,
+];
+
+/// A small deterministic transaction database with enough co-occurrence
+/// structure to produce a few dozen frequent itemsets at s = 0.1.
+fn fixture() -> (Transactions, ItemCatalog) {
+    let mut catalog = ItemCatalog::new();
+    let ids: Vec<ItemId> = (0..6)
+        .map(|i| {
+            catalog.intern(Item::cat_eq(
+                h_divexplorer::data::AttrId(i as u16),
+                0,
+                &format!("a{i}"),
+                "v",
+            ))
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for r in 0..200usize {
+        // Item k appears in rows where r has bit k of a mixed pattern set;
+        // the mix keeps every pair/triple frequency distinct but stable.
+        let row: Vec<ItemId> = (0..6)
+            .filter(|k| (r * (k + 3) / 7 + r / (k + 1)) % (k + 2) == 0)
+            .map(|k| ids[k])
+            .collect();
+        rows.push(row);
+        outcomes.push(if r % 3 == 0 {
+            Outcome::Bool(r % 2 == 0)
+        } else {
+            Outcome::Real((r % 10) as f64)
+        });
+    }
+    (Transactions::from_rows(rows, outcomes), catalog)
+}
+
+/// (itemset → count) map for subset comparison.
+fn counts(itemsets: &[h_divexplorer::mining::FrequentItemset]) -> BTreeMap<Itemset, u64> {
+    itemsets
+        .iter()
+        .map(|fi| (fi.itemset.clone(), fi.accum.count()))
+        .collect()
+}
+
+/// §ISSUE acceptance: for every miner, a budget-truncated run returns an
+/// exact subset of the unbounded run — same itemsets, same counts.
+#[test]
+fn truncated_results_are_exact_subsets_for_every_miner() {
+    let (transactions, catalog) = fixture();
+    for algorithm in ALGORITHMS {
+        let config = MiningConfig {
+            min_support: 0.1,
+            max_len: None,
+            algorithm,
+        };
+        let full = mine(&transactions, &catalog, &config);
+        assert_eq!(full.termination, Termination::Complete, "{algorithm:?}");
+        let full_counts = counts(&full.itemsets);
+        assert!(full_counts.len() > 8, "{algorithm:?}: fixture too sparse");
+
+        for cap in [1u64, 3, 7, full_counts.len() as u64 - 1] {
+            let governor = Governor::new(RunBudget::unbounded().with_max_itemsets(cap));
+            let truncated = mine_governed(&transactions, &catalog, &config, &governor);
+            assert_eq!(
+                truncated.termination,
+                Termination::BudgetExhausted,
+                "{algorithm:?} cap={cap}"
+            );
+            assert!(
+                truncated.itemsets.len() as u64 <= cap,
+                "{algorithm:?} cap={cap}: {} itemsets",
+                truncated.itemsets.len()
+            );
+            for (itemset, count) in counts(&truncated.itemsets) {
+                assert_eq!(
+                    full_counts.get(&itemset),
+                    Some(&count),
+                    "{algorithm:?} cap={cap}: {itemset:?} not an exact subset entry"
+                );
+            }
+        }
+    }
+}
+
+/// A pre-cancelled token stops every miner before it emits anything.
+#[test]
+fn cancellation_stops_every_miner() {
+    let (transactions, catalog) = fixture();
+    let token = CancelToken::new();
+    token.cancel();
+    for algorithm in ALGORITHMS {
+        let config = MiningConfig {
+            min_support: 0.1,
+            max_len: None,
+            algorithm,
+        };
+        let governor = Governor::with_token(RunBudget::unbounded(), token.clone());
+        let result = mine_governed(&transactions, &catalog, &config, &governor);
+        assert_eq!(result.termination, Termination::Cancelled, "{algorithm:?}");
+        assert!(result.itemsets.is_empty(), "{algorithm:?}");
+    }
+}
+
+/// An already-expired deadline degrades to an empty-but-valid result.
+#[test]
+fn expired_deadline_degrades_every_miner() {
+    let (transactions, catalog) = fixture();
+    for algorithm in ALGORITHMS {
+        let config = MiningConfig {
+            min_support: 0.1,
+            max_len: None,
+            algorithm,
+        };
+        let governor =
+            Governor::new(RunBudget::unbounded().with_deadline(Duration::ZERO));
+        let result = mine_governed(&transactions, &catalog, &config, &governor);
+        assert_eq!(
+            result.termination,
+            Termination::DeadlineExceeded,
+            "{algorithm:?}"
+        );
+    }
+}
+
+/// Tier-1 fixtures under a generous budget terminate `Complete` and match
+/// the ungoverned run exactly — the governor never perturbs a full run.
+#[test]
+fn generous_budget_is_invisible_on_tier1_fixtures() {
+    for dataset in [compas(400, 7), synthetic_peak(400, 7)] {
+        let outcomes = outcomes_for(&dataset);
+        let config = HDivExplorerConfig {
+            min_support: 0.05,
+            ..HDivExplorerConfig::default()
+        };
+        let free = pipeline_for(&dataset, config).fit_mode(
+            &dataset.frame,
+            &outcomes,
+            ExplorationMode::Generalized,
+        );
+        let governed_config = HDivExplorerConfig {
+            budget: RunBudget::unbounded()
+                .with_deadline(Duration::from_secs(600))
+                .with_max_itemsets(1_000_000),
+            ..config
+        };
+        let governed = pipeline_for(&dataset, governed_config).fit_mode(
+            &dataset.frame,
+            &outcomes,
+            ExplorationMode::Generalized,
+        );
+        assert_eq!(governed.termination(), Termination::Complete, "{}", dataset.name);
+        assert!(!governed.is_partial(), "{}", dataset.name);
+        assert_eq!(
+            governed.report.records.len(),
+            free.report.records.len(),
+            "{}",
+            dataset.name
+        );
+    }
+}
+
+/// The pathological acceptance scenario end to end: a tight itemset budget
+/// plus a wall-clock deadline on a low-support run still yields non-empty
+/// partial results and a truthful termination reason.
+#[test]
+fn pathological_pipeline_run_degrades_instead_of_dying() {
+    let dataset = compas(1500, 3);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
+    let config = HDivExplorerConfig {
+        min_support: 0.01,
+        budget: RunBudget::unbounded()
+            .with_max_itemsets(8)
+            .with_deadline(Duration::from_secs(30)),
+        ..HDivExplorerConfig::default()
+    };
+    let result = pipeline_for(&dataset, config).fit_mode(
+        &dataset.frame,
+        &outcomes,
+        ExplorationMode::Generalized,
+    );
+    assert_eq!(result.termination(), Termination::BudgetExhausted);
+    assert!(result.is_partial());
+    assert!(!result.report.records.is_empty());
+    assert!(result.report.records.len() <= 8);
+    assert_eq!(result.counters().itemsets, 8);
+}
+
+/// With `adaptive_support`, the same budget produces a *complete* (coarser)
+/// run instead of a truncated one.
+#[test]
+fn adaptive_support_completes_within_budget() {
+    let dataset = compas(800, 3);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
+    // Measure how many subgroups a coarse support yields, then demand that
+    // count as the budget of a run starting at 0.025: the doubling retry
+    // ladder (0.05 → 0.1 → 0.2) lands exactly on the measured support, where
+    // the count fits the budget and the run completes.
+    let coarse = HDivExplorerConfig {
+        min_support: 0.2,
+        ..HDivExplorerConfig::default()
+    };
+    let cap = pipeline_for(&dataset, coarse)
+        .fit_mode(&dataset.frame, &outcomes, ExplorationMode::Base)
+        .report
+        .records
+        .len() as u64;
+    let config = HDivExplorerConfig {
+        min_support: 0.025,
+        budget: RunBudget::unbounded().with_max_itemsets(cap),
+        adaptive_support: true,
+        ..HDivExplorerConfig::default()
+    };
+    let result = pipeline_for(&dataset, config).fit_mode(
+        &dataset.frame,
+        &outcomes,
+        ExplorationMode::Base,
+    );
+    assert_eq!(result.termination(), Termination::Complete);
+    assert!(result.adaptive_retries > 0);
+    assert!(result.effective_min_support > 0.025);
+}
+
+/// Cancelling from another thread mid-run stops the pipeline cooperatively.
+#[test]
+fn cross_thread_cancellation_is_cooperative() {
+    let dataset = compas(1500, 3);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        })
+    };
+    let config = HDivExplorerConfig {
+        min_support: 0.005,
+        ..HDivExplorerConfig::default()
+    };
+    let result = pipeline_for(&dataset, config)
+        .with_cancel_token(token)
+        .fit_mode(&dataset.frame, &outcomes, ExplorationMode::Generalized);
+    canceller.join().expect("canceller thread");
+    // Either the run was fast enough to finish, or it reports Cancelled;
+    // it must never panic or return a corrupt report.
+    assert!(matches!(
+        result.termination(),
+        Termination::Complete | Termination::Cancelled
+    ));
+}

@@ -214,7 +214,7 @@ fn redundancy_filter_preserves_top_divergence() {
 fn pipeline_handles_missing_values() {
     use h_divexplorer::datasets::{inject_nulls, synthetic_peak};
     let clean = synthetic_peak(2_500, 31);
-    let holey = inject_nulls(&clean.frame, 0.15, 5);
+    let holey = inject_nulls(&clean.frame, 0.15, 5).expect("valid rate");
     let outcomes = hdx_bench::experiments::outcomes_for(&clean);
     let result = HDivExplorer::new(HDivExplorerConfig {
         min_support: 0.05,
