@@ -1,0 +1,281 @@
+//! Mining-performance harness: times the word-level outcome kernels against
+//! the scalar reference path (micro) and the three miners end to end
+//! (synthetic-peak and compas), then writes machine-readable results to
+//! `BENCH_mining.json`.
+//!
+//! Unlike the criterion benches this binary needs no bench runner, finishes
+//! in seconds, and has a CI mode:
+//!
+//! ```text
+//! bench_mining [--quick] [--enforce] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks iteration counts and row counts for smoke runs;
+//! `--enforce` exits non-zero if the boolean dense kernel is not faster than
+//! the scalar path (the regression gate CI runs); `--out` overrides the
+//! output path (default `BENCH_mining.json` in the current directory).
+
+use hdx_bench::experiments::{outcomes_for, pipeline_for};
+use hdx_bench::splitmix64;
+use hdx_core::HDivExplorerConfig;
+use hdx_datasets::{compas, synthetic_peak};
+use hdx_items::Bitset;
+use hdx_mining::{accum_scalar, mine, MiningAlgorithm, MiningConfig, Transactions};
+use hdx_stats::{Outcome, OutcomePlanes};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Opts {
+    quick: bool,
+    enforce: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        enforce: false,
+        out: "BENCH_mining.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--enforce" => opts.enforce = true,
+            "--out" => {
+                opts.out = it.next().unwrap_or_else(|| panic!("usage: --out <path>"));
+            }
+            other => panic!("unknown flag `{other}`; supported: --quick --enforce --out <path>"),
+        }
+    }
+    opts
+}
+
+/// One timed micro-comparison: ns per (cover, outcome-vector) accumulation
+/// for the kernel and the scalar path, plus their ratio.
+struct MicroResult {
+    name: &'static str,
+    rows: usize,
+    covers: usize,
+    kernel_ns: f64,
+    scalar_ns: f64,
+}
+
+impl MicroResult {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.kernel_ns
+    }
+}
+
+fn make_covers(n_rows: usize, n_covers: usize, seed: u64) -> Vec<Bitset> {
+    let mut state = seed;
+    (0..n_covers)
+        .map(|_| {
+            let mut cover = Bitset::new(n_rows);
+            for row in 0..n_rows {
+                if splitmix64(&mut state) & 1 == 1 {
+                    cover.set(row);
+                }
+            }
+            cover
+        })
+        .collect()
+}
+
+fn make_outcomes(kind: &str, n_rows: usize) -> Vec<Outcome> {
+    let mut state = 0x5eed_0123_4567_89ab;
+    (0..n_rows)
+        .map(|_| {
+            let bits = splitmix64(&mut state);
+            match kind {
+                "boolean_dense" => Outcome::Bool(bits & 1 == 1),
+                "numeric_dense" => Outcome::Real((bits >> 11) as f64 * 1e-6),
+                _ => match bits % 10 {
+                    0 => Outcome::Undefined,
+                    1..=5 => Outcome::Bool(bits & 2 == 2),
+                    _ => Outcome::Real((bits >> 11) as f64 * 1e-6),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn micro(kind: &'static str, quick: bool) -> MicroResult {
+    let (n_rows, n_covers, iters) = if quick {
+        (16_384, 16, 5)
+    } else {
+        (131_072, 32, 15)
+    };
+    let covers = make_covers(n_rows, n_covers, 7);
+    let counts: Vec<u64> = covers.iter().map(|c| c.count() as u64).collect();
+    let outcomes = make_outcomes(kind, n_rows);
+    let planes = OutcomePlanes::from_outcomes(&outcomes);
+
+    let kernel_total = time_ns(iters, || {
+        for (cover, &n) in covers.iter().zip(&counts) {
+            black_box(planes.accum(cover.words(), n));
+        }
+    });
+    let scalar_total = time_ns(iters, || {
+        for cover in &covers {
+            black_box(accum_scalar(cover, &outcomes));
+        }
+    });
+    MicroResult {
+        name: kind,
+        rows: n_rows,
+        covers: n_covers,
+        kernel_ns: kernel_total / n_covers as f64,
+        scalar_ns: scalar_total / n_covers as f64,
+    }
+}
+
+struct EndToEnd {
+    dataset: String,
+    algorithm: MiningAlgorithm,
+    itemsets: usize,
+    ms: f64,
+}
+
+fn end_to_end(quick: bool) -> Vec<EndToEnd> {
+    let (rows_peak, rows_compas, iters) = if quick {
+        (800, 600, 2)
+    } else {
+        (2_500, 1_543, 5)
+    };
+    let mut out = Vec::new();
+    for dataset in [synthetic_peak(rows_peak, 1), compas(rows_compas, 1)] {
+        let outcomes = outcomes_for(&dataset);
+        let pipeline = pipeline_for(&dataset, HDivExplorerConfig::default());
+        let (catalog, hierarchies, _) = pipeline.discretize(&dataset.frame, &outcomes);
+        let transactions =
+            Transactions::encode_generalized(&dataset.frame, &catalog, &hierarchies, &outcomes);
+        for algorithm in [
+            MiningAlgorithm::Apriori,
+            MiningAlgorithm::FpGrowth,
+            MiningAlgorithm::Vertical,
+            MiningAlgorithm::VerticalParallel,
+        ] {
+            let config = MiningConfig {
+                min_support: 0.05,
+                max_len: None,
+                algorithm,
+            };
+            let itemsets = mine(&transactions, &catalog, &config).itemsets.len();
+            let ns = time_ns(iters, || {
+                black_box(mine(&transactions, &catalog, &config).itemsets.len());
+            });
+            out.push(EndToEnd {
+                dataset: dataset.name.clone(),
+                algorithm,
+                itemsets,
+                ms: ns / 1e6,
+            });
+        }
+    }
+    out
+}
+
+fn render_json(mode: &str, micros: &[MicroResult], e2e: &[EndToEnd]) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v1\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"micro\": [");
+    for (i, m) in micros.iter().enumerate() {
+        let comma = if i + 1 < micros.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"covers\": {}, \
+             \"kernel_ns_per_cover\": {:.1}, \"scalar_ns_per_cover\": {:.1}, \
+             \"speedup\": {:.2}}}{comma}",
+            m.name,
+            m.rows,
+            m.covers,
+            m.kernel_ns,
+            m.scalar_ns,
+            m.speedup(),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"end_to_end\": [");
+    for (i, e) in e2e.iter().enumerate() {
+        let comma = if i + 1 < e2e.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{}\", \"algorithm\": \"{:?}\", \
+             \"itemsets\": {}, \"ms\": {:.3}}}{comma}",
+            e.dataset, e.algorithm, e.itemsets, e.ms,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let mode = if opts.quick { "quick" } else { "full" };
+
+    let micros: Vec<MicroResult> = ["boolean_dense", "numeric_dense", "mixed"]
+        .into_iter()
+        .map(|kind| micro(kind, opts.quick))
+        .collect();
+    for m in &micros {
+        println!(
+            "micro {:>14}: kernel {:>12.1} ns/cover  scalar {:>12.1} ns/cover  speedup {:>6.2}x",
+            m.name,
+            m.kernel_ns,
+            m.scalar_ns,
+            m.speedup(),
+        );
+    }
+    let e2e = end_to_end(opts.quick);
+    for e in &e2e {
+        println!(
+            "e2e {:>16}/{:<16?} {:>6} itemsets  {:>9.3} ms",
+            e.dataset, e.algorithm, e.itemsets, e.ms,
+        );
+    }
+
+    let json = render_json(mode, &micros, &e2e);
+    if let Err(err) = std::fs::write(&opts.out, &json) {
+        eprintln!("cannot write {}: {err}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out);
+
+    if opts.enforce {
+        let boolean = micros
+            .iter()
+            .find(|m| m.name == "boolean_dense")
+            .expect("boolean_dense micro always runs");
+        if boolean.speedup() < 1.0 {
+            eprintln!(
+                "REGRESSION: boolean dense kernel is {:.2}x scalar (must be >= 1.0x)",
+                boolean.speedup()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "enforce OK: boolean dense kernel {:.2}x scalar",
+            boolean.speedup()
+        );
+    }
+    ExitCode::SUCCESS
+}

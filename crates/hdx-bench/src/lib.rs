@@ -20,4 +20,4 @@ pub mod experiments;
 pub mod plot;
 pub mod util;
 
-pub use util::{fmt_table, Args};
+pub use util::{fmt_table, splitmix64, Args};

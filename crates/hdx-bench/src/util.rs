@@ -99,6 +99,17 @@ pub fn fmt_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// SplitMix64 step — the deterministic bit source the kernel benches use to
+/// build covers and outcome vectors without depending on `rand`'s stream
+/// stability across versions.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +155,15 @@ mod tests {
         };
         assert_eq!(a.rows(10_000), 1_000);
         assert_eq!(a.rows(500), 200, "floor applies");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_advances() {
+        let (mut a, mut b) = (42u64, 42u64);
+        let first = splitmix64(&mut a);
+        assert_eq!(first, splitmix64(&mut b));
+        assert_eq!(a, b, "state advances identically");
+        assert_ne!(first, splitmix64(&mut a), "stream advances");
     }
 
     #[test]

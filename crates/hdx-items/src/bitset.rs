@@ -128,6 +128,64 @@ impl Bitset {
             .sum()
     }
 
+    /// The backing word slice (least-significant bit of `words()[0]` is row
+    /// 0; bits beyond `len` in the last word are always zero).
+    ///
+    /// This is the layout the word-level statistics kernels
+    /// (`hdx_stats::OutcomePlanes`) consume.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites `self` with `a ∩ b` — the allocation-free counterpart of
+    /// [`Bitset::and`] for reusable scratch buffers.
+    ///
+    /// # Panics
+    /// Panics on any capacity mismatch among `self`, `a`, `b`.
+    pub fn assign_and(&mut self, a: &Bitset, b: &Bitset) {
+        assert_eq!(self.len, a.len, "bitset capacity mismatch");
+        assert_eq!(a.len, b.len, "bitset capacity mismatch");
+        for (dst, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *dst = x & y;
+        }
+    }
+
+    /// In-place `self |= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn or_assign(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `|c₀ ∩ c₁ ∩ … ∩ cₖ|` over any number of covers without materialising
+    /// the intersection — the count-first pruning primitive for level-wise
+    /// candidates. Returns 0 for an empty list.
+    ///
+    /// # Panics
+    /// Panics on any capacity mismatch among the covers.
+    pub fn intersection_count(covers: &[&Bitset]) -> usize {
+        let Some((first, rest)) = covers.split_first() else {
+            return 0;
+        };
+        for c in rest {
+            assert_eq!(first.len, c.len, "bitset capacity mismatch");
+        }
+        let mut count = 0usize;
+        for (i, &w) in first.words.iter().enumerate() {
+            let mut acc = w;
+            for c in rest {
+                acc &= c.words[i];
+            }
+            count += acc.count_ones() as usize;
+        }
+        count
+    }
+
     /// Iterates over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -197,6 +255,34 @@ mod tests {
         let mut d = a.clone();
         d.and_assign(&b);
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn word_level_ops_match_bit_level() {
+        let a = Bitset::from_indices(200, [1, 5, 64, 65, 150, 199]);
+        let b = Bitset::from_indices(200, [5, 64, 150, 151, 199]);
+        let c = Bitset::from_indices(200, [5, 150, 151, 199]);
+        // assign_and == and
+        let mut scratch = Bitset::new(200);
+        scratch.assign_and(&a, &b);
+        assert_eq!(scratch, a.and(&b));
+        // or_assign
+        let mut u = a.clone();
+        u.or_assign(&b);
+        let expected: Vec<usize> = vec![1, 5, 64, 65, 150, 151, 199];
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), expected);
+        // intersection_count over 1, 2, 3 covers
+        assert_eq!(Bitset::intersection_count(&[]), 0);
+        assert_eq!(Bitset::intersection_count(&[&a]), a.count());
+        assert_eq!(Bitset::intersection_count(&[&a, &b]), a.and_count(&b));
+        assert_eq!(
+            Bitset::intersection_count(&[&a, &b, &c]),
+            a.and(&b).and_count(&c)
+        );
+        // words() exposes the packed layout with a clean tail
+        let tail = Bitset::all_set(70);
+        assert_eq!(tail.words().len(), 2);
+        assert_eq!(tail.words()[1].count_ones(), 6);
     }
 
     #[test]

@@ -63,6 +63,14 @@ impl ItemCatalog {
         self.item(id).attr()
     }
 
+    /// A dense `ItemId`-indexed table of each item's attribute
+    /// (`table[id.index()] == attr_of(id)`), for inner loops that cannot
+    /// afford the per-call [`Item`] indirection of
+    /// [`attr_of`](Self::attr_of).
+    pub fn attr_table(&self) -> Vec<AttrId> {
+        self.items.iter().map(Item::attr).collect()
+    }
+
     /// The label of an item.
     #[inline]
     pub fn label(&self, id: ItemId) -> &str {

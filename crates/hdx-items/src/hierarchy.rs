@@ -240,9 +240,7 @@ impl HierarchySet {
                 for &k in kids {
                     let kc = cover(k);
                     total += kc.count();
-                    for row in kc.iter_ones() {
-                        union.set(row);
-                    }
+                    union.or_assign(&kc);
                 }
                 // Disjoint union ⇔ counts add up and the union equals parent.
                 if total != parent_cover.count() || union != parent_cover {

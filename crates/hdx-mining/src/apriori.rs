@@ -2,20 +2,23 @@
 //! integrated statistic accumulation.
 //!
 //! Candidate generation follows the classic join-and-prune scheme over the
-//! previous level; support counting intersects the member items' cover
-//! bitsets (the same vectorised-counting strategy DivExplorer uses on top of
-//! boolean matrices). The per-attribute constraint is enforced at join time,
-//! which also implements the generalized-itemset rule that an item never
-//! joins one of its own ancestors.
+//! previous level; support counting is a fused multi-way
+//! [`Bitset::intersection_count`] over the member items' cover bitsets, so
+//! infrequent candidates never materialise anything. Frequent candidates are
+//! intersected into a single reusable scratch cover and folded through the
+//! word-level [`OutcomePlanes`] kernel. The per-attribute constraint is
+//! enforced at join time, which also implements the generalized-itemset rule
+//! that an item never joins one of its own ancestors.
 
 use std::collections::HashSet;
 
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
+use hdx_stats::OutcomePlanes;
 
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
-use crate::vertical::{accum_over, cover_bytes, item_covers};
+use crate::vertical::{cover_bytes, item_covers};
 use crate::MiningConfig;
 
 /// Mines all frequent itemsets level by level.
@@ -29,7 +32,9 @@ pub fn apriori(
 
 /// [`apriori`] under a [`Governor`]: polls for deadline/budget/cancellation
 /// at candidate granularity and stops emitting once the budget trips, so the
-/// result is a (still exact) subset of the unbounded run.
+/// result is a (still exact) subset of the unbounded run. Candidate bytes
+/// are charged only when a frequent candidate's joint cover is materialised;
+/// candidates pruned by the fused support count are free.
 pub fn apriori_governed(
     transactions: &Transactions,
     catalog: &ItemCatalog,
@@ -38,24 +43,25 @@ pub fn apriori_governed(
 ) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
-    let outcomes = transactions.outcomes();
     let candidate_bytes = cover_bytes(n);
+    let planes = OutcomePlanes::from_outcomes(transactions.outcomes());
 
     fail_point!("mining::apriori");
 
-    // L1 and the cover index.
+    // L1 and the dense ItemId-indexed cover position table.
     let covers: Vec<(ItemId, Bitset)> = item_covers(transactions);
-    let cover_index: std::collections::HashMap<ItemId, usize> = covers
-        .iter()
-        .enumerate()
-        .map(|(pos, (item, _))| (*item, pos))
-        .collect();
-    let cover_of = |item: ItemId| -> &Bitset { &covers[cover_index[&item]].1 };
+    let table_len = covers.last().map_or(0, |(item, _)| item.index() + 1);
+    let mut cover_pos: Vec<u32> = vec![u32::MAX; table_len];
+    for (pos, (item, _)) in covers.iter().enumerate() {
+        cover_pos[item.index()] = pos as u32;
+    }
+    let cover_of = |item: ItemId| -> &Bitset { &covers[cover_pos[item.index()] as usize].1 };
 
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut level: Vec<Itemset> = Vec::new();
     for (item, cover) in &covers {
-        if cover.count() as u64 >= min_count {
+        let count = cover.count() as u64;
+        if count >= min_count {
             // Charge each emission before pushing so every emitted itemset
             // carries its exact accumulator even when truncated.
             if !governor.keep_going() || !governor.record_itemsets(1) {
@@ -64,12 +70,17 @@ pub fn apriori_governed(
             let itemset = Itemset::singleton(*item);
             out.push(FrequentItemset {
                 itemset: itemset.clone(),
-                accum: accum_over(cover, outcomes),
+                accum: planes.accum(cover.words(), count),
             });
             level.push(itemset);
         }
     }
     level.sort();
+
+    // Reusable per-level scratch: the member-cover list and the joint cover
+    // of the frequent candidate being emitted.
+    let mut member_covers: Vec<&Bitset> = Vec::new();
+    let mut joint = Bitset::new(n);
 
     let mut k = 1usize;
     'levels: while !level.is_empty() && config.max_len.is_none_or(|m| k < m) {
@@ -117,34 +128,41 @@ pub fn apriori_governed(
             i = j;
         }
 
-        // Count step: intersect member covers.
+        // Count step: fused multi-way intersection count first; only
+        // frequent candidates materialise (and get charged for) a cover.
         let mut survivors: Vec<Itemset> = Vec::new();
         for candidate in next {
             if !governor.keep_going() {
                 break 'levels;
             }
-            // Each candidate materialises one intersection bitset.
+            member_covers.clear();
+            member_covers.extend(candidate.items().iter().map(|&item| cover_of(item)));
+            let count = Bitset::intersection_count(&member_covers) as u64;
+            if count < min_count {
+                continue;
+            }
+            // Materialising the joint cover for the kernel is the only
+            // per-candidate byte cost.
             if !governor.record_candidate_bytes(candidate_bytes) {
                 break 'levels;
             }
-            let [first, rest @ ..] = candidate.items() else {
+            let [first, second, rest @ ..] = member_covers.as_slice() else {
                 debug_assert!(false, "candidates have k >= 2 items");
                 continue;
             };
-            let mut joint = cover_of(*first).clone();
-            for &item in rest {
-                joint.and_assign(cover_of(item));
+            joint.assign_and(first, second);
+            for cover in rest {
+                joint.and_assign(cover);
             }
-            if joint.count() as u64 >= min_count {
-                if !governor.record_itemsets(1) {
-                    break 'levels;
-                }
-                out.push(FrequentItemset {
-                    itemset: candidate.clone(),
-                    accum: accum_over(&joint, outcomes),
-                });
-                survivors.push(candidate);
+            let accum = planes.accum(joint.words(), count);
+            if !governor.record_itemsets(1) {
+                break 'levels;
             }
+            out.push(FrequentItemset {
+                itemset: candidate.clone(),
+                accum,
+            });
+            survivors.push(candidate);
         }
         survivors.sort();
         level = survivors;
@@ -278,7 +296,7 @@ mod tests {
         let full = apriori(&t, &catalog, &config);
         assert_eq!(full.itemsets.len(), 7);
 
-        // Enough bytes for L1 (free) plus one k=2 candidate intersection.
+        // Enough bytes for L1 (free) plus one frequent k=2 materialisation.
         let governor = Governor::new(RunBudget::unbounded().with_max_candidate_bytes(8));
         let partial = apriori_governed(&t, &catalog, &config, &governor);
         assert_eq!(partial.termination, Termination::BudgetExhausted);

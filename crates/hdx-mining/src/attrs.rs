@@ -1,0 +1,79 @@
+//! A tiny set over raw attribute ids for the miners' inner loops.
+//!
+//! Every miner must enforce the one-item-per-attribute itemset constraint,
+//! which previously meant either a linear scan over the prefix
+//! (`prefix.iter().any(|p| catalog.attr_of(p) == attr)`) or a
+//! `HashSet<AttrId>` — both measurable in the candidate loop. Attribute ids
+//! are assigned densely from zero, so in practice they fit a single `u128`
+//! membership mask; ids ≥ 128 spill to a small vector so correctness never
+//! depends on the density assumption.
+
+/// A set of raw attribute ids (`AttrId.0`) with O(1) membership for ids
+/// below 128 and a linear-scan spill vector beyond.
+#[derive(Debug, Default)]
+pub(crate) struct AttrSet {
+    /// Membership mask for attribute ids `0..128`.
+    mask: u128,
+    /// Attribute ids `>= 128`, unordered, no duplicates.
+    spill: Vec<u16>,
+}
+
+impl AttrSet {
+    /// An empty set.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `attr` is a member.
+    #[inline]
+    pub(crate) fn contains(&self, attr: u16) -> bool {
+        if attr < 128 {
+            self.mask & (1u128 << attr) != 0
+        } else {
+            self.spill.contains(&attr)
+        }
+    }
+
+    /// Inserts `attr` (idempotent).
+    #[inline]
+    pub(crate) fn insert(&mut self, attr: u16) {
+        if attr < 128 {
+            self.mask |= 1u128 << attr;
+        } else if !self.spill.contains(&attr) {
+            self.spill.push(attr);
+        }
+    }
+
+    /// Removes `attr` (no-op when absent).
+    #[inline]
+    pub(crate) fn remove(&mut self, attr: u16) {
+        if attr < 128 {
+            self.mask &= !(1u128 << attr);
+        } else {
+            self.spill.retain(|&a| a != attr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_spill_paths() {
+        let mut s = AttrSet::new();
+        for attr in [0u16, 63, 127, 128, 500] {
+            assert!(!s.contains(attr));
+            s.insert(attr);
+            assert!(s.contains(attr));
+            s.insert(attr); // idempotent
+            assert!(s.contains(attr));
+        }
+        s.remove(63);
+        s.remove(500);
+        assert!(!s.contains(63) && !s.contains(500));
+        assert!(s.contains(0) && s.contains(127) && s.contains(128));
+        s.remove(42); // absent: no-op
+        assert!(!s.contains(42));
+    }
+}

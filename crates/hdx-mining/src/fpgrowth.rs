@@ -3,18 +3,21 @@
 //!
 //! Each FP-tree node accumulates the [`StatAccum`] of every transaction
 //! routed through it, so conditional pattern bases propagate full statistics
-//! exactly like counts. Generalized transactions put an item *and its
-//! ancestors* on the same path; the per-attribute filter applied when
-//! extracting conditional bases keeps ancestor/descendant (and any
-//! same-attribute) pairs out of mined itemsets.
+//! exactly like counts — FP-Growth's accumulators are additive tree merges
+//! and never iterate rows, which is why this miner needs no cover-bitset
+//! kernel. Its hot structures are dense instead: item frequencies and ranks
+//! are `ItemId`-indexed arrays (not hash maps), and the per-attribute filter
+//! applied when extracting conditional bases uses a precomputed attribute
+//! table plus an [`AttrSet`] mask rather than catalog lookups. Generalized
+//! transactions put an item *and its ancestors* on the same path; that
+//! filter keeps ancestor/descendant (and any same-attribute) pairs out of
+//! mined itemsets.
 
-use std::collections::{HashMap, HashSet};
-
-use hdx_data::AttrId;
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{ItemCatalog, ItemId, Itemset};
 use hdx_stats::StatAccum;
 
+use crate::attrs::AttrSet;
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
@@ -22,6 +25,9 @@ use crate::MiningConfig;
 /// Approximate heap bytes of one FP-tree node, charged against the
 /// governor's candidate-byte budget as trees are built.
 const FP_NODE_BYTES: u64 = std::mem::size_of::<FpNode>() as u64;
+
+/// Rank sentinel for items below the frequency threshold.
+const NO_RANK: u32 = u32::MAX;
 
 struct FpNode {
     item: ItemId,
@@ -40,27 +46,36 @@ struct FpTree {
 
 impl FpTree {
     /// Builds a tree from weighted paths, keeping only items whose summed
-    /// count reaches `min_count`.
+    /// count reaches `min_count`. `n_items` bounds every item id in `paths`
+    /// and sizes the dense frequency/rank tables.
     ///
     /// Polls the governor per path; when it trips mid-build the returned
     /// tree is *partial* (undercounted accumulators) and must not be mined —
     /// callers check [`Governor::is_tripped`] before mining.
-    fn build(paths: &[(Vec<ItemId>, StatAccum)], min_count: u64, governor: &Governor) -> FpTree {
-        // Pass 1: item frequencies.
-        let mut freq: HashMap<ItemId, u64> = HashMap::new();
+    fn build(
+        paths: &[(Vec<ItemId>, StatAccum)],
+        min_count: u64,
+        n_items: usize,
+        governor: &Governor,
+    ) -> FpTree {
+        // Pass 1: item frequencies into a dense id-indexed table.
+        let mut freq: Vec<u64> = vec![0; n_items];
         for (items, accum) in paths {
             for &item in items {
-                *freq.entry(item).or_insert(0) += accum.count();
+                freq[item.index()] += accum.count();
             }
         }
-        let mut order: Vec<(ItemId, u64)> =
-            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
-        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<ItemId, usize> = order
+        let mut order: Vec<(ItemId, u64)> = freq
             .iter()
             .enumerate()
-            .map(|(r, &(item, _))| (item, r))
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(i, &c)| (ItemId(i as u32), c))
             .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut rank: Vec<u32> = vec![NO_RANK; n_items];
+        for (r, &(item, _)) in order.iter().enumerate() {
+            rank[item.index()] = r as u32;
+        }
 
         let mut tree = FpTree {
             nodes: vec![FpNode {
@@ -79,8 +94,8 @@ impl FpTree {
                 return tree;
             }
             sorted_items.clear();
-            sorted_items.extend(items.iter().copied().filter(|i| rank.contains_key(i)));
-            sorted_items.sort_by_key(|i| rank[i]);
+            sorted_items.extend(items.iter().copied().filter(|i| rank[i.index()] != NO_RANK));
+            sorted_items.sort_by_key(|i| rank[i.index()]);
             let mut cur = 0usize;
             for &item in &sorted_items {
                 let next = match tree.nodes[cur].children.iter().find(|&&(ci, _)| ci == item) {
@@ -97,7 +112,7 @@ impl FpTree {
                             children: Vec::new(),
                         });
                         tree.nodes[cur].children.push((item, idx));
-                        tree.header[rank[&item]].1.push(idx);
+                        tree.header[rank[item.index()] as usize].1.push(idx);
                         idx
                     }
                 };
@@ -148,6 +163,12 @@ pub fn fpgrowth_governed(
 
     fail_point!("mining::fpgrowth");
 
+    let n_items = transactions
+        .max_item_id()
+        .map_or(0, |i| i.index() + 1)
+        .max(catalog.len());
+    let attr_table: Vec<u16> = catalog.attr_table().iter().map(|a| a.0).collect();
+
     let paths: Vec<(Vec<ItemId>, StatAccum)> = (0..n)
         .map(|row| {
             let mut acc = StatAccum::new();
@@ -155,60 +176,65 @@ pub fn fpgrowth_governed(
             (transactions.items(row).to_vec(), acc)
         })
         .collect();
-    let tree = FpTree::build(&paths, min_count, governor);
+    let tree = FpTree::build(&paths, min_count, n_items, governor);
 
     let mut out = Vec::new();
     // A tree interrupted mid-build has undercounted accumulators — skip
     // mining entirely (the empty result is trivially a valid subset).
     if !governor.is_tripped() {
-        let mut suffix: Vec<ItemId> = Vec::new();
-        let mut suffix_attrs: HashSet<AttrId> = HashSet::new();
-        mine_tree(
-            &tree,
-            catalog,
+        let ctx = MineCtx {
+            attr_table: &attr_table,
             min_count,
-            config.max_len,
+            max_len: config.max_len,
+            n_items,
             governor,
-            &mut suffix,
-            &mut suffix_attrs,
-            &mut out,
-        );
+        };
+        let mut suffix: Vec<ItemId> = Vec::new();
+        let mut suffix_attrs = AttrSet::new();
+        mine_tree(&ctx, &tree, &mut suffix, &mut suffix_attrs, &mut out);
     }
 
     MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
 }
 
-#[allow(clippy::too_many_arguments)] // recursion context, not an API
-fn mine_tree(
-    tree: &FpTree,
-    catalog: &ItemCatalog,
+/// Read-only recursion context for [`mine_tree`].
+struct MineCtx<'a> {
+    /// Raw attribute id per item id (dense, from the catalog).
+    attr_table: &'a [u16],
     min_count: u64,
     max_len: Option<usize>,
-    governor: &Governor,
+    /// Dense table size for conditional-tree builds.
+    n_items: usize,
+    governor: &'a Governor,
+}
+
+fn mine_tree(
+    ctx: &MineCtx<'_>,
+    tree: &FpTree,
     suffix: &mut Vec<ItemId>,
-    suffix_attrs: &mut HashSet<AttrId>,
+    suffix_attrs: &mut AttrSet,
     out: &mut Vec<FrequentItemset>,
 ) {
     // Least-frequent first (classic bottom-up header traversal).
     for (item, node_indices) in tree.header.iter().rev() {
-        if !governor.keep_going() {
+        if !ctx.governor.keep_going() {
             return;
         }
-        let attr = catalog.attr_of(*item);
+        let attr = ctx.attr_table[item.index()];
         debug_assert!(
-            !suffix_attrs.contains(&attr),
+            !suffix_attrs.contains(attr),
             "conditional base filtering must exclude suffix attributes"
         );
         let mut accum = StatAccum::new();
         for &idx in node_indices {
             accum.merge(&tree.nodes[idx].accum);
         }
-        if accum.count() < min_count {
+        if accum.count() < ctx.min_count {
             continue;
         }
         // Charge before emitting: a refused charge emits nothing, so every
         // emitted itemset keeps its exact accumulator.
-        if !governor.record_itemsets(1) {
+        if !ctx.governor.record_itemsets(1) {
             return;
         }
         let mut itemset_items: Vec<ItemId> = suffix.clone();
@@ -219,7 +245,7 @@ fn mine_tree(
             accum,
         });
 
-        if max_len.is_some_and(|m| suffix.len() + 1 >= m) {
+        if ctx.max_len.is_some_and(|m| suffix.len() + 1 >= m) {
             continue;
         }
 
@@ -228,8 +254,8 @@ fn mine_tree(
         for &idx in node_indices {
             let mut path = tree.prefix_path(idx);
             path.retain(|&p| {
-                let pa = catalog.attr_of(p);
-                pa != attr && !suffix_attrs.contains(&pa)
+                let pa = ctx.attr_table[p.index()];
+                pa != attr && !suffix_attrs.contains(pa)
             });
             if !path.is_empty() {
                 paths.push((path, tree.nodes[idx].accum));
@@ -238,9 +264,9 @@ fn mine_tree(
         if paths.is_empty() {
             continue;
         }
-        let cond = FpTree::build(&paths, min_count, governor);
+        let cond = FpTree::build(&paths, ctx.min_count, ctx.n_items, ctx.governor);
         // Never mine a conditional tree whose build was interrupted.
-        if governor.is_tripped() {
+        if ctx.governor.is_tripped() {
             return;
         }
         if cond.is_empty() {
@@ -248,25 +274,18 @@ fn mine_tree(
         }
         suffix.push(*item);
         suffix_attrs.insert(attr);
-        mine_tree(
-            &cond,
-            catalog,
-            min_count,
-            max_len,
-            governor,
-            suffix,
-            suffix_attrs,
-            out,
-        );
+        mine_tree(ctx, &cond, suffix, suffix_attrs, out);
         suffix.pop();
-        suffix_attrs.remove(&attr);
+        suffix_attrs.remove(attr);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdx_data::AttrId;
     use hdx_stats::Outcome;
+    use std::collections::HashSet;
 
     use hdx_items::Item;
 

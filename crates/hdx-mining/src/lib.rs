@@ -59,6 +59,7 @@
 pub mod invariants;
 
 mod apriori;
+mod attrs;
 mod fpgrowth;
 mod result;
 mod transactions;
@@ -68,7 +69,9 @@ pub use apriori::{apriori, apriori_governed};
 pub use fpgrowth::{fpgrowth, fpgrowth_governed};
 pub use result::{FrequentItemset, MiningError, MiningResult};
 pub use transactions::Transactions;
-pub use vertical::{vertical, vertical_governed, vertical_parallel, vertical_parallel_governed};
+pub use vertical::{
+    accum_scalar, vertical, vertical_governed, vertical_parallel, vertical_parallel_governed,
+};
 
 // Re-exported so downstream crates can build budgets without depending on
 // `hdx-governor` directly.

@@ -170,27 +170,44 @@ impl Transactions {
     /// accumulator of the rows containing it (the single-item "L1" pass used
     /// by polarity pruning, §V-C).
     pub fn item_stats(&self) -> Vec<(ItemId, StatAccum)> {
-        let mut map: HashMap<ItemId, StatAccum> = HashMap::new();
+        let table_len = self.max_item_id().map_or(0, |i| i.index() + 1);
+        let mut accums: Vec<StatAccum> = vec![StatAccum::new(); table_len];
         for (row, items) in self.rows.iter().enumerate() {
             let outcome = self.outcomes[row];
             for &item in items {
-                map.entry(item).or_default().push(outcome);
+                accums[item.index()].push(outcome);
             }
         }
-        let mut v: Vec<(ItemId, StatAccum)> = map.into_iter().collect();
-        v.sort_by_key(|&(i, _)| i);
-        v
+        accums
+            .into_iter()
+            .enumerate()
+            .filter(|(_, acc)| acc.count() > 0)
+            .map(|(i, acc)| (ItemId(i as u32), acc))
+            .collect()
     }
 
     /// The distinct items appearing in any transaction, ascending.
     pub fn distinct_items(&self) -> Vec<ItemId> {
-        let mut set: HashSet<ItemId> = HashSet::new();
+        let table_len = self.max_item_id().map_or(0, |i| i.index() + 1);
+        let mut present = vec![false; table_len];
         for row in &self.rows {
-            set.extend(row.iter().copied());
+            for &item in row {
+                present[item.index()] = true;
+            }
         }
-        let mut v: Vec<ItemId> = set.into_iter().collect();
-        v.sort_unstable();
-        v
+        present
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p)
+            .map(|(i, _)| ItemId(i as u32))
+            .collect()
+    }
+
+    /// The largest item id in any transaction, or `None` when no row has
+    /// items. Sizes the miners' dense `ItemId`-indexed tables.
+    pub fn max_item_id(&self) -> Option<ItemId> {
+        // Rows are sorted, so each row's maximum is its last element.
+        self.rows.iter().filter_map(|r| r.last()).copied().max()
     }
 
     /// A copy keeping only the items in `allowed` (used by polarity

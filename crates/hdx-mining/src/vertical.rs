@@ -1,30 +1,52 @@
-//! Depth-first vertical miner (Eclat-style) with bitset tidsets.
+//! Depth-first vertical miner (Eclat-style) with bitset tidsets and
+//! word-level statistic kernels.
 //!
 //! Enumerates frequent itemsets by extending a prefix with items of strictly
-//! larger id and distinct attribute; each extension intersects the prefix's
-//! cover with the item's cover. Simple, exact and fast on dense data — used
-//! both as the default algorithm and as the oracle the other miners are
-//! tested against.
+//! larger id and distinct attribute. The inner loop is engineered to be
+//! allocation-free and word-parallel:
+//!
+//! * **count-first pruning** — a candidate's support is a fused
+//!   [`Bitset::and_count`] against the prefix cover, so infrequent
+//!   candidates never allocate anything;
+//! * **kernel accumulators** — frequent candidates fold their
+//!   [`StatAccum`] through [`OutcomePlanes`] (fused popcounts / masked
+//!   sums over the cover words) instead of iterating rows;
+//! * **scratch-bitset pool** — one reusable cover buffer per recursion
+//!   depth, so even frequent candidates allocate nothing after setup; leaf
+//!   candidates (which cannot recurse) skip materialisation entirely via the
+//!   fused pair kernel;
+//! * **dense attribute masks** — the one-item-per-attribute constraint is a
+//!   precomputed per-item attribute table plus an [`AttrSet`] prefix mask,
+//!   not a linear prefix scan through the catalog.
 //!
 //! Both entry points come in governed flavours
 //! ([`vertical_governed`]/[`vertical_parallel_governed`]) that poll a
 //! [`Governor`] for deadlines, budgets and cancellation. A tripped governor
 //! stops the search at emission granularity: every itemset already emitted
 //! carries its exact accumulator, so a truncated result is always a subset of
-//! the unbounded one. In the parallel variant a panicking worker is caught
-//! and reported as [`MiningError::WorkerPanicked`](crate::MiningError) while
-//! the remaining workers finish their share.
+//! the unbounded one. Candidate bytes are charged only when a joint cover is
+//! actually materialised — pruned and leaf candidates are free. In the
+//! parallel variant a panicking worker is caught and reported as
+//! [`MiningError::WorkerPanicked`](crate::MiningError) while the remaining
+//! workers finish their share.
 
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
-use hdx_stats::{Outcome, StatAccum};
+use hdx_stats::{Outcome, OutcomePlanes, StatAccum};
 
+use crate::attrs::AttrSet;
 use crate::result::{FrequentItemset, MiningError, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
 
-/// Folds the outcomes of the rows in `cover` into a [`StatAccum`].
-pub(crate) fn accum_over(cover: &Bitset, outcomes: &[Outcome]) -> StatAccum {
+/// Folds the outcomes of the rows in `cover` into a [`StatAccum`] one row at
+/// a time.
+///
+/// This is the scalar *reference* path: the word-level kernels
+/// ([`OutcomePlanes`]) are required to reproduce it bit for bit, which the
+/// property tests in `tests/property_kernel.rs` and the bench harness's
+/// scalar baseline both rely on. The miners themselves use the kernels.
+pub fn accum_scalar(cover: &Bitset, outcomes: &[Outcome]) -> StatAccum {
     let mut acc = StatAccum::new();
     for row in cover.iter_ones() {
         acc.push(outcomes[row]);
@@ -32,82 +54,209 @@ pub(crate) fn accum_over(cover: &Bitset, outcomes: &[Outcome]) -> StatAccum {
     acc
 }
 
-/// Builds the per-item cover bitsets of a transaction database.
+/// Builds the per-item cover bitsets of a transaction database, ascending by
+/// item id. Items are located through a dense `ItemId`-indexed position
+/// table rather than a hash map — this runs once per mining call.
 pub(crate) fn item_covers(transactions: &Transactions) -> Vec<(ItemId, Bitset)> {
     let n = transactions.n_rows();
     let items = transactions.distinct_items();
-    let index: std::collections::HashMap<ItemId, usize> =
-        items.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+    let table_len = items.last().map_or(0, |i| i.index() + 1);
+    let mut pos: Vec<u32> = vec![u32::MAX; table_len];
+    for (p, item) in items.iter().enumerate() {
+        pos[item.index()] = p as u32;
+    }
     let mut covers: Vec<Bitset> = items.iter().map(|_| Bitset::new(n)).collect();
     for row in 0..n {
         for &item in transactions.items(row) {
-            covers[index[&item]].set(row);
+            covers[pos[item.index()] as usize].set(row);
         }
     }
     items.into_iter().zip(covers).collect()
 }
 
-/// Approximate heap bytes of one cover bitset, charged per candidate
-/// intersection against the governor's candidate-byte budget.
+/// Approximate heap bytes of one cover bitset, charged per *materialised*
+/// candidate intersection against the governor's candidate-byte budget.
 pub(crate) fn cover_bytes(n_rows: usize) -> u64 {
     (n_rows.div_ceil(8) as u64).max(8)
 }
 
+/// A frequent single item: its id, raw attribute, support and cover.
+struct FreqItem {
+    item: ItemId,
+    attr: u16,
+    count: u64,
+    cover: Bitset,
+}
+
+/// The frequent single items of `transactions`, ascending by id, with their
+/// attribute and support precomputed for the DFS inner loop.
+fn frequent_items(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    min_count: u64,
+) -> Vec<FreqItem> {
+    item_covers(transactions)
+        .into_iter()
+        .filter_map(|(item, cover)| {
+            let count = cover.count() as u64;
+            (count >= min_count).then(|| FreqItem {
+                item,
+                attr: catalog.attr_of(item).0,
+                count,
+                cover,
+            })
+        })
+        .collect()
+}
+
+/// One reusable cover buffer per attainable recursion depth: prefixes can
+/// grow to `min(max_len, #distinct frequent attributes)` items, and a joint
+/// cover is only materialised for prefixes that can still be extended, so
+/// this pool is never exhausted.
+fn scratch_pool(n_rows: usize, frequent: &[FreqItem], max_len: Option<usize>) -> Vec<Bitset> {
+    let mut attrs: Vec<u16> = frequent.iter().map(|f| f.attr).collect();
+    attrs.sort_unstable();
+    attrs.dedup();
+    let depth = max_len.unwrap_or(usize::MAX).min(attrs.len());
+    (0..depth).map(|_| Bitset::new(n_rows)).collect()
+}
+
 /// Read-only search context shared by the serial DFS and parallel workers.
 struct DfsCtx<'a> {
-    frequent: &'a [(ItemId, Bitset)],
-    catalog: &'a ItemCatalog,
-    outcomes: &'a [Outcome],
+    frequent: &'a [FreqItem],
+    planes: &'a OutcomePlanes,
     min_count: u64,
     max_len: Option<usize>,
     governor: &'a Governor,
     cover_bytes: u64,
 }
 
-/// Depth-first extension of `prefix_items` with items from `start` onward.
-/// Returns early (with whatever was emitted so far) once the governor trips.
+/// Depth-first extension of `prefix_items` (whose rows are `prefix_cover`
+/// and whose attributes are `prefix_attrs`) with items from `start` onward.
+///
+/// `scratch` holds one joint-cover buffer per remaining depth; the frequent
+/// path writes into `scratch[0]` and recurses with the rest, so the whole
+/// search allocates nothing beyond the cloned item lists of emitted
+/// itemsets. Returns early (with whatever was emitted so far) once the
+/// governor trips.
 fn dfs(
     ctx: &DfsCtx<'_>,
     prefix_items: &mut Vec<ItemId>,
-    prefix_cover: Option<&Bitset>,
+    prefix_attrs: &mut AttrSet,
+    prefix_cover: &Bitset,
     start: usize,
+    scratch: &mut [Bitset],
     out: &mut Vec<FrequentItemset>,
 ) {
     for idx in start..ctx.frequent.len() {
         if !ctx.governor.keep_going() {
             return;
         }
-        let (item, cover) = &ctx.frequent[idx];
-        let attr = ctx.catalog.attr_of(*item);
-        if prefix_items.iter().any(|&p| ctx.catalog.attr_of(p) == attr) {
+        let cand = &ctx.frequent[idx];
+        if prefix_attrs.contains(cand.attr) {
             continue;
         }
-        // Each candidate allocates one intersection bitset.
-        if !ctx.governor.record_candidate_bytes(ctx.cover_bytes) {
-            return;
-        }
-        let joint = match prefix_cover {
-            None => cover.clone(),
-            Some(pc) => pc.and(cover),
-        };
-        if (joint.count() as u64) < ctx.min_count {
+        // Count-first pruning: infrequent candidates cost one fused
+        // AND+popcount and nothing else.
+        let count = prefix_cover.and_count(&cand.cover) as u64;
+        if count < ctx.min_count {
             continue;
         }
         // Charge the emission *before* pushing: on a refused charge nothing
-        // is emitted, so emitted itemsets always have exact accumulators.
+        // is emitted, so emitted itemsets always have exact accumulators and
+        // the itemset counter always equals the number of emissions.
         if !ctx.governor.record_itemsets(1) {
             return;
         }
-        prefix_items.push(*item);
-        out.push(FrequentItemset {
-            itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
-            accum: accum_over(&joint, ctx.outcomes),
-        });
-        if ctx.max_len.is_none_or(|m| prefix_items.len() < m) {
-            dfs(ctx, prefix_items, Some(&joint), idx + 1, out);
+        prefix_items.push(cand.item);
+        let deeper =
+            ctx.max_len.is_none_or(|m| prefix_items.len() < m) && idx + 1 < ctx.frequent.len();
+        if deeper {
+            if let Some((joint, rest)) = scratch.split_first_mut() {
+                // Materialising the joint cover is the only per-candidate
+                // byte cost; charge it now. On refusal, emit the
+                // already-charged itemset through the fused pair kernel
+                // (no materialisation) and unwind.
+                if !ctx.governor.record_candidate_bytes(ctx.cover_bytes) {
+                    out.push(FrequentItemset {
+                        itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+                        accum: ctx.planes.accum_pair(
+                            prefix_cover.words(),
+                            cand.cover.words(),
+                            count,
+                        ),
+                    });
+                    prefix_items.pop();
+                    return;
+                }
+                joint.assign_and(prefix_cover, &cand.cover);
+                out.push(FrequentItemset {
+                    itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+                    accum: ctx.planes.accum(joint.words(), count),
+                });
+                prefix_attrs.insert(cand.attr);
+                dfs(ctx, prefix_items, prefix_attrs, joint, idx + 1, rest, out);
+                prefix_attrs.remove(cand.attr);
+            } else {
+                // Unreachable: the pool depth covers every attainable prefix
+                // length. Degrade to a leaf emission rather than crash.
+                debug_assert!(false, "scratch pool exhausted");
+                out.push(FrequentItemset {
+                    itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+                    accum: ctx
+                        .planes
+                        .accum_pair(prefix_cover.words(), cand.cover.words(), count),
+                });
+            }
+        } else {
+            // Leaf candidate: fused pair kernel straight off the two parent
+            // covers — no materialisation, no byte charge.
+            out.push(FrequentItemset {
+                itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
+                accum: ctx
+                    .planes
+                    .accum_pair(prefix_cover.words(), cand.cover.words(), count),
+            });
         }
         prefix_items.pop();
     }
+}
+
+/// Emits the frequent singleton at `idx` and explores its subtree. Shared by
+/// the serial driver and the parallel workers (which stride over `idx`).
+/// Returns `false` once the governor refuses further emissions.
+fn explore_root(
+    ctx: &DfsCtx<'_>,
+    idx: usize,
+    prefix_items: &mut Vec<ItemId>,
+    prefix_attrs: &mut AttrSet,
+    scratch: &mut [Bitset],
+    out: &mut Vec<FrequentItemset>,
+) -> bool {
+    let root = &ctx.frequent[idx];
+    if !ctx.governor.record_itemsets(1) {
+        return false;
+    }
+    out.push(FrequentItemset {
+        itemset: Itemset::singleton(root.item),
+        accum: ctx.planes.accum(root.cover.words(), root.count),
+    });
+    if ctx.max_len.is_none_or(|m| m > 1) && idx + 1 < ctx.frequent.len() {
+        prefix_items.push(root.item);
+        prefix_attrs.insert(root.attr);
+        dfs(
+            ctx,
+            prefix_items,
+            prefix_attrs,
+            &root.cover,
+            idx + 1,
+            scratch,
+            out,
+        );
+        prefix_attrs.remove(root.attr);
+        prefix_items.pop();
+    }
+    true
 }
 
 /// Mines all frequent itemsets via depth-first vertical search.
@@ -132,24 +281,36 @@ pub fn vertical_governed(
 
     fail_point!("mining::vertical");
 
-    let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
-        .into_iter()
-        .filter(|(_, c)| c.count() as u64 >= min_count)
-        .collect();
+    let frequent = frequent_items(transactions, catalog, min_count);
+    let planes = OutcomePlanes::from_outcomes(transactions.outcomes());
 
     let ctx = DfsCtx {
         frequent: &frequent,
-        catalog,
-        outcomes: transactions.outcomes(),
+        planes: &planes,
         min_count,
         max_len: config.max_len,
         governor,
         cover_bytes: cover_bytes(n),
     };
 
+    let mut scratch = scratch_pool(n, &frequent, config.max_len);
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut prefix_items: Vec<ItemId> = Vec::new();
-    dfs(&ctx, &mut prefix_items, None, 0, &mut out);
+    let mut prefix_attrs = AttrSet::new();
+    for idx in 0..frequent.len() {
+        if !governor.keep_going()
+            || !explore_root(
+                &ctx,
+                idx,
+                &mut prefix_items,
+                &mut prefix_attrs,
+                &mut scratch,
+                &mut out,
+            )
+        {
+            break;
+        }
+    }
 
     MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
 }
@@ -182,10 +343,8 @@ pub fn vertical_parallel_governed(
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
 
-    let frequent: Vec<(ItemId, Bitset)> = item_covers(transactions)
-        .into_iter()
-        .filter(|(_, c)| c.count() as u64 >= min_count)
-        .collect();
+    let frequent = frequent_items(transactions, catalog, min_count);
+    let planes = OutcomePlanes::from_outcomes(transactions.outcomes());
 
     let n_workers = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
@@ -194,8 +353,7 @@ pub fn vertical_parallel_governed(
 
     let ctx = DfsCtx {
         frequent: &frequent,
-        catalog,
-        outcomes: transactions.outcomes(),
+        planes: &planes,
         min_count,
         max_len: config.max_len,
         governor,
@@ -217,26 +375,24 @@ pub fn vertical_parallel_governed(
                         fail_point!("mining::vertical-worker");
                         let mut local: Vec<FrequentItemset> = Vec::new();
                         let mut prefix: Vec<ItemId> = Vec::new();
+                        let mut prefix_attrs = AttrSet::new();
+                        let mut scratch = scratch_pool(n, ctx.frequent, ctx.max_len);
                         // Strided assignment of first-level subtrees balances
                         // the skewed subtree sizes (early items have the
                         // largest extension sets).
                         for idx in (worker..ctx.frequent.len()).step_by(n_workers) {
-                            if !ctx.governor.keep_going() {
+                            if !ctx.governor.keep_going()
+                                || !explore_root(
+                                    ctx,
+                                    idx,
+                                    &mut prefix,
+                                    &mut prefix_attrs,
+                                    &mut scratch,
+                                    &mut local,
+                                )
+                            {
                                 break;
                             }
-                            let (item, cover) = &ctx.frequent[idx];
-                            if !ctx.governor.record_itemsets(1) {
-                                break;
-                            }
-                            prefix.push(*item);
-                            local.push(FrequentItemset {
-                                itemset: Itemset::singleton(*item),
-                                accum: accum_over(cover, ctx.outcomes),
-                            });
-                            if ctx.max_len.is_none_or(|m| m > 1) {
-                                dfs(ctx, &mut prefix, Some(cover), idx + 1, &mut local);
-                            }
-                            prefix.pop();
                         }
                         local
                     }))
@@ -401,6 +557,48 @@ mod tests {
     }
 
     #[test]
+    fn kernel_accumulators_match_scalar_reference() {
+        let (catalog, ids) = catalog();
+        let rows = vec![
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[3]],
+            vec![ids[1], ids[2]],
+            vec![ids[0], ids[2]],
+        ];
+        // Mixed outcome kinds exercise the numeric kernel path end to end.
+        let outcomes = vec![
+            Outcome::Bool(true),
+            Outcome::Real(2.5),
+            Outcome::Undefined,
+            Outcome::Bool(false),
+            Outcome::Real(-1.0),
+        ];
+        let t = Transactions::from_rows(rows, outcomes.clone());
+        let r = vertical(
+            &t,
+            &catalog,
+            &MiningConfig {
+                min_support: 0.2,
+                ..MiningConfig::default()
+            },
+        );
+        assert!(!r.itemsets.is_empty());
+        let covers = item_covers(&t);
+        for fi in &r.itemsets {
+            let mut joint = Bitset::all_set(t.n_rows());
+            for &item in fi.itemset.items() {
+                let (_, cover) = covers
+                    .iter()
+                    .find(|(i, _)| *i == item)
+                    .expect("mined item has a cover");
+                joint.and_assign(cover);
+            }
+            assert_eq!(fi.accum, accum_scalar(&joint, &outcomes), "{fi:?}");
+        }
+    }
+
+    #[test]
     fn itemset_budget_truncates_to_exact_subset() {
         let (catalog, ids) = catalog();
         let rows = vec![
@@ -426,6 +624,47 @@ mod tests {
         for fi in &partial.itemsets {
             let reference = full.find(&fi.itemset).expect("subset of unbounded run");
             assert_eq!(reference.accum.count(), fi.accum.count());
+        }
+    }
+
+    #[test]
+    fn byte_budget_only_charges_materialised_covers() {
+        let (catalog, ids) = catalog();
+        let rows = vec![
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[2]],
+            vec![ids[0], ids[3]],
+            vec![ids[1], ids[2]],
+        ];
+        let t = Transactions::from_rows(rows, vec![Outcome::Bool(true); 4]);
+        let config = MiningConfig {
+            min_support: 0.25,
+            ..MiningConfig::default()
+        };
+        // Unbounded run on 4 rows: singletons and leaves are free; only
+        // extendable joint covers (8 bytes each) hit the byte counter.
+        let governor = Governor::unbounded();
+        let full = vertical_governed(&t, &catalog, &config, &governor);
+        assert_eq!(full.termination, Termination::Complete);
+        let bytes = governor.counters().candidate_bytes;
+        assert!(
+            bytes < full.itemsets.len() as u64 * cover_bytes(4),
+            "leaf/singleton candidates must not be charged: {bytes}"
+        );
+
+        // A byte budget still truncates to an exact subset.
+        let tight = Governor::new(RunBudget::unbounded().with_max_candidate_bytes(8));
+        let partial = vertical_governed(&t, &catalog, &config, &tight);
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert!(partial.itemsets.len() < full.itemsets.len());
+        assert_eq!(
+            partial.counters.itemsets,
+            partial.itemsets.len() as u64,
+            "itemset counter equals emissions even when the byte budget trips"
+        );
+        for fi in &partial.itemsets {
+            let reference = full.find(&fi.itemset).expect("subset of unbounded run");
+            assert_eq!(reference.accum, fi.accum);
         }
     }
 

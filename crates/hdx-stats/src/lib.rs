@@ -15,6 +15,9 @@
 //! * [`Outcome`] / [`StatAccum`] — the outcome-function values of §III-B and
 //!   the additive accumulator that lets the miners compute divergence in the
 //!   same pass as support;
+//! * [`OutcomePlanes`] — word-level bitplane kernels that fold a cover bitset
+//!   into a [`StatAccum`] with fused popcounts / masked sums (bitwise
+//!   identical to the scalar path);
 //! * [`approx`] — epsilon-aware float comparisons (the only sanctioned way
 //!   to compare divergences/t-values for equality; see `hdx-lint`'s
 //!   `no-float-eq` rule).
@@ -26,6 +29,7 @@ mod accum;
 mod dist;
 mod entropy;
 mod outcome;
+mod plane;
 mod quantile;
 mod tdist;
 mod welch;
@@ -35,6 +39,7 @@ pub use approx::{approx_eq, approx_ne, approx_zero, same_sign};
 pub use dist::{cholesky, MultivariateNormal, Normal};
 pub use entropy::{binary_entropy, entropy_of_counts};
 pub use outcome::{Outcome, StatAccum};
+pub use plane::OutcomePlanes;
 pub use quantile::{quantile, quantiles};
 pub use tdist::{t_cdf, t_p_value, t_quantile, welch_df, welch_p_value};
 pub use welch::{bernoulli_variance, welch_t, welch_t_from_counts};

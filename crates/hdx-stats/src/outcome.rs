@@ -76,6 +76,41 @@ impl StatAccum {
         }
     }
 
+    /// Builds an accumulator directly from boolean-outcome counts: `n` rows,
+    /// `n_valid` of them with a defined outcome, `positives` of those `T`.
+    ///
+    /// This is the word-level kernel constructor ([`crate::OutcomePlanes`]):
+    /// because the scalar path sums `1.0` per positive row and integer-valued
+    /// `f64` sums are exact below 2⁵³, setting `sum = sum_sq = positives`
+    /// reproduces the pushed accumulator **bit for bit**.
+    #[inline]
+    pub fn from_counts(n: u64, n_valid: u64, positives: u64) -> Self {
+        debug_assert!(positives <= n_valid && n_valid <= n);
+        Self {
+            n,
+            n_valid,
+            sum: positives as f64,
+            sum_sq: positives as f64,
+        }
+    }
+
+    /// Builds an accumulator directly from precomputed sums: `n` rows,
+    /// `n_valid` defined outcomes with the given `sum` / `sum_sq`.
+    ///
+    /// Numeric-path counterpart of [`StatAccum::from_counts`]; the caller
+    /// (the word-level kernel) guarantees the sums were reduced in the same
+    /// ascending-row order as the scalar path.
+    #[inline]
+    pub fn from_sums(n: u64, n_valid: u64, sum: f64, sum_sq: f64) -> Self {
+        debug_assert!(n_valid <= n);
+        Self {
+            n,
+            n_valid,
+            sum,
+            sum_sq,
+        }
+    }
+
     /// Merges another accumulator (disjoint instance sets).
     #[inline]
     pub fn merge(&mut self, other: &StatAccum) {

@@ -1,0 +1,290 @@
+//! Word-level outcome kernels: the outcome vector as word-packed bitplanes.
+//!
+//! The mining hot loop computes a [`StatAccum`] for every frequent candidate
+//! subgroup. The scalar path ([`StatAccum::push`] over the cover's set bits)
+//! walks rows one at a time and dispatches on the [`Outcome`] enum per row.
+//! [`OutcomePlanes`] re-encodes the outcome vector **once** as bitplanes so
+//! that a subgroup's whole accumulator reduces to word-parallel operations
+//! over the cover bitset:
+//!
+//! * a **valid plane** — bit `r` set iff `o(r) ≠ ⊥`;
+//! * a **positive plane** — bit `r` set iff `o(r) = T` (boolean outcomes;
+//!   always a subset of the valid plane).
+//!
+//! When every defined outcome is boolean (the probability-shaped statistics
+//! of §V-A: FPR, error rate, …) the accumulator is three fused popcounts:
+//!
+//! ```text
+//! n       = popcount(cover)                  (known from count-first pruning)
+//! n_valid = popcount(cover ∧ valid)
+//! k⁺      = popcount(cover ∧ pos)
+//! ```
+//!
+//! and `sum = sum_sq = k⁺` exactly (integer-valued `f64` sums are exact below
+//! 2⁵³), so the kernel result is **bit-for-bit identical** to the scalar
+//! path. For real-valued (or mixed) outcomes the kernel falls back to a
+//! masked word-chunked summation of `sum` / `sum_sq` over `cover ∧ valid`,
+//! visiting rows in the same ascending order as the scalar path — again
+//! bitwise-reproducing the scalar accumulator. This equivalence is the
+//! kernel's contract and is property-tested in `tests/property_kernel.rs`.
+//!
+//! The planes operate on raw `&[u64]` word slices (least-significant bit =
+//! lowest row index, tail bits beyond the last row zero) so `hdx-stats`
+//! stays independent of the bitset type; `hdx-items::Bitset::words` exposes
+//! exactly this layout.
+
+use crate::outcome::{Outcome, StatAccum};
+
+/// Bitplane encoding of an outcome vector (see the [module docs](self)).
+///
+/// Build once per mining run with [`OutcomePlanes::from_outcomes`], then fold
+/// covers into accumulators with [`accum`](OutcomePlanes::accum) (cover
+/// already materialised) or [`accum_pair`](OutcomePlanes::accum_pair) (fused
+/// over an unmaterialised intersection `a ∧ b`).
+#[derive(Debug, Clone)]
+pub struct OutcomePlanes {
+    /// Number of encoded rows.
+    n_rows: usize,
+    /// Bit `r` set iff `outcomes[r]` is defined (not `⊥`).
+    valid: Vec<u64>,
+    /// Bit `r` set iff `outcomes[r] == Bool(true)`; subset of `valid`.
+    pos: Vec<u64>,
+    /// Per-row numeric outcome value (`0.0` where undefined); only populated
+    /// (and only read) on the numeric path.
+    values: Vec<f64>,
+    /// Whether every defined outcome is boolean (three-popcount fast path).
+    all_boolean: bool,
+}
+
+impl OutcomePlanes {
+    /// Encodes `outcomes` into bitplanes. `O(n)`, done once per mining run.
+    pub fn from_outcomes(outcomes: &[Outcome]) -> Self {
+        let n = outcomes.len();
+        let n_words = n.div_ceil(64);
+        let all_boolean = !outcomes.iter().any(|o| matches!(o, Outcome::Real(_)));
+        let mut valid = vec![0u64; n_words];
+        let mut pos = vec![0u64; n_words];
+        let mut values = if all_boolean {
+            Vec::new()
+        } else {
+            vec![0.0; n]
+        };
+        for (row, o) in outcomes.iter().enumerate() {
+            if let Some(v) = o.value() {
+                valid[row / 64] |= 1u64 << (row % 64);
+                if !all_boolean {
+                    values[row] = v;
+                }
+            }
+            if matches!(o, Outcome::Bool(true)) {
+                pos[row / 64] |= 1u64 << (row % 64);
+            }
+        }
+        Self {
+            n_rows: n,
+            valid,
+            pos,
+            values,
+            all_boolean,
+        }
+    }
+
+    /// Number of encoded rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of 64-bit words per plane (what cover slices must match).
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether every defined outcome is boolean, i.e. whether
+    /// [`accum`](Self::accum) runs on the three-popcount fast path.
+    #[inline]
+    pub fn is_boolean(&self) -> bool {
+        self.all_boolean
+    }
+
+    /// The [`StatAccum`] of the rows set in `cover`, whose popcount the
+    /// caller already knows to be `n` (typically from count-first pruning).
+    ///
+    /// `cover` is word-packed with the same layout as the planes; tail bits
+    /// beyond the last row are ignored (they are masked by the valid plane).
+    ///
+    /// # Panics
+    /// Panics when `cover` has a different word count than the planes.
+    pub fn accum(&self, cover: &[u64], n: u64) -> StatAccum {
+        assert_eq!(
+            cover.len(),
+            self.valid.len(),
+            "cover word-count mismatch against outcome planes"
+        );
+        if self.all_boolean {
+            let mut n_valid = 0u64;
+            let mut k_pos = 0u64;
+            for (i, &c) in cover.iter().enumerate() {
+                n_valid += (c & self.valid[i]).count_ones() as u64;
+                k_pos += (c & self.pos[i]).count_ones() as u64;
+            }
+            StatAccum::from_counts(n, n_valid, k_pos)
+        } else {
+            let (n_valid, sum, sum_sq) = self.masked_sums(|i| cover[i]);
+            StatAccum::from_sums(n, n_valid, sum, sum_sq)
+        }
+    }
+
+    /// The [`StatAccum`] of the rows in `a ∧ b` — the fused pair kernel used
+    /// for leaf candidates; the intersection is never materialised.
+    ///
+    /// # Panics
+    /// Panics when `a` or `b` has a different word count than the planes.
+    pub fn accum_pair(&self, a: &[u64], b: &[u64], n: u64) -> StatAccum {
+        assert_eq!(
+            a.len(),
+            self.valid.len(),
+            "cover word-count mismatch against outcome planes"
+        );
+        assert_eq!(a.len(), b.len(), "cover word-count mismatch");
+        if self.all_boolean {
+            let mut n_valid = 0u64;
+            let mut k_pos = 0u64;
+            for (i, (&wa, &wb)) in a.iter().zip(b).enumerate() {
+                let c = wa & wb;
+                n_valid += (c & self.valid[i]).count_ones() as u64;
+                k_pos += (c & self.pos[i]).count_ones() as u64;
+            }
+            StatAccum::from_counts(n, n_valid, k_pos)
+        } else {
+            let (n_valid, sum, sum_sq) = self.masked_sums(|i| a[i] & b[i]);
+            StatAccum::from_sums(n, n_valid, sum, sum_sq)
+        }
+    }
+
+    /// Masked word-chunked reduction for the numeric path: per word of
+    /// `cover ∧ valid`, drains set bits lowest-first so rows are visited in
+    /// the same ascending order as the scalar path (bitwise-identical sums).
+    fn masked_sums(&self, cover_word: impl Fn(usize) -> u64) -> (u64, f64, f64) {
+        let mut n_valid = 0u64;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for (i, &v) in self.valid.iter().enumerate() {
+            let mut bits = cover_word(i) & v;
+            n_valid += bits.count_ones() as u64;
+            let base = i * 64;
+            while bits != 0 {
+                let x = self.values[base + bits.trailing_zeros() as usize];
+                sum += x;
+                sum_sq += x * x;
+                bits &= bits - 1;
+            }
+        }
+        (n_valid, sum, sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: push the outcomes of the cover's rows one at a time.
+    fn scalar(cover_words: &[u64], outcomes: &[Outcome]) -> StatAccum {
+        let mut acc = StatAccum::new();
+        for (row, o) in outcomes.iter().enumerate() {
+            if cover_words[row / 64] >> (row % 64) & 1 == 1 {
+                acc.push(*o);
+            }
+        }
+        acc
+    }
+
+    fn cover_of(n: usize, pred: impl Fn(usize) -> bool) -> Vec<u64> {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for row in (0..n).filter(|&r| pred(r)) {
+            words[row / 64] |= 1 << (row % 64);
+        }
+        words
+    }
+
+    fn popcount(words: &[u64]) -> u64 {
+        words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    #[test]
+    fn boolean_kernel_is_bitwise_equal_to_scalar() {
+        let outcomes: Vec<Outcome> = (0..200)
+            .map(|i| match i % 5 {
+                0 => Outcome::Undefined,
+                1 | 2 => Outcome::Bool(true),
+                _ => Outcome::Bool(false),
+            })
+            .collect();
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        assert!(planes.is_boolean());
+        for modulus in [1usize, 2, 3, 7] {
+            let cover = cover_of(200, |r| r % modulus == 0);
+            let n = popcount(&cover);
+            assert_eq!(planes.accum(&cover, n), scalar(&cover, &outcomes));
+        }
+    }
+
+    #[test]
+    fn numeric_and_mixed_kernels_match_scalar() {
+        let outcomes: Vec<Outcome> = (0..130)
+            .map(|i| match i % 4 {
+                0 => Outcome::Real(i as f64 * 0.25 - 7.0),
+                1 => Outcome::Bool(i % 8 == 1),
+                2 => Outcome::Undefined,
+                _ => Outcome::Real(-(i as f64)),
+            })
+            .collect();
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        assert!(!planes.is_boolean());
+        let cover = cover_of(130, |r| r % 3 != 1);
+        let n = popcount(&cover);
+        // Same summation order as the scalar path → bitwise equal.
+        assert_eq!(planes.accum(&cover, n), scalar(&cover, &outcomes));
+    }
+
+    #[test]
+    fn pair_kernel_equals_materialised_intersection() {
+        let outcomes: Vec<Outcome> = (0..150)
+            .map(|i| {
+                if i % 6 == 0 {
+                    Outcome::Undefined
+                } else {
+                    Outcome::Bool(i % 3 == 0)
+                }
+            })
+            .collect();
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        let a = cover_of(150, |r| r % 2 == 0);
+        let b = cover_of(150, |r| r % 3 != 2);
+        let joint: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x & y).collect();
+        let n = popcount(&joint);
+        assert_eq!(planes.accum_pair(&a, &b, n), planes.accum(&joint, n));
+        assert_eq!(planes.accum_pair(&a, &b, n), scalar(&joint, &outcomes));
+    }
+
+    #[test]
+    fn empty_and_all_undefined() {
+        let planes = OutcomePlanes::from_outcomes(&[]);
+        assert_eq!(planes.n_rows(), 0);
+        assert_eq!(planes.accum(&[], 0), StatAccum::new());
+        let undef = OutcomePlanes::from_outcomes(&[Outcome::Undefined; 70]);
+        let cover = cover_of(70, |_| true);
+        let acc = undef.accum(&cover, 70);
+        assert_eq!(acc.count(), 70);
+        assert_eq!(acc.valid_count(), 0);
+        assert_eq!(acc.statistic(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-count mismatch")]
+    fn mismatched_cover_panics() {
+        let planes = OutcomePlanes::from_outcomes(&[Outcome::Bool(true); 10]);
+        let _ = planes.accum(&[0u64, 0u64], 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the word-level outcome kernels: for arbitrary
+//! outcome vectors (boolean, continuous, mixed, with missing values) and
+//! arbitrary cover bitsets, [`OutcomePlanes`] produces accumulators that are
+//! *exactly* equal to the scalar row-walking reference path. The kernels
+//! drain cover words lowest-bit-first, so even the floating-point summation
+//! order matches the scalar `StatAccum::push` loop bit for bit.
+
+use h_divexplorer::items::Bitset;
+use h_divexplorer::mining::accum_scalar;
+use h_divexplorer::stats::{Outcome, OutcomePlanes, StatAccum};
+use proptest::prelude::*;
+
+/// An arbitrary outcome drawn from every kind the paper's statistics layer
+/// supports: boolean (classification metrics), real (continuous divergence),
+/// and missing.
+fn outcome_strategy() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        Just(Outcome::Undefined),
+        any::<bool>().prop_map(Outcome::Bool),
+        (-1e6f64..1e6).prop_map(Outcome::Real),
+    ]
+}
+
+/// A purely boolean-or-missing outcome vector (takes the popcount fast path).
+fn boolean_outcomes() -> impl Strategy<Value = Vec<Outcome>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Outcome::Undefined),
+            any::<bool>().prop_map(Outcome::Bool),
+        ],
+        0..300,
+    )
+}
+
+/// A mixed outcome vector (forces the masked word-chunked summation path).
+fn mixed_outcomes() -> impl Strategy<Value = Vec<Outcome>> {
+    proptest::collection::vec(outcome_strategy(), 0..300)
+}
+
+/// A random cover over `n` rows, as row indices.
+fn cover_for(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..n.max(1), 0..=n)
+}
+
+fn bitset_from(n: usize, indices: &[usize]) -> Bitset {
+    Bitset::from_indices(n, indices.iter().copied().filter(|&i| i < n))
+}
+
+/// Scalar reference accumulation over an explicit cover, bypassing the
+/// mining crate entirely — a second, independent oracle.
+fn brute(cover: &Bitset, outcomes: &[Outcome]) -> StatAccum {
+    let mut acc = StatAccum::new();
+    for row in cover.iter_ones() {
+        acc.push(outcomes[row]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Boolean fast path: three fused popcounts reproduce the pushed
+    /// accumulator exactly (integer-valued sums are exact in f64).
+    #[test]
+    fn boolean_kernel_is_exact(outcomes in boolean_outcomes(), idxs in cover_for(300)) {
+        let n = outcomes.len();
+        let cover = bitset_from(n, &idxs);
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        prop_assert!(planes.is_boolean());
+        let kernel = planes.accum(cover.words(), cover.count() as u64);
+        prop_assert_eq!(kernel, accum_scalar(&cover, &outcomes));
+        prop_assert_eq!(kernel, brute(&cover, &outcomes));
+    }
+
+    /// Numeric/mixed path: the masked word-chunked summation visits rows in
+    /// ascending order, so sums match the scalar path bit for bit — not just
+    /// within a tolerance.
+    #[test]
+    fn mixed_kernel_is_exact(outcomes in mixed_outcomes(), idxs in cover_for(300)) {
+        let n = outcomes.len();
+        let cover = bitset_from(n, &idxs);
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        let kernel = planes.accum(cover.words(), cover.count() as u64);
+        let scalar = accum_scalar(&cover, &outcomes);
+        prop_assert_eq!(kernel.count(), scalar.count());
+        prop_assert_eq!(kernel.valid_count(), scalar.valid_count());
+        // Exact equality: same values added in the same order.
+        prop_assert_eq!(kernel, scalar);
+        prop_assert_eq!(kernel, brute(&cover, &outcomes));
+    }
+
+    /// The fused pair kernel (used for leaf candidates that never
+    /// materialise a joint bitset) equals accumulating over the
+    /// materialised intersection.
+    #[test]
+    fn pair_kernel_equals_materialised(
+        outcomes in mixed_outcomes(),
+        a_idx in cover_for(300),
+        b_idx in cover_for(300),
+    ) {
+        let n = outcomes.len();
+        let a = bitset_from(n, &a_idx);
+        let b = bitset_from(n, &b_idx);
+        let planes = OutcomePlanes::from_outcomes(&outcomes);
+        let joint = a.and(&b);
+        let fused = planes.accum_pair(a.words(), b.words(), joint.count() as u64);
+        let materialised = planes.accum(joint.words(), joint.count() as u64);
+        prop_assert_eq!(fused, materialised);
+        prop_assert_eq!(fused, accum_scalar(&joint, &outcomes));
+    }
+
+    /// `StatAccum::from_counts` is bitwise-identical to pushing the same
+    /// boolean outcomes one by one.
+    #[test]
+    fn from_counts_matches_pushes(outcomes in boolean_outcomes()) {
+        let mut pushed = StatAccum::new();
+        let (mut n_valid, mut positives) = (0u64, 0u64);
+        for o in &outcomes {
+            pushed.push(*o);
+            if let Outcome::Bool(b) = o {
+                n_valid += 1;
+                positives += u64::from(*b);
+            }
+        }
+        let direct = StatAccum::from_counts(outcomes.len() as u64, n_valid, positives);
+        prop_assert_eq!(direct, pushed);
+    }
+}
