@@ -1,7 +1,9 @@
 //! Mining-performance harness: times the word-level outcome kernels against
 //! the scalar reference path (micro) and the three miners end to end
 //! (synthetic-peak and compas), then writes machine-readable results to
-//! `BENCH_mining.json`.
+//! `BENCH_mining.json` (`hdx-bench/mining/v2`), with the run's hdx-obs
+//! telemetry — per-stage spans, pruning counters, the
+//! `hdx.bench.iter.latency_ns` histogram — embedded under `"telemetry"`.
 //!
 //! Unlike the criterion benches this binary needs no bench runner, finishes
 //! in seconds, and has a CI mode:
@@ -21,11 +23,11 @@ use hdx_core::HDivExplorerConfig;
 use hdx_datasets::{compas, synthetic_peak};
 use hdx_items::Bitset;
 use hdx_mining::{accum_scalar, mine, MiningAlgorithm, MiningConfig, Transactions};
+use hdx_obs::timing::median_ns;
 use hdx_stats::{Outcome, OutcomePlanes};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
-use std::time::Instant;
 
 struct Opts {
     quick: bool,
@@ -102,19 +104,6 @@ fn make_outcomes(kind: &str, n_rows: usize) -> Vec<Outcome> {
         .collect()
 }
 
-/// Median wall time of `iters` runs of `f`, in nanoseconds.
-fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..iters)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
-}
-
 fn micro(kind: &'static str, quick: bool) -> MicroResult {
     let (n_rows, n_covers, iters) = if quick {
         (16_384, 16, 5)
@@ -126,12 +115,13 @@ fn micro(kind: &'static str, quick: bool) -> MicroResult {
     let outcomes = make_outcomes(kind, n_rows);
     let planes = OutcomePlanes::from_outcomes(&outcomes);
 
-    let kernel_total = time_ns(iters, || {
+    hdx_obs::span!("bench", str kind);
+    let kernel_total = median_ns(iters, || {
         for (cover, &n) in covers.iter().zip(&counts) {
             black_box(planes.accum(cover.words(), n));
         }
     });
-    let scalar_total = time_ns(iters, || {
+    let scalar_total = median_ns(iters, || {
         for cover in &covers {
             black_box(accum_scalar(cover, &outcomes));
         }
@@ -160,6 +150,7 @@ fn end_to_end(quick: bool) -> Vec<EndToEnd> {
     };
     let mut out = Vec::new();
     for dataset in [synthetic_peak(rows_peak, 1), compas(rows_compas, 1)] {
+        hdx_obs::span!("bench", owned dataset.name.clone());
         let outcomes = outcomes_for(&dataset);
         let pipeline = pipeline_for(&dataset, HDivExplorerConfig::default());
         let (catalog, hierarchies, _) = pipeline.discretize(&dataset.frame, &outcomes);
@@ -177,7 +168,7 @@ fn end_to_end(quick: bool) -> Vec<EndToEnd> {
                 algorithm,
             };
             let itemsets = mine(&transactions, &catalog, &config).itemsets.len();
-            let ns = time_ns(iters, || {
+            let ns = median_ns(iters, || {
                 black_box(mine(&transactions, &catalog, &config).itemsets.len());
             });
             out.push(EndToEnd {
@@ -191,10 +182,15 @@ fn end_to_end(quick: bool) -> Vec<EndToEnd> {
     out
 }
 
-fn render_json(mode: &str, micros: &[MicroResult], e2e: &[EndToEnd]) -> String {
+fn render_json(
+    mode: &str,
+    micros: &[MicroResult],
+    e2e: &[EndToEnd],
+    telemetry: &hdx_obs::RunTelemetry,
+) -> String {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v2\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"micro\": [");
     for (i, m) in micros.iter().enumerate() {
@@ -223,14 +219,23 @@ fn render_json(mode: &str, micros: &[MicroResult], e2e: &[EndToEnd]) -> String {
             e.dataset, e.algorithm, e.itemsets, e.ms,
         );
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let _ = writeln!(json, "  ],");
+    // Embed the run telemetry verbatim (re-indented) so one artifact carries
+    // both the headline numbers and the per-stage breakdown behind them.
+    let nested = telemetry.to_json();
+    let _ = write!(
+        json,
+        "  \"telemetry\": {}",
+        nested.trim_end().replace('\n', "\n  ")
+    );
+    let _ = writeln!(json, "\n}}");
     json
 }
 
 fn main() -> ExitCode {
     let opts = parse_opts();
     let mode = if opts.quick { "quick" } else { "full" };
+    hdx_obs::reset();
 
     let micros: Vec<MicroResult> = ["boolean_dense", "numeric_dense", "mixed"]
         .into_iter()
@@ -253,7 +258,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let json = render_json(mode, &micros, &e2e);
+    let json = render_json(mode, &micros, &e2e, &hdx_obs::collect());
     if let Err(err) = std::fs::write(&opts.out, &json) {
         eprintln!("cannot write {}: {err}", opts.out);
         return ExitCode::FAILURE;

@@ -5,10 +5,9 @@
 //! cargo run --release -p hdx-bench --bin runall -- --scale 0.25
 //! ```
 
-use std::time::Instant;
-
 use hdx_bench::experiments;
 use hdx_bench::Args;
+use hdx_obs::timing::measure;
 
 fn main() -> std::io::Result<()> {
     let args = Args::from_env();
@@ -31,21 +30,21 @@ fn main() -> std::io::Result<()> {
         ("fig8", experiments::fig8::run),
         ("ablation_combined_tree", experiments::ablation::run),
     ];
-    let total = Instant::now();
+    let mut total_ns = 0u64;
     for (name, run) in runners {
-        let start = Instant::now();
-        let output = run(args);
+        let (output, ns) = measure(|| run(args));
         let path = out_dir.join(format!("{name}.txt"));
         std::fs::write(&path, &output)?;
+        total_ns += ns;
         println!(
             "{name:>24}  {:>8.2}s  -> {}",
-            start.elapsed().as_secs_f64(),
+            ns as f64 / 1e9,
             path.display()
         );
     }
     println!(
         "\nall artifacts regenerated in {:.1}s (scale {}, seed {})",
-        total.elapsed().as_secs_f64(),
+        total_ns as f64 / 1e9,
         args.scale,
         args.seed
     );

@@ -121,6 +121,22 @@ pub struct ExploreOpts {
     pub max_itemsets: Option<u64>,
     /// Retry with doubled support when the itemset budget trips.
     pub adaptive_support: bool,
+    /// Write the machine-readable run telemetry (JSON) to this path.
+    /// Partial (exit-code-3) runs still flush it.
+    pub metrics_out: Option<String>,
+    /// Print a human-readable span/metric table on stderr after the run.
+    pub trace_summary: bool,
+}
+
+/// `hdx validate-telemetry` options.
+#[derive(Debug, Clone)]
+pub struct ValidateTelemetryOpts {
+    /// Telemetry JSON path.
+    pub path: String,
+    /// Stage names that must carry non-zero recorded time.
+    pub require_stages: Vec<String>,
+    /// Counter names that must be present with a non-zero value.
+    pub require_counters: Vec<String>,
 }
 
 /// `hdx discretize` options.
@@ -182,6 +198,8 @@ pub enum Command {
     Baselines(BaselinesOpts),
     /// Generate a synthetic dataset.
     Generate(GenerateOpts),
+    /// Validate a run-telemetry artifact (CI `obs-smoke` gate).
+    ValidateTelemetry(ValidateTelemetryOpts),
     /// Print usage.
     Help,
 }
@@ -313,6 +331,8 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 timeout: None,
                 max_itemsets: None,
                 adaptive_support: false,
+                metrics_out: None,
+                trace_summary: false,
             };
             while let Some(flag) = cur.args.next() {
                 if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
@@ -336,6 +356,8 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                     "--timeout" => opts.timeout = Some(parse_duration(&cur.value(&flag)?)?),
                     "--max-itemsets" => opts.max_itemsets = Some(cur.parse_value(&flag)?),
                     "--adaptive-support" => opts.adaptive_support = true,
+                    "--metrics-out" => opts.metrics_out = Some(cur.value(&flag)?),
+                    "--trace-summary" => opts.trace_summary = true,
                     other => return Err(CliError::new(format!("unknown flag `{other}`"))),
                 }
             }
@@ -406,6 +428,22 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Generate(opts))
+        }
+        "validate-telemetry" => {
+            let path = require_path(&mut cur, "validate-telemetry")?;
+            let mut opts = ValidateTelemetryOpts {
+                path,
+                require_stages: Vec::new(),
+                require_counters: Vec::new(),
+            };
+            while let Some(flag) = cur.args.next() {
+                match flag.as_str() {
+                    "--require-stage" => opts.require_stages.push(cur.value(&flag)?),
+                    "--require-counter" => opts.require_counters.push(cur.value(&flag)?),
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::ValidateTelemetry(opts))
         }
         other => Err(CliError::new(format!(
             "unknown command `{other}` (try `hdx help`)"
@@ -559,6 +597,46 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid --timeout"));
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let Command::Explore(o) = parse(v(&[
+            "explore",
+            "d.csv",
+            "--metrics-out",
+            "m.json",
+            "--trace-summary",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(o.trace_summary);
+        // Defaults: off.
+        let Command::Explore(o) = parse(v(&["explore", "d.csv"])).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.metrics_out, None);
+        assert!(!o.trace_summary);
+
+        let Command::ValidateTelemetry(o) = parse(v(&[
+            "validate-telemetry",
+            "m.json",
+            "--require-stage",
+            "mine",
+            "--require-stage",
+            "explore",
+            "--require-counter",
+            "hdx.mining.candidates.generated",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.path, "m.json");
+        assert_eq!(o.require_stages, vec!["mine", "explore"]);
+        assert_eq!(o.require_counters, vec!["hdx.mining.candidates.generated"]);
+        assert!(parse(v(&["validate-telemetry"])).is_err());
     }
 
     #[test]

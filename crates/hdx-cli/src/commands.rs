@@ -14,6 +14,7 @@ use hdx_stats::Outcome;
 
 use crate::args::{
     BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts, Stat,
+    ValidateTelemetryOpts,
 };
 use crate::USAGE;
 
@@ -26,6 +27,8 @@ pub struct RunOutput {
     /// or a lost worker) and the results are a partial-but-valid subset; the
     /// binary reports the reason on stderr and exits with code 3.
     pub partial: Option<String>,
+    /// Human-readable span/metric table for stderr (`--trace-summary`).
+    pub trace_summary: Option<String>,
 }
 
 impl RunOutput {
@@ -33,6 +36,7 @@ impl RunOutput {
         Self {
             text,
             partial: None,
+            trace_summary: None,
         }
     }
 }
@@ -59,6 +63,7 @@ pub fn run(command: Command) -> Result<RunOutput, CliError> {
         Command::Discretize(opts) => discretize(&opts).map(RunOutput::complete),
         Command::Baselines(opts) => baselines(&opts).map(RunOutput::complete),
         Command::Generate(opts) => generate(&opts).map(RunOutput::complete),
+        Command::ValidateTelemetry(opts) => validate_telemetry(&opts).map(RunOutput::complete),
     }
 }
 
@@ -174,6 +179,9 @@ fn pipeline_config(
 }
 
 fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
+    // Fresh telemetry per run, so `--metrics-out` describes this exploration
+    // only (a no-op unless the `obs` feature is enabled).
+    hdx_core::obs::reset();
     let (frame, outcomes) = load(&opts.input)?;
     let mut budget = RunBudget::unbounded();
     if let Some(timeout) = opts.timeout {
@@ -210,10 +218,23 @@ fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
         reason
     });
 
+    // Telemetry flushes however the run ended: a partial (exit-code-3) run
+    // still writes its artifact and prints its summary.
+    let telemetry = (opts.metrics_out.is_some() || opts.trace_summary)
+        .then(hdx_core::obs::collect);
+    if let (Some(t), Some(path)) = (&telemetry, &opts.metrics_out) {
+        std::fs::write(path, t.to_json())
+            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    }
+    let trace_summary = telemetry
+        .filter(|_| opts.trace_summary)
+        .map(|t| t.summary_table());
+
     if opts.json {
         return Ok(RunOutput {
             text: report_to_json(&result.report, &result.catalog),
             partial,
+            trace_summary,
         });
     }
     let mut out = format!(
@@ -258,7 +279,41 @@ fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
     } else {
         out.push_str(&result.report.table(opts.top));
     }
-    Ok(RunOutput { text: out, partial })
+    Ok(RunOutput {
+        text: out,
+        partial,
+        trace_summary,
+    })
+}
+
+/// Validates a telemetry artifact: schema + registered metrics always; the
+/// given stages/counters when requested (the CI `obs-smoke` gate).
+fn validate_telemetry(opts: &ValidateTelemetryOpts) -> Result<String, CliError> {
+    let raw = std::fs::read_to_string(&opts.path)
+        .map_err(|e| CliError(format!("cannot read `{}`: {e}", opts.path)))?;
+    let telemetry = hdx_core::obs::RunTelemetry::from_json(&raw)
+        .map_err(|e| CliError(format!("`{}`: {e}", opts.path)))?;
+    telemetry
+        .validate()
+        .map_err(|e| CliError(format!("`{}`: {e}", opts.path)))?;
+    let stages: Vec<&str> = opts.require_stages.iter().map(String::as_str).collect();
+    telemetry
+        .validate_stages(&stages)
+        .map_err(|e| CliError(format!("`{}`: {e}", opts.path)))?;
+    for name in &opts.require_counters {
+        if telemetry.counter_named(name) == 0 {
+            return Err(CliError(format!(
+                "`{}`: counter `{name}` is zero or missing",
+                opts.path
+            )));
+        }
+    }
+    Ok(format!(
+        "{}: valid ({} spans, {} counters)\n",
+        opts.path,
+        telemetry.spans.len(),
+        telemetry.counters.len(),
+    ))
 }
 
 fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
@@ -598,6 +653,111 @@ mod tests {
             None => assert!(out.text.contains("adaptive support"), "{}", out.text),
             Some(reason) => assert!(reason.contains("budget_exhausted"), "{reason}"),
         }
+    }
+
+    #[test]
+    fn metrics_out_writes_validatable_telemetry() {
+        let path = write_fixture();
+        let metrics = tmp("metrics.json");
+        let out = run_full(&[
+            "explore",
+            &path,
+            "--metrics-out",
+            &metrics,
+            "--trace-summary",
+        ])
+        .unwrap();
+        let summary = out.trace_summary.as_deref().expect("summary requested");
+        assert!(!summary.is_empty());
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let t = hdx_core::obs::RunTelemetry::from_json(&raw).unwrap();
+        t.validate().unwrap();
+        // The subcommand agrees.
+        let verdict = run_args(&["validate-telemetry", &metrics]).unwrap();
+        assert!(verdict.contains("valid"), "{verdict}");
+        #[cfg(feature = "obs")]
+        {
+            t.validate_stages(&["discretize", "mine", "explore"]).unwrap();
+            assert!(t.counter_named("hdx.mining.candidates.generated") > 0);
+            assert!(t.counter_named("hdx.mining.itemsets.emitted") > 0);
+            assert!(t.counter_named("hdx.discretize.split.accepted") > 0);
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(t.spans.is_empty(), "disabled builds record nothing");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pruning_counters_reach_the_artifact() {
+        let path = write_fixture();
+        let metrics = tmp("metrics-pruning.json");
+        // s = 0.2 prunes the 0.1-support tree leaves at level 1; polarity
+        // pruning drops the sign-mismatched items from each polarity run.
+        run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.2",
+            "--polarity",
+            "--metrics-out",
+            &metrics,
+        ])
+        .unwrap();
+        let verdict = run_args(&[
+            "validate-telemetry",
+            &metrics,
+            "--require-stage",
+            "discretize",
+            "--require-stage",
+            "mine",
+            "--require-stage",
+            "explore",
+            "--require-counter",
+            "hdx.mining.candidates.pruned_support",
+            "--require-counter",
+            "hdx.core.polarity.pruned_items",
+        ])
+        .unwrap();
+        assert!(verdict.contains("valid"), "{verdict}");
+        // A check the artifact cannot satisfy fails.
+        assert!(run_args(&[
+            "validate-telemetry",
+            &metrics,
+            "--require-counter",
+            "hdx.governor.trip.cancelled",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn partial_run_still_flushes_telemetry() {
+        let path = write_fixture();
+        let metrics = tmp("metrics-partial.json");
+        let out = run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.01",
+            "--max-itemsets",
+            "3",
+            "--metrics-out",
+            &metrics,
+        ])
+        .unwrap();
+        assert!(out.partial.is_some(), "capped run is partial");
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let t = hdx_core::obs::RunTelemetry::from_json(&raw).unwrap();
+        t.validate().unwrap();
+        #[cfg(feature = "obs")]
+        assert!(t.counter_named("hdx.governor.trip.budget_exhausted") > 0);
+    }
+
+    #[test]
+    fn validate_telemetry_rejects_garbage() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{\"schema\": \"bogus\"}").unwrap();
+        assert!(run_args(&["validate-telemetry", &path]).is_err());
+        assert!(run_args(&["validate-telemetry", "/nonexistent.json"]).is_err());
     }
 
     #[test]

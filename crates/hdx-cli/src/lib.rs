@@ -19,7 +19,7 @@ mod commands;
 
 pub use args::{
     parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
-    Stat,
+    Stat, ValidateTelemetryOpts,
 };
 pub use commands::{run, RunOutput};
 
@@ -33,6 +33,7 @@ USAGE:
   hdx baselines <data.csv> [options]   run Slice Finder / SliceLine / combined tree
   hdx generate <dataset> [options]     write a synthetic benchmark dataset as CSV
   hdx describe <data.csv>              summarise the dataset's attributes
+  hdx validate-telemetry <file> [options]  check a --metrics-out artifact
   hdx help                             show this text
 
 INPUT OPTIONS (explore / discretize / baselines):
@@ -59,6 +60,9 @@ EXPLORE OPTIONS:
   --max-itemsets <n>     cap on mined subgroups; exceeding it exits 3 likewise
   --adaptive-support     when --max-itemsets trips, retry with doubled support
                          (coarser but complete results)
+  --metrics-out <file>   write machine-readable run telemetry (JSON); partial
+                         (exit-code-3) runs still flush it
+  --trace-summary        print a per-stage span/metric table on stderr
 
 DISCRETIZE OPTIONS:
   --st <f>, --criterion <...> as above
@@ -76,4 +80,10 @@ GENERATE OPTIONS:
   --rows <n>             row count [paper size]
   --seed <n>             generator seed [42]
   --out <file>           output path [<dataset>.csv]
+
+VALIDATE-TELEMETRY OPTIONS:
+  --require-stage <name>    fail unless the stage recorded non-zero time
+                            (repeatable; e.g. discretize, mine, explore)
+  --require-counter <name>  fail unless the counter is present and non-zero
+                            (repeatable; e.g. hdx.mining.candidates.generated)
 ";

@@ -11,6 +11,9 @@ fn main() -> ExitCode {
     match hdx_cli::parse(args).and_then(hdx_cli::run) {
         Ok(output) => {
             print!("{}", output.text);
+            if let Some(summary) = &output.trace_summary {
+                eprint!("{summary}");
+            }
             match output.partial {
                 None => ExitCode::SUCCESS,
                 Some(reason) => {

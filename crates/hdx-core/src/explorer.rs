@@ -155,6 +155,7 @@ impl DivExplorer {
         catalog: &ItemCatalog,
         governor: &Governor,
     ) -> DivergenceReport {
+        hdx_obs::span!("explore");
         let start = Instant::now();
         let mining = self.config.mining_config();
         let result = if self.config.polarity_pruning {

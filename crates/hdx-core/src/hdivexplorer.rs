@@ -217,6 +217,7 @@ impl HDivExplorer {
         outcomes: &[Outcome],
         governor: &Governor,
     ) -> (ItemCatalog, HierarchySet, Vec<DiscretizationTree>) {
+        hdx_obs::span!("discretize");
         let mut catalog = ItemCatalog::new();
         let mut hierarchies = HierarchySet::new();
         let mut trees = Vec::new();

@@ -68,6 +68,12 @@ pub use polarity::{mine_with_polarity, mine_with_polarity_governed, split_by_pol
 pub use report::{DivergenceReport, SubgroupRecord};
 pub use shapley::{global_item_contributions, item_contributions};
 
+/// The observability subsystem (re-exported from `hdx-obs`): hierarchical
+/// spans, typed metrics and the machine-readable [`RunTelemetry`]
+/// (`obs::RunTelemetry`) artifact. Zero-cost unless the `obs` feature is
+/// enabled.
+pub use hdx_obs as obs;
+
 /// The run-governor subsystem (re-exported from `hdx-governor`): budgets,
 /// deadlines, cooperative cancellation and fail-point injection.
 pub use hdx_governor as governor;

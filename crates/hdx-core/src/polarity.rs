@@ -58,8 +58,23 @@ pub fn mine_with_polarity_governed(
     governor: &Governor,
 ) -> MiningResult {
     let (positive, negative) = split_by_polarity(transactions);
-    let pos_result = mine_governed(&transactions.restrict(&positive), catalog, config, governor);
-    let neg_result = mine_governed(&transactions.restrict(&negative), catalog, config, governor);
+    #[cfg(feature = "obs")]
+    {
+        let n_items = transactions.item_stats().len() as u64;
+        hdx_obs::counter_add!(
+            PolarityItemsPruned,
+            n_items.saturating_sub(positive.len() as u64)
+                + n_items.saturating_sub(negative.len() as u64)
+        );
+    }
+    let pos_result = {
+        hdx_obs::span!("polarity", str "+");
+        mine_governed(&transactions.restrict(&positive), catalog, config, governor)
+    };
+    let neg_result = {
+        hdx_obs::span!("polarity", str "-");
+        mine_governed(&transactions.restrict(&negative), catalog, config, governor)
+    };
 
     let mut seen: HashSet<Itemset> = HashSet::new();
     let mut itemsets = Vec::with_capacity(pos_result.itemsets.len());
@@ -68,6 +83,8 @@ pub fn mine_with_polarity_governed(
     for fi in pos_result.itemsets.into_iter().chain(neg_result.itemsets) {
         if seen.insert(fi.itemset.clone()) {
             itemsets.push(fi);
+        } else {
+            hdx_obs::counter_add!(PolarityItemsetsDeduped, 1);
         }
     }
     let mut result =

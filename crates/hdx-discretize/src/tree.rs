@@ -215,6 +215,7 @@ impl TreeDiscretizer {
             "min_support must be in (0, 1)"
         );
         let attr_name = df.schema().name(attr).to_string();
+        hdx_obs::span!("attr", owned attr_name.clone());
         let values = df.continuous(attr).values();
         let n_total = df.n_rows();
 
@@ -253,14 +254,18 @@ impl TreeDiscretizer {
                 break;
             }
             fail_point!("discretize::split");
+            hdx_obs::span!("split");
             let depth = tree.nodes[node_idx].depth;
             if let Some(max) = self.config.max_depth {
                 if depth >= max {
                     continue;
                 }
             }
-            let Some(cut) = self.best_split(&sorted_vals, &prefix, lo, hi, min_count, n_total)
-            else {
+            let Some(cut) = hdx_obs::time_hist!(
+                DiscretizeSplitGainNs,
+                self.best_split(&sorted_vals, &prefix, lo, hi, min_count, n_total)
+            ) else {
+                hdx_obs::counter_add!(DiscretizeSplitsRejected, 1);
                 continue;
             };
             // Charge both children before interning anything: a refused
@@ -293,7 +298,9 @@ impl TreeDiscretizer {
                 tree.nodes[node_idx].children.push(child_idx);
                 queue.push((child_idx, range.start, range.end));
             }
+            hdx_obs::counter_add!(DiscretizeSplitsAccepted, 1);
         }
+        hdx_obs::gauge_max!(DiscretizeTreeNodes, tree.nodes.len() as u64);
         #[cfg(feature = "debug-invariants")]
         crate::invariants::assert_tree(&tree, self.config.min_support);
         (hierarchy, tree)

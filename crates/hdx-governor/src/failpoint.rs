@@ -110,6 +110,9 @@ pub fn hit(name: &str) -> Option<String> {
             fires.then(|| armed.action.clone())
         })
     };
+    if fired.is_some() {
+        hdx_obs::counter_add!(GovernorFailpointHits, 1);
+    }
     match fired {
         None => None,
         Some(FailAction::Panic) => panic!("fail point `{name}` fired: injected panic"),

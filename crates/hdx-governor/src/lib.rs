@@ -226,6 +226,33 @@ impl CancelToken {
     }
 }
 
+/// A point-in-time view of one governor's budget consumption: what is
+/// spent, what wall clock remains, and whether anything has tripped yet.
+///
+/// Sampled by the miners at every lattice level (under the `obs` feature,
+/// via [`Governor::record_obs_snapshot`]) so run telemetry shows budget
+/// consumption over time; all spend fields are monotonically non-decreasing
+/// across consecutive snapshots of the same governor, and
+/// `deadline_remaining` is non-increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorSnapshot {
+    /// Time since the governor was created.
+    pub elapsed: Duration,
+    /// Wall-clock budget still available (`None` when no deadline is set;
+    /// zero once the deadline has passed).
+    pub deadline_remaining: Option<Duration>,
+    /// Itemsets charged so far.
+    pub itemsets: u64,
+    /// Candidate-cover bytes charged so far.
+    pub candidate_bytes: u64,
+    /// Discretization tree nodes charged so far.
+    pub tree_nodes: u64,
+    /// `keep_going` checks performed so far.
+    pub checks: u64,
+    /// The outcome latched so far ([`Termination::Complete`] while running).
+    pub termination: Termination,
+}
+
 /// A snapshot of the work a [`Governor`] has charged so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunCounters {
@@ -383,23 +410,35 @@ impl Governor {
     /// `max_itemsets`; the caller must then *not* emit the work.
     #[inline]
     pub fn record_itemsets(&self, n: u64) -> bool {
-        self.charge(&self.inner.itemsets, n, self.inner.budget.max_itemsets)
+        let ok = self.charge(&self.inner.itemsets, n, self.inner.budget.max_itemsets);
+        if ok {
+            hdx_obs::counter_add!(GovernorItemsetsCharged, n);
+        }
+        ok
     }
 
     /// Charges `n` bytes of candidate covers against `max_candidate_bytes`.
     #[inline]
     pub fn record_candidate_bytes(&self, n: u64) -> bool {
-        self.charge(
+        let ok = self.charge(
             &self.inner.candidate_bytes,
             n,
             self.inner.budget.max_candidate_bytes,
-        )
+        );
+        if ok {
+            hdx_obs::counter_add!(GovernorCandidateBytesCharged, n);
+        }
+        ok
     }
 
     /// Charges `n` discretization tree nodes against `max_tree_nodes`.
     #[inline]
     pub fn record_tree_nodes(&self, n: u64) -> bool {
-        self.charge(&self.inner.tree_nodes, n, self.inner.budget.max_tree_nodes)
+        let ok = self.charge(&self.inner.tree_nodes, n, self.inner.budget.max_tree_nodes);
+        if ok {
+            hdx_obs::counter_add!(GovernorTreeNodesCharged, n);
+        }
+        ok
     }
 
     /// Charges `n` units to `counter`. On overflow of `cap` the charge is
@@ -419,16 +458,40 @@ impl Governor {
 
     /// Latches `termination` as the run outcome (first trip wins).
     /// Tripping with [`Termination::Complete`] is a no-op.
+    ///
+    /// Under `obs`, the *winning* trip (the one that latches) is mirrored
+    /// into run telemetry as a `trip:<reason>` span event plus one
+    /// `hdx.governor.trip.*` counter; repeat trips stay silent so counters
+    /// count run outcomes, not call sites.
     pub fn trip(&self, termination: Termination) {
         if termination.is_complete() {
             return;
         }
-        let _ = self.inner.tripped.compare_exchange(
-            RUNNING,
-            termination as u8,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        );
+        let latched = self
+            .inner
+            .tripped
+            .compare_exchange(
+                RUNNING,
+                termination as u8,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok();
+        if latched {
+            hdx_obs::event!("trip", str termination.as_str());
+            match termination {
+                Termination::Complete => {}
+                Termination::BudgetExhausted => {
+                    hdx_obs::counter_add!(GovernorTripBudget, 1);
+                }
+                Termination::DeadlineExceeded => {
+                    hdx_obs::counter_add!(GovernorTripDeadline, 1);
+                }
+                Termination::Cancelled => {
+                    hdx_obs::counter_add!(GovernorTripCancelled, 1);
+                }
+            }
+        }
     }
 
     /// Whether any limit has tripped.
@@ -455,6 +518,41 @@ impl Governor {
             tree_nodes: self.inner.tree_nodes.load(Ordering::Relaxed),
             checks: self.inner.checks.load(Ordering::Relaxed),
         }
+    }
+
+    /// A point-in-time [`GovernorSnapshot`] of this governor's consumption.
+    ///
+    /// Successive snapshots of one governor are monotone: every spend field
+    /// never decreases, `elapsed` never decreases, and `deadline_remaining`
+    /// never increases (asserted by `tests/governor.rs`).
+    pub fn snapshot(&self) -> GovernorSnapshot {
+        let c = self.counters();
+        GovernorSnapshot {
+            elapsed: self.elapsed(),
+            deadline_remaining: self.remaining_deadline(),
+            itemsets: c.itemsets,
+            candidate_bytes: c.candidate_bytes,
+            tree_nodes: c.tree_nodes,
+            checks: c.checks,
+            termination: self.termination(),
+        }
+    }
+
+    /// Records the current [`GovernorSnapshot`] into the hdx-obs recorder,
+    /// tagged with the mining `level` it was sampled at (0 = end of stage).
+    /// Compiled only under the `obs` feature; the miners call it once per
+    /// lattice level so telemetry shows budget consumption over time.
+    #[cfg(feature = "obs")]
+    pub fn record_obs_snapshot(&self, level: u64) {
+        let s = self.snapshot();
+        hdx_obs::record_snapshot(hdx_obs::SnapshotSample {
+            level,
+            elapsed_ns: s.elapsed.as_nanos() as u64,
+            deadline_remaining_ns: s.deadline_remaining.map(|d| d.as_nanos() as u64),
+            itemsets: s.itemsets,
+            candidate_bytes: s.candidate_bytes,
+            tree_nodes: s.tree_nodes,
+        });
     }
 }
 
@@ -555,6 +653,34 @@ mod tests {
         assert_eq!(b.max_candidate_bytes, Some(1 << 20));
         assert_eq!(b.max_tree_nodes, Some(64));
         assert!(RunBudget::unbounded().is_unbounded());
+    }
+
+    #[test]
+    fn snapshots_are_monotone_under_charging() {
+        let g = Governor::new(
+            RunBudget::default()
+                .with_deadline(Duration::from_secs(3600))
+                .with_max_itemsets(100),
+        );
+        let mut prev = g.snapshot();
+        assert_eq!(prev.termination, Termination::Complete);
+        for _ in 0..20 {
+            g.record_itemsets(5);
+            g.record_candidate_bytes(64);
+            g.record_tree_nodes(1);
+            let s = g.snapshot();
+            assert!(s.itemsets >= prev.itemsets);
+            assert!(s.candidate_bytes >= prev.candidate_bytes);
+            assert!(s.tree_nodes >= prev.tree_nodes);
+            assert!(s.checks >= prev.checks);
+            assert!(s.elapsed >= prev.elapsed);
+            assert!(s.deadline_remaining <= prev.deadline_remaining);
+            prev = s;
+        }
+        assert_eq!(prev.itemsets, 100);
+        assert!(!g.record_itemsets(1), "cap reached — next charge trips");
+        assert_eq!(g.snapshot().termination, Termination::BudgetExhausted);
+        assert_eq!(g.snapshot().itemsets, 100, "rejected charge rolled back");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::process::ExitCode;
 /// those but still checked for rule 4.
 const LIB_CRATES: &[&str] = &[
     "hdx-core",
+    "hdx-obs",
     "hdx-governor",
     "hdx-mining",
     "hdx-items",

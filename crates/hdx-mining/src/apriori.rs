@@ -59,6 +59,7 @@ pub fn apriori_governed(
 
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut level: Vec<Itemset> = Vec::new();
+    hdx_obs::counter_add!(MineCandidatesGenerated, covers.len() as u64);
     for (item, cover) in &covers {
         let count = cover.count() as u64;
         if count >= min_count {
@@ -73,9 +74,13 @@ pub fn apriori_governed(
                 accum: planes.accum(cover.words(), count),
             });
             level.push(itemset);
+        } else {
+            hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
         }
     }
     level.sort();
+    #[cfg(feature = "obs")]
+    governor.record_obs_snapshot(1);
 
     // Reusable per-level scratch: the member-cover list and the joint cover
     // of the frequent candidate being emitted.
@@ -88,6 +93,9 @@ pub fn apriori_governed(
             break;
         }
         k += 1;
+        hdx_obs::span!("level", int k);
+        #[cfg(feature = "obs")]
+        let level_start_ns = hdx_obs::now_ns();
         let prev: HashSet<&Itemset> = level.iter().collect();
         let mut next: Vec<Itemset> = Vec::new();
 
@@ -113,15 +121,19 @@ pub fn apriori_governed(
                     let (la, lb) = (*la, *lb);
                     debug_assert!(la < lb, "level sorted lexicographically");
                     if catalog.attr_of(la) == catalog.attr_of(lb) {
+                        hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
                         continue;
                     }
                     let Some(candidate) = level[a].with_item(lb, catalog) else {
                         debug_assert!(false, "join pair attrs checked disjoint");
                         continue;
                     };
+                    hdx_obs::counter_add!(MineCandidatesGenerated, 1);
                     // Prune: every (k-1)-subset must be frequent.
                     if candidate.sub_itemsets().all(|s| prev.contains(&s)) {
                         next.push(candidate);
+                    } else {
+                        hdx_obs::counter_add!(MineCandidatesPrunedSubset, 1);
                     }
                 }
             }
@@ -139,6 +151,7 @@ pub fn apriori_governed(
             member_covers.extend(candidate.items().iter().map(|&item| cover_of(item)));
             let count = Bitset::intersection_count(&member_covers) as u64;
             if count < min_count {
+                hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
                 continue;
             }
             // Materialising the joint cover for the kernel is the only
@@ -166,6 +179,14 @@ pub fn apriori_governed(
         }
         survivors.sort();
         level = survivors;
+        #[cfg(feature = "obs")]
+        {
+            governor.record_obs_snapshot(k as u64);
+            hdx_obs::hist_record!(
+                MineLevelLatencyNs,
+                hdx_obs::now_ns().saturating_sub(level_start_ns)
+            );
+        }
     }
 
     MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)

@@ -229,7 +229,9 @@ fn mine_tree(
         for &idx in node_indices {
             accum.merge(&tree.nodes[idx].accum);
         }
+        hdx_obs::counter_add!(MineCandidatesGenerated, 1);
         if accum.count() < ctx.min_count {
+            hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
             continue;
         }
         // Charge before emitting: a refused charge emits nothing, so every
@@ -255,7 +257,11 @@ fn mine_tree(
             let mut path = tree.prefix_path(idx);
             path.retain(|&p| {
                 let pa = ctx.attr_table[p.index()];
-                pa != attr && !suffix_attrs.contains(pa)
+                let keep = pa != attr && !suffix_attrs.contains(pa);
+                if !keep {
+                    hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
+                }
+                keep
             });
             if !path.is_empty() {
                 paths.push((path, tree.nodes[idx].accum));

@@ -94,6 +94,18 @@ pub enum MiningAlgorithm {
     VerticalParallel,
 }
 
+impl MiningAlgorithm {
+    /// A stable lower-case label (used in telemetry spans and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Apriori => "apriori",
+            Self::FpGrowth => "fpgrowth",
+            Self::Vertical => "vertical",
+            Self::VerticalParallel => "vertical_parallel",
+        }
+    }
+}
+
 /// Mining parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct MiningConfig {
@@ -160,6 +172,7 @@ pub fn mine_governed(
         config.min_support > 0.0 && config.min_support <= 1.0,
         "min_support must be in (0, 1]"
     );
+    hdx_obs::span!("mine", str config.algorithm.as_str());
     let result = match config.algorithm {
         MiningAlgorithm::Apriori => apriori_governed(transactions, catalog, config, governor),
         MiningAlgorithm::FpGrowth => fpgrowth_governed(transactions, catalog, config, governor),
@@ -168,6 +181,11 @@ pub fn mine_governed(
             vertical_parallel_governed(transactions, catalog, config, governor)
         }
     };
+    // End-of-stage budget sample (level 0): where consumption stood when the
+    // selected miner returned.
+    #[cfg(feature = "obs")]
+    governor.record_obs_snapshot(0);
+    hdx_obs::counter_add!(MineItemsetsEmitted, result.itemsets.len() as u64);
     #[cfg(feature = "debug-invariants")]
     if result.termination.is_complete() && result.errors.is_empty() {
         invariants::assert_result(&result, catalog, config.min_count(transactions.n_rows()));

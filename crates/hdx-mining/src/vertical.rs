@@ -153,13 +153,16 @@ fn dfs(
             return;
         }
         let cand = &ctx.frequent[idx];
+        hdx_obs::counter_add!(MineCandidatesGenerated, 1);
         if prefix_attrs.contains(cand.attr) {
+            hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
             continue;
         }
         // Count-first pruning: infrequent candidates cost one fused
         // AND+popcount and nothing else.
         let count = prefix_cover.and_count(&cand.cover) as u64;
         if count < ctx.min_count {
+            hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
             continue;
         }
         // Charge the emission *before* pushing: on a refused charge nothing
@@ -294,6 +297,7 @@ pub fn vertical_governed(
     };
 
     let mut scratch = scratch_pool(n, &frequent, config.max_len);
+    hdx_obs::gauge_max!(MineScratchPoolBytes, scratch.len() as u64 * cover_bytes(n));
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut prefix_items: Vec<ItemId> = Vec::new();
     let mut prefix_attrs = AttrSet::new();
@@ -371,12 +375,17 @@ pub fn vertical_parallel_governed(
                     // degrades the run instead of killing it. The closure
                     // only reads shared state and writes a thread-local vec,
                     // so unwinding cannot leave broken invariants behind.
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         fail_point!("mining::vertical-worker");
+                        hdx_obs::span!("worker", int worker);
                         let mut local: Vec<FrequentItemset> = Vec::new();
                         let mut prefix: Vec<ItemId> = Vec::new();
                         let mut prefix_attrs = AttrSet::new();
                         let mut scratch = scratch_pool(n, ctx.frequent, ctx.max_len);
+                        hdx_obs::gauge_max!(
+                            MineScratchPoolBytes,
+                            scratch.len() as u64 * cover_bytes(n)
+                        );
                         // Strided assignment of first-level subtrees balances
                         // the skewed subtree sizes (early items have the
                         // largest extension sets).
@@ -395,7 +404,12 @@ pub fn vertical_parallel_governed(
                             }
                         }
                         local
-                    }))
+                    }));
+                    // Make this worker's recordings visible to the spawning
+                    // thread's collect() — scoped threads count as finished
+                    // before their TLS destructors run.
+                    hdx_obs::flush_thread!();
+                    result
                 })
             })
             .collect();

@@ -1,0 +1,76 @@
+//! The `obs-tracing` subscriber bridge: a process-global observer that
+//! mirrors every span event as it is recorded.
+//!
+//! The workspace is dependency-free, so the `tracing` crate itself is not
+//! linked here. Instead this module exposes the exact hook a
+//! `tracing`-subscriber adapter needs: implement [`SpanObserver`] in an
+//! out-of-tree crate that depends on both `hdx-obs` (with `obs-tracing`)
+//! and `tracing`, forward `on_enter`/`on_exit` to `tracing::span!` enter
+//! and exit, and flamegraph workflows (`tracing-flame`, `tracing-chrome`)
+//! work unchanged. See DESIGN.md §11.
+
+use crate::SpanArg;
+use std::sync::OnceLock;
+
+/// Receives span events synchronously on the recording thread. Implementors
+/// must be cheap and non-blocking — this runs on the mining hot path.
+pub trait SpanObserver: Send + Sync {
+    /// A span opened (`label`, optional argument).
+    fn on_enter(&self, label: &'static str, arg: &SpanArg);
+    /// The most recently opened span on this thread closed.
+    fn on_exit(&self);
+    /// An instantaneous event under the current span.
+    fn on_instant(&self, label: &'static str, arg: &SpanArg);
+}
+
+fn slot() -> &'static OnceLock<Box<dyn SpanObserver>> {
+    static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
+    &OBSERVER
+}
+
+/// Installs the process-global observer. Returns `false` (dropping the
+/// candidate) when one is already installed — observers cannot be swapped
+/// mid-run without racing recorders.
+pub fn set_observer(observer: Box<dyn SpanObserver>) -> bool {
+    slot().set(observer).is_ok()
+}
+
+/// The installed observer, if any.
+pub(crate) fn observer() -> Option<&'static dyn SpanObserver> {
+    slot().get().map(Box::as_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counting(&'static AtomicU64);
+
+    impl SpanObserver for Counting {
+        fn on_enter(&self, _label: &'static str, _arg: &SpanArg) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_exit(&self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_instant(&self, _label: &'static str, _arg: &SpanArg) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_mirrored_events() {
+        static SEEN: AtomicU64 = AtomicU64::new(0);
+        assert!(set_observer(Box::new(Counting(&SEEN))));
+        assert!(
+            !set_observer(Box::new(Counting(&SEEN))),
+            "second install rejected"
+        );
+        {
+            let _span = crate::SpanGuard::enter("bridge-test", SpanArg::None);
+            crate::instant("tick", SpanArg::None);
+        }
+        assert!(SEEN.load(Ordering::Relaxed) >= 3);
+    }
+}

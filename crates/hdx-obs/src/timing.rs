@@ -1,0 +1,62 @@
+//! Shared wall-clock timing helpers, so benches and production code measure
+//! through the same path: every sample is also recorded into the
+//! `hdx.bench.iter.latency_ns` histogram (a no-op when the recorder is
+//! disabled), replacing the ad-hoc `Instant` loops that used to live in
+//! `hdx-bench`.
+
+use crate::metrics::HistId;
+use std::time::Instant;
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds (`iters` is
+/// clamped to at least 1). Each sample flows through [`sample_ns`].
+pub fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| sample_ns(&mut f) as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// One timed run of `f`, in nanoseconds, recorded into the bench-iteration
+/// histogram.
+pub fn sample_ns(f: &mut impl FnMut()) -> u64 {
+    let start = Instant::now();
+    f();
+    let ns = start.elapsed().as_nanos() as u64;
+    crate::hist_record(HistId::BenchIterNs, ns);
+    ns
+}
+
+/// Runs `f` once, returning its result and the wall nanoseconds it took
+/// (also recorded into the bench-iteration histogram).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let start = Instant::now();
+    let result = f();
+    let ns = start.elapsed().as_nanos() as u64;
+    crate::hist_record(HistId::BenchIterNs, ns);
+    (result, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_samples_is_middle() {
+        let mut calls = 0u32;
+        let ns = median_ns(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn measure_returns_value_and_duration() {
+        let (value, ns) = measure(|| 6 * 7);
+        assert_eq!(value, 42);
+        // Monotonic clocks can report 0ns for trivial closures; just make
+        // sure a real sleep registers.
+        let (_, slept) = measure(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(slept >= 1_000_000, "{slept}");
+        let _ = ns;
+    }
+}

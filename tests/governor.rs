@@ -241,6 +241,50 @@ fn adaptive_support_completes_within_budget() {
     assert!(result.effective_min_support > 0.025);
 }
 
+/// §ISSUE (observability): [`Governor::snapshot`] observed at arbitrary
+/// points of a charged run is monotone — elapsed time and every charge
+/// counter never decrease, the remaining deadline never increases, and a
+/// snapshot taken after a trip still reports the accumulated charges.
+#[test]
+fn governor_snapshots_are_monotone_across_a_charged_run() {
+    let governor = Governor::new(
+        RunBudget::unbounded()
+            .with_deadline(Duration::from_secs(600))
+            .with_max_itemsets(75),
+    );
+    let mut prev = governor.snapshot();
+    for step in 0..50u64 {
+        // Interleave every charge path the miners use.
+        governor.record_itemsets(2);
+        governor.record_candidate_bytes(64 * (step + 1));
+        if step % 3 == 0 {
+            governor.record_tree_nodes(1);
+        }
+        let _ = governor.keep_going();
+        let snap = governor.snapshot();
+        assert!(snap.elapsed >= prev.elapsed, "step {step}: elapsed went back");
+        assert!(snap.itemsets >= prev.itemsets, "step {step}: itemsets shrank");
+        assert!(
+            snap.candidate_bytes >= prev.candidate_bytes,
+            "step {step}: candidate_bytes shrank"
+        );
+        assert!(snap.tree_nodes >= prev.tree_nodes, "step {step}: tree_nodes shrank");
+        assert!(snap.checks >= prev.checks, "step {step}: checks shrank");
+        let (now, before) = (
+            snap.deadline_remaining.expect("deadline set"),
+            prev.deadline_remaining.expect("deadline set"),
+        );
+        assert!(now <= before, "step {step}: deadline remaining grew");
+        prev = snap;
+    }
+    // 50 steps × 2 itemsets blew the 75-itemset budget mid-run: the final
+    // snapshot reports the trip, and the overflowing charge was rolled back
+    // (74 charged, never more than the cap).
+    assert_eq!(prev.termination, Termination::BudgetExhausted);
+    assert_eq!(prev.itemsets, 74);
+    assert!(prev.checks > 0);
+}
+
 /// Cancelling from another thread mid-run stops the pipeline cooperatively.
 #[test]
 fn cross_thread_cancellation_is_cooperative() {
