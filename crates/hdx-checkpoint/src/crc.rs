@@ -1,0 +1,69 @@
+//! CRC-32 (ISO-HDLC / IEEE 802.3 polynomial), the checksum sealing the
+//! checkpoint envelope.
+//!
+//! Hand-rolled because the workspace carries no external serialization or
+//! hashing dependencies: a 256-entry table built in a `const` context, the
+//! same algorithm zlib and PNG use, so artifacts are checkable with standard
+//! tooling (`crc32 <file payload>`).
+
+/// The reflected CRC-32 polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let clean = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8u8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), clean, "flip byte {i} bit {bit}");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

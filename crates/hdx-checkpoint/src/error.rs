@@ -1,0 +1,125 @@
+//! The typed checkpoint error: every way a checkpoint can fail to be
+//! written, read, or trusted.
+
+use std::path::PathBuf;
+
+/// Why a checkpoint could not be written, read, or trusted.
+///
+/// Corruption variants ([`BadMagic`](Self::BadMagic),
+/// [`Truncated`](Self::Truncated), [`CrcMismatch`](Self::CrcMismatch),
+/// [`Corrupt`](Self::Corrupt)) are *expected* after a crash — the loader
+/// treats them as "skip this file and fall back", never as fatal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error rendered as text.
+        message: String,
+    },
+    /// The file does not start with the `hdx-ckpt/v1` magic.
+    BadMagic {
+        /// The bytes actually found (at most the magic's length).
+        found: Vec<u8>,
+    },
+    /// The file is shorter than its header or declared payload.
+    Truncated {
+        /// Bytes the envelope declared or required.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The payload checksum does not match the sealed CRC-32.
+    CrcMismatch {
+        /// The checksum recorded in the envelope.
+        expected: u32,
+        /// The checksum of the payload as read.
+        found: u32,
+    },
+    /// The payload passed the CRC but failed structural decoding (a
+    /// version-skew or writer-bug symptom, not bit rot).
+    Corrupt {
+        /// What the decoder was reading when it failed.
+        message: String,
+    },
+    /// The directory holds no loadable checkpoint at all.
+    NoValidCheckpoint {
+        /// The directory scanned.
+        dir: PathBuf,
+        /// Files that existed but were rejected as corrupt/truncated.
+        rejected: u64,
+    },
+    /// A resume-time identity check failed: the checkpoint was written for
+    /// different data or a different configuration.
+    FingerprintMismatch {
+        /// Which fingerprint disagreed (`"dataset"`, `"config"`, `"trees"`).
+        field: &'static str,
+        /// The fingerprint stored in the checkpoint.
+        expected: u64,
+        /// The fingerprint recomputed from the resume-time inputs.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, message } => {
+                write!(f, "checkpoint I/O on {}: {message}", path.display())
+            }
+            Self::BadMagic { found } => {
+                write!(f, "not a checkpoint file (bad magic {found:02x?})")
+            }
+            Self::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated checkpoint: need {expected} bytes, have {found}"
+                )
+            }
+            Self::CrcMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: sealed {expected:#010x}, computed {found:#010x}"
+            ),
+            Self::Corrupt { message } => write!(f, "corrupt checkpoint payload: {message}"),
+            Self::NoValidCheckpoint { dir, rejected } => write!(
+                f,
+                "no valid checkpoint in {} ({rejected} rejected as corrupt)",
+                dir.display()
+            ),
+            Self::FingerprintMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{field} fingerprint mismatch: checkpoint has {expected:#018x}, \
+                 resume inputs give {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CheckpointError {
+    /// Wraps a `std::io::Error` with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, err: &std::io::Error) -> Self {
+        Self::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// True when the error means "this file is damaged" (safe to skip and
+    /// fall back) rather than an environment or identity problem.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            Self::BadMagic { .. }
+                | Self::Truncated { .. }
+                | Self::CrcMismatch { .. }
+                | Self::Corrupt { .. }
+        )
+    }
+}

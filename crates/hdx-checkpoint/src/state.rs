@@ -1,0 +1,379 @@
+//! The checkpointed run state: what is persisted, in plain-data form.
+//!
+//! Everything here is deliberately *untyped* with respect to the rest of the
+//! workspace — item ids are `u32`, attributes `u16`, accumulators raw sums —
+//! so the checkpoint crate sits below the mining/discretize crates in the
+//! dependency graph. The conversion to and from the real `Itemset` /
+//! `StatAccum` / `DiscretizationTree` types lives next to those types.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::CheckpointError;
+use crate::fingerprint::Fingerprint;
+
+/// Raw `StatAccum` sums of one itemset: enough to rebuild the accumulator
+/// exactly (`StatAccum::from_sums`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumSnapshot {
+    /// Number of covered rows.
+    pub n: u64,
+    /// Covered rows with a defined outcome.
+    pub n_valid: u64,
+    /// Sum of defined outcome values.
+    pub sum: f64,
+    /// Sum of squared defined outcome values.
+    pub sum_sq: f64,
+}
+
+/// One emitted frequent itemset: sorted item ids plus its accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemsetSnapshot {
+    /// Item ids, ascending.
+    pub items: Vec<u32>,
+    /// The itemset's outcome statistics.
+    pub accum: AccumSnapshot,
+}
+
+/// Governor counters at checkpoint time, so a resumed run keeps charging the
+/// same budget instead of resetting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Itemsets charged against `max_itemsets`.
+    pub itemsets: u64,
+    /// Bytes charged against `max_candidate_bytes`.
+    pub candidate_bytes: u64,
+    /// Nodes charged against `max_tree_nodes`.
+    pub tree_nodes: u64,
+}
+
+/// Where a miner is in its traversal, plus everything it has emitted.
+///
+/// The `cursor` is algorithm-specific but always means "work units fully
+/// completed": for Apriori it is the last *completed level* `k` (the
+/// `frontier` holds that level's surviving itemsets); for the vertical and
+/// FP-Growth miners it is the number of first-level subtrees (root items /
+/// header entries) fully explored, and `frontier` is empty. All three miners
+/// are deterministic, so `emitted[..]` + `cursor` reproduce the uninterrupted
+/// run exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningProgress {
+    /// The mining algorithm's stable name (`MiningAlgorithm::as_str`).
+    pub algorithm: String,
+    /// Completed-work cursor (see type docs).
+    pub cursor: u64,
+    /// Transaction count, re-checked on resume.
+    pub n_rows: u64,
+    /// Every frequent itemset emitted so far, in emission order.
+    pub emitted: Vec<ItemsetSnapshot>,
+    /// Apriori's current frontier (sorted itemsets of level `cursor`);
+    /// empty for the depth-first miners.
+    pub frontier: Vec<Vec<u32>>,
+    /// Governor counters at the boundary.
+    pub counters: CounterSnapshot,
+}
+
+/// One node of a persisted discretization tree (creation order, index 0 is
+/// the root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNodeSnapshot {
+    /// Interval lower bound (exclusive; `-inf` at the left edge).
+    pub lo: f64,
+    /// Interval upper bound (inclusive; `+inf` at the right edge).
+    pub hi: f64,
+    /// Interned item id (`None` only for the root).
+    pub item: Option<u32>,
+    /// Node support as a fraction of the dataset.
+    pub support: f64,
+    /// Node statistic (`None` when all outcomes undefined).
+    pub statistic: Option<f64>,
+    /// Node divergence from the global statistic.
+    pub divergence: Option<f64>,
+    /// Child node indices.
+    pub children: Vec<u32>,
+    /// Depth (root = 0).
+    pub depth: u32,
+}
+
+/// A persisted discretization tree for one continuous attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSnapshot {
+    /// The raw attribute id.
+    pub attr: u16,
+    /// Nodes in creation order.
+    pub nodes: Vec<TreeNodeSnapshot>,
+}
+
+/// The complete persisted state of a run: identity fingerprints, the
+/// discretization trees, and the mining progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Fingerprint of the dataset + outcome vector the run was started on.
+    pub dataset_fingerprint: u64,
+    /// Fingerprint of the effective configuration (support thresholds,
+    /// algorithm, exploration mode, …).
+    pub config_fingerprint: u64,
+    /// The discretization trees the item catalog was built from.
+    pub trees: Vec<TreeSnapshot>,
+    /// Mining traversal state.
+    pub progress: MiningProgress,
+}
+
+impl CheckpointState {
+    /// Encodes the state into a codec payload (not yet enveloped).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.dataset_fingerprint);
+        w.put_u64(self.config_fingerprint);
+        w.put_u64(self.trees.len() as u64);
+        for tree in &self.trees {
+            encode_tree(&mut w, tree);
+        }
+        encode_progress(&mut w, &self.progress);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// [`CheckpointError::Truncated`] / [`CheckpointError::Corrupt`] on any
+    /// structural mismatch; decoding never panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload);
+        let dataset_fingerprint = r.u64()?;
+        let config_fingerprint = r.u64()?;
+        let n_trees = r.len_prefix()?;
+        let mut trees = Vec::with_capacity(n_trees.min(1024));
+        for _ in 0..n_trees {
+            trees.push(decode_tree(&mut r)?);
+        }
+        let progress = decode_progress(&mut r)?;
+        r.finish()?;
+        Ok(Self {
+            dataset_fingerprint,
+            config_fingerprint,
+            trees,
+            progress,
+        })
+    }
+}
+
+/// Content fingerprint of a set of trees (used to verify that resume-time
+/// re-discretization reproduced the checkpointed trees exactly).
+pub fn fingerprint_trees(trees: &[TreeSnapshot]) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(trees.len() as u64);
+    for tree in trees {
+        encode_tree(&mut w, tree);
+    }
+    let mut f = Fingerprint::new();
+    f.write_bytes(&w.into_bytes());
+    f.finish()
+}
+
+fn encode_tree(w: &mut ByteWriter, tree: &TreeSnapshot) {
+    w.put_u32(tree.attr as u32);
+    w.put_u64(tree.nodes.len() as u64);
+    for node in &tree.nodes {
+        w.put_f64(node.lo);
+        w.put_f64(node.hi);
+        w.put_opt_u32(node.item);
+        w.put_f64(node.support);
+        w.put_opt_f64(node.statistic);
+        w.put_opt_f64(node.divergence);
+        w.put_u32_list(&node.children);
+        w.put_u32(node.depth);
+    }
+}
+
+fn decode_tree(r: &mut ByteReader<'_>) -> Result<TreeSnapshot, CheckpointError> {
+    let attr_raw = r.u32()?;
+    let attr = u16::try_from(attr_raw).map_err(|_| CheckpointError::Corrupt {
+        message: format!("attribute id {attr_raw} out of range"),
+    })?;
+    let n_nodes = r.len_prefix()?;
+    let mut nodes = Vec::with_capacity(n_nodes.min(65_536));
+    for _ in 0..n_nodes {
+        nodes.push(TreeNodeSnapshot {
+            lo: r.f64()?,
+            hi: r.f64()?,
+            item: r.opt_u32()?,
+            support: r.f64()?,
+            statistic: r.opt_f64()?,
+            divergence: r.opt_f64()?,
+            children: r.u32_list()?,
+            depth: r.u32()?,
+        });
+    }
+    Ok(TreeSnapshot { attr, nodes })
+}
+
+fn encode_progress(w: &mut ByteWriter, p: &MiningProgress) {
+    w.put_str(&p.algorithm);
+    w.put_u64(p.cursor);
+    w.put_u64(p.n_rows);
+    w.put_u64(p.emitted.len() as u64);
+    for fi in &p.emitted {
+        w.put_u32_list(&fi.items);
+        w.put_u64(fi.accum.n);
+        w.put_u64(fi.accum.n_valid);
+        w.put_f64(fi.accum.sum);
+        w.put_f64(fi.accum.sum_sq);
+    }
+    w.put_u64(p.frontier.len() as u64);
+    for itemset in &p.frontier {
+        w.put_u32_list(itemset);
+    }
+    w.put_u64(p.counters.itemsets);
+    w.put_u64(p.counters.candidate_bytes);
+    w.put_u64(p.counters.tree_nodes);
+}
+
+fn decode_progress(r: &mut ByteReader<'_>) -> Result<MiningProgress, CheckpointError> {
+    let algorithm = r.str()?;
+    let cursor = r.u64()?;
+    let n_rows = r.u64()?;
+    let n_emitted = r.len_prefix()?;
+    let mut emitted = Vec::with_capacity(n_emitted.min(1 << 20));
+    for _ in 0..n_emitted {
+        emitted.push(ItemsetSnapshot {
+            items: r.u32_list()?,
+            accum: AccumSnapshot {
+                n: r.u64()?,
+                n_valid: r.u64()?,
+                sum: r.f64()?,
+                sum_sq: r.f64()?,
+            },
+        });
+    }
+    let n_frontier = r.len_prefix()?;
+    let mut frontier = Vec::with_capacity(n_frontier.min(1 << 20));
+    for _ in 0..n_frontier {
+        frontier.push(r.u32_list()?);
+    }
+    let counters = CounterSnapshot {
+        itemsets: r.u64()?,
+        candidate_bytes: r.u64()?,
+        tree_nodes: r.u64()?,
+    };
+    Ok(MiningProgress {
+        algorithm,
+        cursor,
+        n_rows,
+        emitted,
+        frontier,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_state() -> CheckpointState {
+        CheckpointState {
+            dataset_fingerprint: 0x1122_3344_5566_7788,
+            config_fingerprint: 0x99aa_bbcc_ddee_ff00,
+            trees: vec![TreeSnapshot {
+                attr: 3,
+                nodes: vec![
+                    TreeNodeSnapshot {
+                        lo: f64::NEG_INFINITY,
+                        hi: f64::INFINITY,
+                        item: None,
+                        support: 1.0,
+                        statistic: Some(0.25),
+                        divergence: Some(0.0),
+                        children: vec![1, 2],
+                        depth: 0,
+                    },
+                    TreeNodeSnapshot {
+                        lo: f64::NEG_INFINITY,
+                        hi: 40.0,
+                        item: Some(7),
+                        support: 0.5,
+                        statistic: Some(0.1),
+                        divergence: Some(-0.15),
+                        children: vec![],
+                        depth: 1,
+                    },
+                    TreeNodeSnapshot {
+                        lo: 40.0,
+                        hi: f64::INFINITY,
+                        item: Some(8),
+                        support: 0.5,
+                        statistic: None,
+                        divergence: None,
+                        children: vec![],
+                        depth: 1,
+                    },
+                ],
+            }],
+            progress: MiningProgress {
+                algorithm: "apriori".to_string(),
+                cursor: 2,
+                n_rows: 1000,
+                emitted: vec![ItemsetSnapshot {
+                    items: vec![7, 12],
+                    accum: AccumSnapshot {
+                        n: 312,
+                        n_valid: 300,
+                        sum: 45.5,
+                        sum_sq: 91.25,
+                    },
+                }],
+                frontier: vec![vec![7, 12], vec![8, 12]],
+                counters: CounterSnapshot {
+                    itemsets: 41,
+                    candidate_bytes: 8192,
+                    tree_nodes: 4,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let state = demo_state();
+        let decoded = CheckpointState::decode(&state.encode()).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let state = CheckpointState {
+            dataset_fingerprint: 0,
+            config_fingerprint: 0,
+            trees: vec![],
+            progress: MiningProgress {
+                algorithm: String::new(),
+                cursor: 0,
+                n_rows: 0,
+                emitted: vec![],
+                frontier: vec![],
+                counters: CounterSnapshot::default(),
+            },
+        };
+        assert_eq!(CheckpointState::decode(&state.encode()).unwrap(), state);
+    }
+
+    #[test]
+    fn truncated_payload_rejected_at_every_cut() {
+        let payload = demo_state().encode();
+        for cut in 0..payload.len() {
+            assert!(
+                CheckpointState::decode(&payload[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_fingerprint_is_content_sensitive() {
+        let state = demo_state();
+        let base = fingerprint_trees(&state.trees);
+        assert_eq!(base, fingerprint_trees(&state.trees.clone()));
+        let mut tweaked = state.trees.clone();
+        tweaked[0].nodes[1].hi = 41.0;
+        assert_ne!(base, fingerprint_trees(&tweaked));
+        assert_ne!(base, fingerprint_trees(&[]));
+    }
+}

@@ -44,6 +44,35 @@ pub enum Stat {
 }
 
 impl Stat {
+    /// Stable wire code for the checkpoint manifest.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Stat::Fpr => 0,
+            Stat::Fnr => 1,
+            Stat::Tpr => 2,
+            Stat::Tnr => 3,
+            Stat::Error => 4,
+            Stat::Accuracy => 5,
+            Stat::PositiveRate => 6,
+            Stat::Target => 7,
+        }
+    }
+
+    /// Inverse of [`Stat::code`].
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Stat::Fpr,
+            1 => Stat::Fnr,
+            2 => Stat::Tpr,
+            3 => Stat::Tnr,
+            4 => Stat::Error,
+            5 => Stat::Accuracy,
+            6 => Stat::PositiveRate,
+            7 => Stat::Target,
+            _ => return None,
+        })
+    }
+
     fn parse(s: &str) -> Result<Self, CliError> {
         Ok(match s {
             "fpr" => Stat::Fpr,
@@ -126,6 +155,34 @@ pub struct ExploreOpts {
     pub metrics_out: Option<String>,
     /// Print a human-readable span/metric table on stderr after the run.
     pub trace_summary: bool,
+    /// Directory for crash-safe mining checkpoints (enables `hdx resume`).
+    pub checkpoint_dir: Option<String>,
+    /// Write a checkpoint every N mining boundaries [1].
+    pub checkpoint_every: u64,
+}
+
+/// `hdx resume` options. The run-determining configuration comes from the
+/// manifest sealed inside the checkpoint directory; only output and budget
+/// flags can be given afresh (budgets are per-invocation — the interrupted
+/// run's budget is exactly what it needs to escape).
+#[derive(Debug, Clone)]
+pub struct ResumeOpts {
+    /// Checkpoint directory written by `hdx explore --checkpoint-dir`.
+    pub dir: String,
+    /// Rows to print.
+    pub top: usize,
+    /// Redundancy filter.
+    pub non_redundant: bool,
+    /// JSON output.
+    pub json: bool,
+    /// Wall-clock budget for the resumed run.
+    pub timeout: Option<Duration>,
+    /// Cap on mined itemsets for the resumed run.
+    pub max_itemsets: Option<u64>,
+    /// Write the machine-readable run telemetry (JSON) to this path.
+    pub metrics_out: Option<String>,
+    /// Print a human-readable span/metric table on stderr after the run.
+    pub trace_summary: bool,
 }
 
 /// `hdx validate-telemetry` options.
@@ -196,6 +253,8 @@ pub enum Command {
     Discretize(DiscretizeOpts),
     /// Run the prior-work baselines.
     Baselines(BaselinesOpts),
+    /// Resume an interrupted `explore --checkpoint-dir` run.
+    Resume(ResumeOpts),
     /// Generate a synthetic dataset.
     Generate(GenerateOpts),
     /// Validate a run-telemetry artifact (CI `obs-smoke` gate).
@@ -333,6 +392,8 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 adaptive_support: false,
                 metrics_out: None,
                 trace_summary: false,
+                checkpoint_dir: None,
+                checkpoint_every: 1,
             };
             while let Some(flag) = cur.args.next() {
                 if apply_input_flag(&mut opts.input, &flag, &mut cur)? {
@@ -358,6 +419,13 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                     "--adaptive-support" => opts.adaptive_support = true,
                     "--metrics-out" => opts.metrics_out = Some(cur.value(&flag)?),
                     "--trace-summary" => opts.trace_summary = true,
+                    "--checkpoint-dir" => opts.checkpoint_dir = Some(cur.value(&flag)?),
+                    "--checkpoint-every" => {
+                        opts.checkpoint_every = cur.parse_value(&flag)?;
+                        if opts.checkpoint_every == 0 {
+                            return Err(CliError::new("--checkpoint-every must be at least 1"));
+                        }
+                    }
                     other => return Err(CliError::new(format!("unknown flag `{other}`"))),
                 }
             }
@@ -365,7 +433,43 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 return Err(CliError::new("--support must be in (0, 1]"));
             }
             check_tree_support(opts.tree_support)?;
+            if opts.polarity && opts.checkpoint_dir.is_some() {
+                // Polarity pruning re-mines per polarity class with no single
+                // replayable emission order, so no checkpoint cursor exists.
+                return Err(CliError::new(
+                    "--polarity cannot be combined with --checkpoint-dir",
+                ));
+            }
             Ok(Command::Explore(opts))
+        }
+        "resume" => {
+            let dir = match cur.args.next() {
+                Some(p) if !p.starts_with("--") => p,
+                _ => return Err(CliError::new("hdx resume requires a checkpoint directory")),
+            };
+            let mut opts = ResumeOpts {
+                dir,
+                top: 10,
+                non_redundant: false,
+                json: false,
+                timeout: None,
+                max_itemsets: None,
+                metrics_out: None,
+                trace_summary: false,
+            };
+            while let Some(flag) = cur.args.next() {
+                match flag.as_str() {
+                    "--top" => opts.top = cur.parse_value(&flag)?,
+                    "--non-redundant" => opts.non_redundant = true,
+                    "--json" => opts.json = true,
+                    "--timeout" => opts.timeout = Some(parse_duration(&cur.value(&flag)?)?),
+                    "--max-itemsets" => opts.max_itemsets = Some(cur.parse_value(&flag)?),
+                    "--metrics-out" => opts.metrics_out = Some(cur.value(&flag)?),
+                    "--trace-summary" => opts.trace_summary = true,
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Resume(opts))
         }
         "discretize" => {
             let mut opts = DiscretizeOpts {
@@ -597,6 +701,102 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid --timeout"));
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let Command::Explore(o) = parse(v(&[
+            "explore",
+            "d.csv",
+            "--checkpoint-dir",
+            "ckpt",
+            "--checkpoint-every",
+            "4",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert_eq!(o.checkpoint_every, 4);
+        // Defaults: off, every boundary.
+        let Command::Explore(o) = parse(v(&["explore", "d.csv"])).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.checkpoint_dir, None);
+        assert_eq!(o.checkpoint_every, 1);
+        // A zero cadence never writes anything.
+        assert!(parse(v(&[
+            "explore",
+            "d.csv",
+            "--checkpoint-dir",
+            "c",
+            "--checkpoint-every",
+            "0"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("at least 1"));
+        // Polarity pruning has no replayable cursor.
+        assert!(parse(v(&[
+            "explore",
+            "d.csv",
+            "--polarity",
+            "--checkpoint-dir",
+            "c"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("--polarity"));
+    }
+
+    #[test]
+    fn resume_flags() {
+        let Command::Resume(o) = parse(v(&[
+            "resume",
+            "ckpt",
+            "--top",
+            "3",
+            "--json",
+            "--non-redundant",
+            "--timeout",
+            "30s",
+            "--max-itemsets",
+            "500",
+            "--metrics-out",
+            "m.json",
+            "--trace-summary",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.dir, "ckpt");
+        assert_eq!(o.top, 3);
+        assert!(o.json && o.non_redundant && o.trace_summary);
+        assert_eq!(o.timeout, Some(Duration::from_secs(30)));
+        assert_eq!(o.max_itemsets, Some(500));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(parse(v(&["resume"]))
+            .unwrap_err()
+            .0
+            .contains("checkpoint directory"));
+        assert!(parse(v(&["resume", "ckpt", "--support", "0.1"])).is_err());
+    }
+
+    #[test]
+    fn stat_codes_round_trip() {
+        for stat in [
+            Stat::Fpr,
+            Stat::Fnr,
+            Stat::Tpr,
+            Stat::Tnr,
+            Stat::Error,
+            Stat::Accuracy,
+            Stat::PositiveRate,
+            Stat::Target,
+        ] {
+            assert_eq!(Stat::from_code(stat.code()), Some(stat));
+        }
+        assert_eq!(Stat::from_code(200), None);
     }
 
     #[test]

@@ -4,17 +4,18 @@ use hdx_baselines::{
     CombinedTreeConfig, CombinedTreeExplorer, SliceFinder, SliceFinderConfig, SliceLine,
     SliceLineConfig,
 };
+use hdx_core::checkpoint::{codec, envelope, CheckpointStore};
 use hdx_core::{
-    real_outcomes, report_to_json, ExplorationMode, HDivExplorer, HDivExplorerConfig, OutcomeFn,
-    RunBudget,
+    real_outcomes, report_to_json, CheckpointedRun, ExplorationMode, HDivExplorer,
+    HDivExplorerConfig, HDivResult, OutcomeFn, RunBudget,
 };
 use hdx_data::{read_csv, AttributeKind, Column, CsvOptions, DataFrame, NULL_CODE};
 use hdx_discretize::GainCriterion;
 use hdx_stats::Outcome;
 
 use crate::args::{
-    BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts, Stat,
-    ValidateTelemetryOpts,
+    BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
+    ResumeOpts, Stat, ValidateTelemetryOpts,
 };
 use crate::USAGE;
 
@@ -29,6 +30,10 @@ pub struct RunOutput {
     pub partial: Option<String>,
     /// Human-readable span/metric table for stderr (`--trace-summary`).
     pub trace_summary: Option<String>,
+    /// Informational lines for stderr (checkpoint/resume progress). Kept off
+    /// stdout so a resumed run's report diffs clean against an uninterrupted
+    /// one.
+    pub notes: Vec<String>,
 }
 
 impl RunOutput {
@@ -37,6 +42,7 @@ impl RunOutput {
             text,
             partial: None,
             trace_summary: None,
+            notes: Vec::new(),
         }
     }
 }
@@ -60,6 +66,7 @@ pub fn run(command: Command) -> Result<RunOutput, CliError> {
             Ok(RunOutput::complete(hdx_data::describe(&df).to_string()))
         }
         Command::Explore(opts) => explore(&opts),
+        Command::Resume(opts) => resume(&opts),
         Command::Discretize(opts) => discretize(&opts).map(RunOutput::complete),
         Command::Baselines(opts) => baselines(&opts).map(RunOutput::complete),
         Command::Generate(opts) => generate(&opts).map(RunOutput::complete),
@@ -103,13 +110,15 @@ fn bool_column(df: &DataFrame, name: &str) -> Result<Vec<bool>, CliError> {
         .collect()
 }
 
-/// Loads the CSV and computes (mining frame, outcomes).
-fn load(input: &InputOpts) -> Result<(DataFrame, Vec<Outcome>), CliError> {
+/// Loads the CSV and computes (mining frame, outcomes, ingestion quality).
+fn load(
+    input: &InputOpts,
+) -> Result<(DataFrame, Vec<Outcome>, hdx_data::DataQualityReport), CliError> {
     let options = CsvOptions {
         separator: input.separator,
         ..CsvOptions::default()
     };
-    let df = read_csv(&input.path, &options)
+    let (df, quality) = hdx_data::read_csv_with_quality(&input.path, &options)
         .map_err(|e| CliError(format!("cannot read `{}`: {e}", input.path)))?;
 
     let (outcomes, drop): (Vec<Outcome>, Vec<String>) = match input.stat {
@@ -154,7 +163,7 @@ fn load(input: &InputOpts) -> Result<(DataFrame, Vec<Outcome>), CliError> {
     if frame.n_attributes() == 0 {
         return Err(CliError("no attributes left to mine".into()));
     }
-    Ok((frame, outcomes))
+    Ok((frame, outcomes, quality))
 }
 
 fn pipeline_config(
@@ -178,20 +187,129 @@ fn pipeline_config(
     }
 }
 
+fn build_budget(timeout: Option<std::time::Duration>, max_itemsets: Option<u64>) -> RunBudget {
+    let mut budget = RunBudget::unbounded();
+    if let Some(timeout) = timeout {
+        budget = budget.with_deadline(timeout);
+    }
+    if let Some(max) = max_itemsets {
+        budget = budget.with_max_itemsets(max);
+    }
+    budget
+}
+
+/// Renders a result as (stdout text, partial-run reason). Shared by `explore`
+/// and `resume` so a resumed run's report is byte-identical to the report an
+/// uninterrupted run would have printed.
+fn render_result(
+    result: &HDivResult,
+    frame: &DataFrame,
+    support: f64,
+    top: usize,
+    json: bool,
+    non_redundant: bool,
+) -> (String, Option<String>) {
+    let partial = result.is_partial().then(|| {
+        let mut reason = result.termination().to_string();
+        for e in &result.report.errors {
+            reason.push_str(&format!("; {e}"));
+        }
+        reason
+    });
+    if json {
+        return (report_to_json(&result.report, &result.catalog), partial);
+    }
+    let mut out = format!(
+        "{} rows, {} attributes; global statistic {}\n{} subgroups above support {}\n\n",
+        frame.n_rows(),
+        frame.n_attributes(),
+        result
+            .report
+            .global_statistic
+            .map_or("undefined".to_string(), |g| format!("{g:.4}")),
+        result.report.records.len(),
+        support,
+    );
+    if let Some(reason) = &partial {
+        out.push_str(&format!("PARTIAL RESULTS ({reason})"));
+        if result.adaptive_retries > 0 {
+            out.push_str(&format!(
+                "; adaptive support raised to {}",
+                result.effective_min_support
+            ));
+        }
+        out.push('\n');
+    } else if result.adaptive_retries > 0 {
+        out.push_str(&format!(
+            "adaptive support: completed at s={} after {} retries\n",
+            result.effective_min_support, result.adaptive_retries
+        ));
+    }
+    if non_redundant {
+        let filtered = result.report.non_redundant(1e-9);
+        out.push_str("itemset | sup | f | Δf | t  (non-redundant)\n");
+        for r in filtered.iter().take(top) {
+            out.push_str(&format!(
+                "{}  sup={:.3} f={} Δ={} t={:.1}\n",
+                r.label,
+                r.support,
+                r.statistic.map_or("-".into(), |s| format!("{s:.3}")),
+                r.divergence.map_or("-".into(), |d| format!("{d:+.3}")),
+                r.t_value,
+            ));
+        }
+    } else {
+        out.push_str(&result.report.table(top));
+    }
+    (out, partial)
+}
+
+/// Collects and (when requested) writes/renders telemetry. Flushes however
+/// the run ended: a partial (exit-code-3) run still writes its artifact.
+fn flush_telemetry(
+    metrics_out: Option<&String>,
+    trace_summary: bool,
+) -> Result<Option<String>, CliError> {
+    let telemetry = (metrics_out.is_some() || trace_summary).then(hdx_core::obs::collect);
+    if let (Some(t), Some(path)) = (&telemetry, metrics_out) {
+        std::fs::write(path, t.to_json())
+            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    }
+    Ok(telemetry
+        .filter(|_| trace_summary)
+        .map(|t| t.summary_table()))
+}
+
+/// Turns a [`CheckpointedRun`]'s bookkeeping into stderr notes.
+fn checkpoint_notes(run: &CheckpointedRun, dir: &str, notes: &mut Vec<String>) {
+    notes.push(format!(
+        "{} checkpoint(s) written to {dir}",
+        run.checkpoint_writes
+    ));
+    if run.rejected_checkpoints > 0 {
+        notes.push(format!(
+            "{} corrupt checkpoint(s) detected and skipped",
+            run.rejected_checkpoints
+        ));
+    }
+    if let Some(err) = &run.checkpoint_error {
+        notes.push(format!(
+            "checkpoint persistence degraded (run unaffected): {err}"
+        ));
+    }
+}
+
 fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
     // Fresh telemetry per run, so `--metrics-out` describes this exploration
     // only (a no-op unless the `obs` feature is enabled).
     hdx_core::obs::reset();
-    let (frame, outcomes) = load(&opts.input)?;
-    let mut budget = RunBudget::unbounded();
-    if let Some(timeout) = opts.timeout {
-        budget = budget.with_deadline(timeout);
-    }
-    if let Some(max) = opts.max_itemsets {
-        budget = budget.with_max_itemsets(max);
+    let (frame, outcomes, quality) = load(&opts.input)?;
+    let mut notes = Vec::new();
+    if let Some(summary) = quality.summary() {
+        notes.push(format!("ingestion quarantine: {summary}"));
     }
     let mut pipeline = HDivExplorer::new(HDivExplorerConfig {
-        budget,
+        budget: build_budget(opts.timeout, opts.max_itemsets),
         adaptive_support: opts.adaptive_support,
         ..pipeline_config(
             opts.support,
@@ -209,80 +327,187 @@ fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
     } else {
         ExplorationMode::Generalized
     };
-    let result = pipeline.fit_mode(&frame, &outcomes, mode);
-    let partial = result.is_partial().then(|| {
-        let mut reason = result.termination().to_string();
-        for e in &result.report.errors {
-            reason.push_str(&format!("; {e}"));
+    let result = match &opts.checkpoint_dir {
+        None => pipeline.fit_mode(&frame, &outcomes, mode),
+        Some(dir) => {
+            let store = CheckpointStore::create(dir)
+                .map_err(|e| CliError(format!("cannot create checkpoint dir `{dir}`: {e}")))?;
+            write_manifest(dir, opts)?;
+            let run = pipeline
+                .fit_checkpointed(&frame, &outcomes, mode, store, opts.checkpoint_every)
+                .map_err(|e| CliError(e.to_string()))?;
+            checkpoint_notes(&run, dir, &mut notes);
+            run.result
         }
-        reason
-    });
-
-    // Telemetry flushes however the run ended: a partial (exit-code-3) run
-    // still writes its artifact and prints its summary.
-    let telemetry = (opts.metrics_out.is_some() || opts.trace_summary)
-        .then(hdx_core::obs::collect);
-    if let (Some(t), Some(path)) = (&telemetry, &opts.metrics_out) {
-        std::fs::write(path, t.to_json())
-            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
-    }
-    let trace_summary = telemetry
-        .filter(|_| opts.trace_summary)
-        .map(|t| t.summary_table());
-
-    if opts.json {
-        return Ok(RunOutput {
-            text: report_to_json(&result.report, &result.catalog),
-            partial,
-            trace_summary,
-        });
-    }
-    let mut out = format!(
-        "{} rows, {} attributes; global statistic {}\n{} subgroups above support {}\n\n",
-        frame.n_rows(),
-        frame.n_attributes(),
-        result
-            .report
-            .global_statistic
-            .map_or("undefined".to_string(), |g| format!("{g:.4}")),
-        result.report.records.len(),
+    };
+    let (text, partial) = render_result(
+        &result,
+        &frame,
         opts.support,
+        opts.top,
+        opts.json,
+        opts.non_redundant,
     );
-    if let Some(reason) = &partial {
-        out.push_str(&format!("PARTIAL RESULTS ({reason})"));
-        if result.adaptive_retries > 0 {
-            out.push_str(&format!(
-                "; adaptive support raised to {}",
-                result.effective_min_support
-            ));
-        }
-        out.push('\n');
-    } else if result.adaptive_retries > 0 {
-        out.push_str(&format!(
-            "adaptive support: completed at s={} after {} retries\n",
-            result.effective_min_support, result.adaptive_retries
-        ));
-    }
-    if opts.non_redundant {
-        let filtered = result.report.non_redundant(1e-9);
-        out.push_str("itemset | sup | f | Δf | t  (non-redundant)\n");
-        for r in filtered.iter().take(opts.top) {
-            out.push_str(&format!(
-                "{}  sup={:.3} f={} Δ={} t={:.1}\n",
-                r.label,
-                r.support,
-                r.statistic.map_or("-".into(), |s| format!("{s:.3}")),
-                r.divergence.map_or("-".into(), |d| format!("{d:+.3}")),
-                r.t_value,
-            ));
-        }
-    } else {
-        out.push_str(&result.report.table(opts.top));
-    }
+    let trace_summary = flush_telemetry(opts.metrics_out.as_ref(), opts.trace_summary)?;
     Ok(RunOutput {
-        text: out,
+        text,
         partial,
         trace_summary,
+        notes,
+    })
+}
+
+fn resume(opts: &ResumeOpts) -> Result<RunOutput, CliError> {
+    hdx_core::obs::reset();
+    let manifest = load_manifest(&opts.dir)?;
+    let (frame, outcomes, quality) = load(&manifest.input)?;
+    let mut notes = Vec::new();
+    if let Some(summary) = quality.summary() {
+        notes.push(format!("ingestion quarantine: {summary}"));
+    }
+    // Budgets are per-invocation: the interrupted run's budget is exactly
+    // what it tripped on, so only flags given to `resume` itself apply.
+    let mut pipeline = HDivExplorer::new(HDivExplorerConfig {
+        budget: build_budget(opts.timeout, opts.max_itemsets),
+        adaptive_support: manifest.adaptive_support,
+        ..pipeline_config(
+            manifest.support,
+            manifest.tree_support,
+            manifest.entropy,
+            false,
+            manifest.max_len,
+        )
+    });
+    if let Some(tolerance) = manifest.fd_tolerance {
+        pipeline = pipeline.with_discovered_taxonomies(&frame, tolerance);
+    }
+    let mode = if manifest.base_mode {
+        ExplorationMode::Base
+    } else {
+        ExplorationMode::Generalized
+    };
+    let store = CheckpointStore::open(&opts.dir)
+        .map_err(|e| CliError(format!("cannot open checkpoint dir `{}`: {e}", opts.dir)))?;
+    let run = pipeline
+        .resume_checkpointed(&frame, &outcomes, mode, store, manifest.checkpoint_every)
+        .map_err(|e| CliError(format!("cannot resume from `{}`: {e}", opts.dir)))?;
+    if let Some(seq) = run.resumed_seq {
+        notes.push(format!("resumed from checkpoint #{seq} in {}", opts.dir));
+    }
+    checkpoint_notes(&run, &opts.dir, &mut notes);
+    let (text, partial) = render_result(
+        &run.result,
+        &frame,
+        manifest.support,
+        opts.top,
+        opts.json,
+        opts.non_redundant,
+    );
+    let trace_summary = flush_telemetry(opts.metrics_out.as_ref(), opts.trace_summary)?;
+    Ok(RunOutput {
+        text,
+        partial,
+        trace_summary,
+        notes,
+    })
+}
+
+/// The manifest sealed into a checkpoint directory: everything `hdx resume`
+/// needs to reconstruct the run without repeating the original flags.
+struct Manifest {
+    input: InputOpts,
+    support: f64,
+    tree_support: f64,
+    entropy: bool,
+    base_mode: bool,
+    max_len: Option<usize>,
+    adaptive_support: bool,
+    fd_tolerance: Option<f64>,
+    checkpoint_every: u64,
+}
+
+const MANIFEST_FILE: &str = "manifest.hdx";
+const MANIFEST_VERSION: u8 = 1;
+
+fn write_manifest(dir: &str, opts: &ExploreOpts) -> Result<(), CliError> {
+    let mut w = codec::ByteWriter::new();
+    w.put_u8(MANIFEST_VERSION);
+    w.put_str(&opts.input.path);
+    w.put_u8(opts.input.stat.code());
+    w.put_str(&opts.input.label_col);
+    w.put_str(&opts.input.pred_col);
+    w.put_bool(opts.input.target_col.is_some());
+    if let Some(target) = &opts.input.target_col {
+        w.put_str(target);
+    }
+    w.put_u32(opts.input.separator as u32);
+    w.put_f64(opts.support);
+    w.put_f64(opts.tree_support);
+    w.put_bool(opts.entropy);
+    w.put_bool(opts.base_mode);
+    w.put_opt_u32(opts.max_len.map(|v| v as u32));
+    w.put_bool(opts.adaptive_support);
+    w.put_opt_f64(opts.fd_tolerance);
+    w.put_u64(opts.checkpoint_every);
+    let path = std::path::Path::new(dir).join(MANIFEST_FILE);
+    std::fs::write(&path, envelope::seal(&w.into_bytes()))
+        .map_err(|e| CliError(format!("cannot write `{}`: {e}", path.display())))
+}
+
+fn load_manifest(dir: &str) -> Result<Manifest, CliError> {
+    let path = std::path::Path::new(dir).join(MANIFEST_FILE);
+    let bytes = std::fs::read(&path)
+        .map_err(|e| CliError(format!("cannot read `{}`: {e}", path.display())))?;
+    let payload =
+        envelope::open(&bytes).map_err(|e| CliError(format!("`{}`: {e}", path.display())))?;
+    let mut r = codec::ByteReader::new(&payload);
+    let err =
+        |e: hdx_core::checkpoint::CheckpointError| CliError(format!("`{}`: {e}", path.display()));
+    let version = r.u8().map_err(err)?;
+    if version != MANIFEST_VERSION {
+        return Err(CliError(format!(
+            "`{}`: unsupported manifest version {version}",
+            path.display()
+        )));
+    }
+    let input_path = r.str().map_err(err)?;
+    let stat = Stat::from_code(r.u8().map_err(err)?)
+        .ok_or_else(|| CliError(format!("`{}`: unknown statistic code", path.display())))?;
+    let label_col = r.str().map_err(err)?;
+    let pred_col = r.str().map_err(err)?;
+    let target_col = if r.bool().map_err(err)? {
+        Some(r.str().map_err(err)?)
+    } else {
+        None
+    };
+    let separator = char::from_u32(r.u32().map_err(err)?)
+        .ok_or_else(|| CliError(format!("`{}`: invalid separator", path.display())))?;
+    let support = r.f64().map_err(err)?;
+    let tree_support = r.f64().map_err(err)?;
+    let entropy = r.bool().map_err(err)?;
+    let base_mode = r.bool().map_err(err)?;
+    let max_len = r.opt_u32().map_err(err)?.map(|v| v as usize);
+    let adaptive_support = r.bool().map_err(err)?;
+    let fd_tolerance = r.opt_f64().map_err(err)?;
+    let checkpoint_every = r.u64().map_err(err)?;
+    r.finish().map_err(err)?;
+    Ok(Manifest {
+        input: InputOpts {
+            path: input_path,
+            stat,
+            label_col,
+            pred_col,
+            target_col,
+            separator,
+        },
+        support,
+        tree_support,
+        entropy,
+        base_mode,
+        max_len,
+        adaptive_support,
+        fd_tolerance,
+        checkpoint_every,
     })
 }
 
@@ -317,7 +542,7 @@ fn validate_telemetry(opts: &ValidateTelemetryOpts) -> Result<String, CliError> 
 }
 
 fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
-    let (frame, outcomes) = load(&opts.input)?;
+    let (frame, outcomes, _) = load(&opts.input)?;
     let pipeline = HDivExplorer::new(pipeline_config(
         0.05,
         opts.tree_support,
@@ -344,7 +569,7 @@ fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
 }
 
 fn baselines(opts: &BaselinesOpts) -> Result<String, CliError> {
-    let (frame, outcomes) = load(&opts.input)?;
+    let (frame, outcomes, _) = load(&opts.input)?;
     let losses: Vec<f64> = outcomes.iter().map(|o| o.value().unwrap_or(0.0)).collect();
     let pipeline = HDivExplorer::new(pipeline_config(0.05, opts.tree_support, false, false, None));
     let (catalog, hierarchies, _) = pipeline.discretize(&frame, &outcomes);
@@ -494,7 +719,12 @@ mod tests {
 
     /// Writes a CSV with an obvious anomaly: errors cluster at x>60 & g=b.
     fn write_fixture() -> String {
-        let path = tmp("fixture.csv");
+        write_fixture_at("fixture.csv")
+    }
+
+    /// [`write_fixture`] under a caller-owned name, for tests that mutate it.
+    fn write_fixture_at(name: &str) -> String {
+        let path = tmp(name);
         let mut csv = String::from("x,g,y_true,y_pred\n");
         for i in 0..400 {
             let x = i % 100;
@@ -597,6 +827,117 @@ mod tests {
         assert!(err3.0.contains("--target-col"));
     }
 
+    /// Parses the `N subgroups above support` line of a report.
+    fn count_subgroups(text: &str) -> u64 {
+        text.lines()
+            .find(|l| l.contains("subgroups above support"))
+            .and_then(|l| l.split_whitespace().next()?.parse().ok())
+            .unwrap()
+    }
+
+    #[test]
+    fn checkpointed_explore_then_resume_matches_uninterrupted() {
+        let path = write_fixture();
+        let ckpt = tmp("ckpt-resume");
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let full = run_full(&["explore", &path, "-s", "0.05"]).unwrap();
+        assert!(full.partial.is_none());
+        // Trip the budget two itemsets short of completion, mid-mining.
+        let cap = (count_subgroups(&full.text) - 2).to_string();
+        let capped = run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.05",
+            "--checkpoint-dir",
+            &ckpt,
+            "--max-itemsets",
+            &cap,
+        ])
+        .unwrap();
+        assert!(capped.partial.is_some(), "capped run is partial");
+        assert!(std::path::Path::new(&ckpt).join("manifest.hdx").exists());
+        assert!(
+            capped
+                .notes
+                .iter()
+                .any(|n| n.contains("checkpoint(s) written")),
+            "notes: {:?}",
+            capped.notes
+        );
+        // The resumed run (no budget of its own) completes and its report is
+        // byte-identical to the uninterrupted one.
+        let resumed = run_full(&["resume", &ckpt]).unwrap();
+        assert!(resumed.partial.is_none(), "notes: {:?}", resumed.notes);
+        assert!(
+            resumed
+                .notes
+                .iter()
+                .any(|n| n.contains("resumed from checkpoint")),
+            "notes: {:?}",
+            resumed.notes
+        );
+        assert_eq!(resumed.text, full.text);
+    }
+
+    #[test]
+    fn resume_rejects_an_edited_dataset() {
+        let path = write_fixture_at("fixture-edit.csv");
+        let ckpt = tmp("ckpt-edit");
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let full = run_full(&["explore", &path, "-s", "0.05"]).unwrap();
+        let cap = (count_subgroups(&full.text) - 2).to_string();
+        run_full(&[
+            "explore",
+            &path,
+            "-s",
+            "0.05",
+            "--checkpoint-dir",
+            &ckpt,
+            "--max-itemsets",
+            &cap,
+        ])
+        .unwrap();
+        // Grow the dataset by one row: the fingerprint no longer matches.
+        let mut csv = std::fs::read_to_string(&path).unwrap();
+        csv.push_str("99,a,true,true\n");
+        std::fs::write(&path, csv).unwrap();
+        let err = run_full(&["resume", &ckpt]).unwrap_err();
+        assert!(err.0.contains("dataset fingerprint mismatch"), "{err}");
+    }
+
+    #[test]
+    fn dirty_csv_cells_are_quarantined_with_a_note() {
+        let src = write_fixture();
+        let path = tmp("dirty.csv");
+        let mut csv = std::fs::read_to_string(&src).unwrap();
+        csv.push_str("NaN,b,true,true\ninf,a,true,true\n");
+        std::fs::write(&path, csv).unwrap();
+        let out = run_full(&["explore", &path, "-s", "0.05"]).unwrap();
+        assert!(out.partial.is_none());
+        assert!(
+            out.notes
+                .iter()
+                .any(|n| n.contains("ingestion quarantine") && n.contains("2×x")),
+            "notes: {:?}",
+            out.notes
+        );
+        assert!(out.text.contains("402 rows"), "text:\n{}", out.text);
+    }
+
+    #[test]
+    fn resume_without_a_manifest_errors() {
+        let dir = tmp("ckpt-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_full(&["resume", &dir]).unwrap_err();
+        assert!(err.0.contains("manifest.hdx"), "{err}");
+        // A damaged manifest is rejected by the envelope, not mis-decoded.
+        std::fs::write(std::path::Path::new(&dir).join("manifest.hdx"), b"junk").unwrap();
+        let err = run_full(&["resume", &dir]).unwrap_err();
+        assert!(err.0.contains("checkpoint"), "{err}");
+    }
+
     #[test]
     fn budgeted_explore_reports_partial() {
         let path = write_fixture();
@@ -608,7 +949,11 @@ mod tests {
         let reason = capped.partial.as_deref().expect("capped run is partial");
         assert!(reason.contains("budget_exhausted"), "reason: {reason}");
         assert!(capped.text.contains("PARTIAL RESULTS"));
-        assert!(capped.text.contains("3 subgroups"), "text:\n{}", capped.text);
+        assert!(
+            capped.text.contains("3 subgroups"),
+            "text:\n{}",
+            capped.text
+        );
         // JSON mode carries the verdict in-band.
         let json = run_full(&[
             "explore",
@@ -677,7 +1022,8 @@ mod tests {
         assert!(verdict.contains("valid"), "{verdict}");
         #[cfg(feature = "obs")]
         {
-            t.validate_stages(&["discretize", "mine", "explore"]).unwrap();
+            t.validate_stages(&["discretize", "mine", "explore"])
+                .unwrap();
             assert!(t.counter_named("hdx.mining.candidates.generated") > 0);
             assert!(t.counter_named("hdx.mining.itemsets.emitted") > 0);
             assert!(t.counter_named("hdx.discretize.split.accepted") > 0);

@@ -19,7 +19,7 @@ mod commands;
 
 pub use args::{
     parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
-    Stat, ValidateTelemetryOpts,
+    ResumeOpts, Stat, ValidateTelemetryOpts,
 };
 pub use commands::{run, RunOutput};
 
@@ -33,6 +33,7 @@ USAGE:
   hdx baselines <data.csv> [options]   run Slice Finder / SliceLine / combined tree
   hdx generate <dataset> [options]     write a synthetic benchmark dataset as CSV
   hdx describe <data.csv>              summarise the dataset's attributes
+  hdx resume <ckpt-dir> [options]      resume an interrupted checkpointed explore
   hdx validate-telemetry <file> [options]  check a --metrics-out artifact
   hdx help                             show this text
 
@@ -63,6 +64,15 @@ EXPLORE OPTIONS:
   --metrics-out <file>   write machine-readable run telemetry (JSON); partial
                          (exit-code-3) runs still flush it
   --trace-summary        print a per-stage span/metric table on stderr
+  --checkpoint-dir <dir> write crash-safe mining checkpoints (plus a sealed
+                         run manifest) so `hdx resume <dir>` can pick up an
+                         interrupted run; incompatible with --polarity
+  --checkpoint-every <n> checkpoint every n mining boundaries [1]
+
+RESUME OPTIONS (configuration comes from the sealed manifest; budgets are
+per-invocation and output flags may be chosen afresh):
+  --top <k>, --non-redundant, --json, --metrics-out <file>, --trace-summary,
+  --timeout <dur>, --max-itemsets <n>   as for explore
 
 DISCRETIZE OPTIONS:
   --st <f>, --criterion <...> as above

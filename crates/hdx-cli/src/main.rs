@@ -11,6 +11,9 @@ fn main() -> ExitCode {
     match hdx_cli::parse(args).and_then(hdx_cli::run) {
         Ok(output) => {
             print!("{}", output.text);
+            for note in &output.notes {
+                eprintln!("hdx: {note}");
+            }
             if let Some(summary) = &output.trace_summary {
                 eprint!("{summary}");
             }

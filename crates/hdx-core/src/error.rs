@@ -20,6 +20,15 @@ pub enum CoreError {
         /// Human-readable description of the violated constraint.
         message: String,
     },
+    /// A checkpoint could not be loaded, or the loaded state does not belong
+    /// to this dataset/configuration (see `hdx_checkpoint::CheckpointError`).
+    Checkpoint(hdx_checkpoint::CheckpointError),
+}
+
+impl From<hdx_checkpoint::CheckpointError> for CoreError {
+    fn from(err: hdx_checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(err)
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -32,11 +41,19 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
+            CoreError::Checkpoint(err) => write!(f, "checkpoint: {err}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Checkpoint(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

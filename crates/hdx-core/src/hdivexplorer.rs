@@ -147,9 +147,9 @@ impl HDivResult {
 /// The hierarchical subgroup discovery pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct HDivExplorer {
-    config: HDivExplorerConfig,
+    pub(crate) config: HDivExplorerConfig,
     taxonomies: Vec<(String, Taxonomy)>,
-    cancel: CancelToken,
+    pub(crate) cancel: CancelToken,
 }
 
 impl HDivExplorer {
@@ -307,6 +307,17 @@ impl HDivExplorer {
         outcomes: &[Outcome],
         mode: ExplorationMode,
     ) -> Result<HDivResult, CoreError> {
+        self.validate_inputs(df, outcomes)?;
+        Ok(self.fit_mode_checked(df, outcomes, mode))
+    }
+
+    /// The shared input validation of the fallible entry points
+    /// ([`try_fit_mode`](Self::try_fit_mode) and the checkpointed runs).
+    pub(crate) fn validate_inputs(
+        &self,
+        df: &DataFrame,
+        outcomes: &[Outcome],
+    ) -> Result<(), CoreError> {
         if outcomes.len() != df.n_rows() {
             return Err(CoreError::OutcomeLengthMismatch {
                 expected: df.n_rows(),
@@ -325,7 +336,7 @@ impl HDivExplorer {
                 message: format!("must be in (0, 1), got {}", self.config.tree_min_support),
             });
         }
-        Ok(self.fit_mode_checked(df, outcomes, mode))
+        Ok(())
     }
 
     /// Pipeline body; `outcomes` has already been validated against `df`.

@@ -51,6 +51,7 @@ mod lattice;
 mod outcome_fn;
 mod polarity;
 mod report;
+mod resume;
 mod shapley;
 
 pub use error::CoreError;
@@ -66,7 +67,14 @@ pub use outcome_fn::{
 };
 pub use polarity::{mine_with_polarity, mine_with_polarity_governed, split_by_polarity};
 pub use report::{DivergenceReport, SubgroupRecord};
+pub use resume::{fingerprint_config, fingerprint_dataset, snapshot_tree, CheckpointedRun};
 pub use shapley::{global_item_contributions, item_contributions};
+
+/// The checkpoint subsystem (re-exported from `hdx-checkpoint`): crash-safe
+/// persistence of mining state at work boundaries, with fingerprint-verified
+/// resume. See [`HDivExplorer::fit_checkpointed`] /
+/// [`HDivExplorer::resume_checkpointed`] and DESIGN.md §12.
+pub use hdx_checkpoint as checkpoint;
 
 /// The observability subsystem (re-exported from `hdx-obs`): hierarchical
 /// spans, typed metrics and the machine-readable [`RunTelemetry`]

@@ -14,6 +14,7 @@ use hdx_governor::fail_point;
 use crate::builder::DataFrameBuilder;
 use crate::error::DataError;
 use crate::frame::DataFrame;
+use crate::quality::DataQualityReport;
 use crate::value::Value;
 
 /// Options controlling CSV parsing.
@@ -24,6 +25,9 @@ pub struct CsvOptions {
     /// Attribute names to force categorical even when numeric-looking
     /// (e.g. zip codes).
     pub force_categorical: Vec<String>,
+    /// Drop malformed rows (ragged, bad quoting) into the quality report
+    /// instead of failing the whole load (default `false`: reject the file).
+    pub quarantine_malformed_rows: bool,
 }
 
 impl Default for CsvOptions {
@@ -31,6 +35,7 @@ impl Default for CsvOptions {
         Self {
             separator: ',',
             force_categorical: Vec::new(),
+            quarantine_malformed_rows: false,
         }
     }
 }
@@ -81,14 +86,38 @@ fn quote_field(field: &str, sep: char) -> String {
 
 /// Parses CSV text into a [`DataFrame`] with type inference.
 ///
+/// Convenience wrapper over [`read_csv_str_with_quality`] that discards the
+/// quality report.
+///
 /// # Errors
 /// Returns [`DataError::Csv`] on malformed input (ragged rows, bad quoting,
 /// missing header).
 pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataError> {
+    read_csv_str_with_quality(text, options).map(|(df, _)| df)
+}
+
+/// Parses CSV text into a [`DataFrame`] plus the [`DataQualityReport`] of
+/// what ingestion quarantined.
+///
+/// Hardening semantics:
+/// * numeric cells that parse to `NaN`/`±inf` are stored as null and counted
+///   per column — a single `inf` would otherwise make every downstream mean
+///   infinite;
+/// * with [`CsvOptions::quarantine_malformed_rows`] set, ragged or badly
+///   quoted rows are dropped and counted instead of failing the load.
+///
+/// # Errors
+/// Returns [`DataError::Csv`] on malformed input the options do not allow
+/// quarantining (and always on a missing/unparseable header).
+pub fn read_csv_str_with_quality(
+    text: &str,
+    options: &CsvOptions,
+) -> Result<(DataFrame, DataQualityReport), DataError> {
     fail_point!("data::csv-read", |message: String| DataError::Csv {
         line: 0,
         message,
     });
+    let mut quality = DataQualityReport::default();
     let mut lines = text
         .lines()
         .enumerate()
@@ -103,20 +132,32 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataE
 
     let mut records: Vec<Vec<String>> = Vec::new();
     for (idx, line) in lines {
-        let fields = split_record(line, options.separator).map_err(|message| DataError::Csv {
-            line: idx + 1,
-            message,
-        })?;
-        if fields.len() != n_cols {
-            return Err(DataError::Csv {
-                line: idx + 1,
-                message: format!("expected {n_cols} fields, found {}", fields.len()),
-            });
+        let parsed = split_record(line, options.separator).and_then(|fields| {
+            if fields.len() == n_cols {
+                Ok(fields)
+            } else {
+                Err(format!("expected {n_cols} fields, found {}", fields.len()))
+            }
+        });
+        match parsed {
+            Ok(fields) => records.push(fields),
+            Err(message) => {
+                if options.quarantine_malformed_rows {
+                    quality.count_row(idx + 1);
+                } else {
+                    return Err(DataError::Csv {
+                        line: idx + 1,
+                        message,
+                    });
+                }
+            }
         }
-        records.push(fields);
     }
 
-    // Infer kinds: continuous iff all non-empty cells parse as f64.
+    // Infer kinds: continuous iff all non-empty cells parse as f64. Note
+    // `NaN`/`inf` *do* parse, so a dirty numeric column stays numeric and
+    // its bad cells are quarantined below rather than silently flipping the
+    // whole column categorical.
     let mut builder = DataFrameBuilder::new();
     let mut numeric = vec![true; n_cols];
     for record in &records {
@@ -144,7 +185,17 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataE
                 if f.is_empty() {
                     Value::Null
                 } else if numeric[j] && !options.force_categorical.iter().any(|n| *n == names[j]) {
-                    Value::Num(f.parse::<f64>().expect("checked during inference"))
+                    match f.parse::<f64>() {
+                        Ok(v) if v.is_finite() => Value::Num(v),
+                        Ok(_) => {
+                            quality.count_cell(&names[j], false);
+                            Value::Null
+                        }
+                        Err(_) => {
+                            quality.count_cell(&names[j], true);
+                            Value::Null
+                        }
+                    }
                 } else {
                     Value::Cat(f.to_string())
                 }
@@ -155,7 +206,9 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataE
             message: e.to_string(),
         })?;
     }
-    Ok(builder.finish())
+    hdx_obs::counter_add!(DataCellsQuarantined, quality.cells_quarantined());
+    hdx_obs::counter_add!(DataRowsQuarantined, quality.rows_quarantined);
+    Ok((builder.finish(), quality))
 }
 
 /// Reads a CSV file into a [`DataFrame`].
@@ -163,9 +216,21 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<DataFrame, DataE
 /// # Errors
 /// I/O failures and parse errors.
 pub fn read_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<DataFrame, DataError> {
+    read_csv_with_quality(path, options).map(|(df, _)| df)
+}
+
+/// Reads a CSV file into a [`DataFrame`] plus its [`DataQualityReport`]
+/// (see [`read_csv_str_with_quality`]).
+///
+/// # Errors
+/// I/O failures and parse errors.
+pub fn read_csv_with_quality(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<(DataFrame, DataQualityReport), DataError> {
     let mut text = String::new();
     BufReader::new(File::open(path)?).read_to_string(&mut text)?;
-    read_csv_str(&text, options)
+    read_csv_str_with_quality(&text, options)
 }
 
 /// Serialises a [`DataFrame`] to CSV text.
@@ -263,6 +328,65 @@ mod tests {
     fn ragged_rows_rejected() {
         let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
         assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn non_finite_cells_are_quarantined_to_null() {
+        // NaN and ±inf parse as f64, so `x` stays continuous — but the dirty
+        // cells must become nulls, not poison every downstream mean.
+        let dirty = "x,g\n1.0,a\nNaN,b\ninf,a\n-inf,b\n2.0,a\n";
+        let (df, quality) = read_csv_str_with_quality(dirty, &CsvOptions::default()).unwrap();
+        let x = df.schema().id("x").unwrap();
+        assert_eq!(df.schema().kind(x), AttributeKind::Continuous);
+        assert_eq!(df.n_rows(), 5);
+        assert_eq!(df.continuous(x).get(0), Some(1.0));
+        assert_eq!(df.continuous(x).get(1), None);
+        assert_eq!(df.continuous(x).get(2), None);
+        assert_eq!(df.continuous(x).get(3), None);
+        assert_eq!(df.continuous(x).get(4), Some(2.0));
+        assert!(df.continuous(x).values().iter().all(|v| !v.is_infinite()));
+        assert_eq!(quality.cells_quarantined(), 3);
+        assert_eq!(quality.columns.len(), 1);
+        assert_eq!(quality.columns[0].name, "x");
+        assert_eq!(quality.columns[0].non_finite, 3);
+        assert_eq!(quality.rows_quarantined, 0);
+        assert!(quality.summary().unwrap().contains("3×x"));
+    }
+
+    #[test]
+    fn clean_input_yields_a_clean_report() {
+        let (_, quality) =
+            read_csv_str_with_quality("a,b\n1,x\n2,y\n", &CsvOptions::default()).unwrap();
+        assert!(quality.is_clean());
+    }
+
+    #[test]
+    fn malformed_rows_quarantined_when_opted_in() {
+        let opts = CsvOptions {
+            quarantine_malformed_rows: true,
+            ..CsvOptions::default()
+        };
+        // Line 3 is ragged, line 5 has a stray quote; both drop.
+        let dirty = "a,b\n1,x\n2\n3,y\nbad\"quote,z\n4,w\n";
+        let (df, quality) = read_csv_str_with_quality(dirty, &opts).unwrap();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(quality.rows_quarantined, 2);
+        assert_eq!(quality.quarantined_lines, vec![3, 5]);
+        // The same file still fails hard under the default policy.
+        assert!(read_csv_str(dirty, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn quarantined_rows_do_not_skew_inference() {
+        let opts = CsvOptions {
+            quarantine_malformed_rows: true,
+            ..CsvOptions::default()
+        };
+        // The ragged row's lone field `oops` must not flip `a` categorical.
+        let (df, quality) = read_csv_str_with_quality("a,b\n1,x\noops\n2,y\n", &opts).unwrap();
+        let a = df.schema().id("a").unwrap();
+        assert_eq!(df.schema().kind(a), AttributeKind::Continuous);
+        assert_eq!(quality.rows_quarantined, 1);
     }
 
     #[test]

@@ -23,14 +23,19 @@ mod csv;
 mod describe;
 mod error;
 mod frame;
+mod quality;
 mod schema;
 mod value;
 
 pub use builder::DataFrameBuilder;
 pub use column::{CategoricalColumn, Column, ContinuousColumn, NULL_CODE};
-pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvOptions};
+pub use csv::{
+    read_csv, read_csv_str, read_csv_str_with_quality, read_csv_with_quality, write_csv,
+    write_csv_string, CsvOptions,
+};
 pub use describe::{describe, AttributeSummary, CategoricalSummary, FrameSummary, NumericSummary};
 pub use error::DataError;
 pub use frame::DataFrame;
+pub use quality::{ColumnQuality, DataQualityReport, MAX_RECORDED_LINES};
 pub use schema::{AttrId, Attribute, AttributeKind, Schema};
 pub use value::Value;

@@ -56,12 +56,14 @@ pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> Result<DataFrame, I
     for (_, attr) in df.schema().iter() {
         b.add_attribute(attr.clone())?;
     }
+    let mut injected: u64 = 0;
     for row in 0..df.n_rows() {
         let cells: Vec<Value> = df
             .schema()
             .iter()
             .map(|(id, _)| {
                 if rng.random::<f64>() < rate {
+                    injected += 1;
                     Value::Null
                 } else {
                     df.column(id).value(row)
@@ -70,6 +72,9 @@ pub fn inject_nulls(df: &DataFrame, rate: f64, seed: u64) -> Result<DataFrame, I
             .collect();
         b.push_row(cells)?;
     }
+    // Injected nulls are deliberate damage; flag them in run telemetry so a
+    // dataset that arrives with holes is distinguishable from one we drilled.
+    hdx_obs::counter_add!(DatasetsNullsInjected, injected);
     Ok(b.finish())
 }
 

@@ -345,6 +345,28 @@ impl Governor {
         Self::new(RunBudget::default())
     }
 
+    /// A governor for a *resumed* run: work counters start from `prior` so a
+    /// budget keeps charging across the restart instead of resetting. The
+    /// deadline clock still starts now — wall-clock spent by a dead process
+    /// is not billed to its successor.
+    pub fn resumed(budget: RunBudget, prior: RunCounters) -> Self {
+        Self::resumed_with_token(budget, CancelToken::new(), prior)
+    }
+
+    /// [`resumed`](Self::resumed) observing an external `cancel` token.
+    pub fn resumed_with_token(budget: RunBudget, cancel: CancelToken, prior: RunCounters) -> Self {
+        let gov = Self::with_token(budget, cancel);
+        gov.inner.itemsets.store(prior.itemsets, Ordering::Relaxed);
+        gov.inner
+            .candidate_bytes
+            .store(prior.candidate_bytes, Ordering::Relaxed);
+        gov.inner
+            .tree_nodes
+            .store(prior.tree_nodes, Ordering::Relaxed);
+        gov.inner.checks.store(prior.checks, Ordering::Relaxed);
+        gov
+    }
+
     /// The budget this governor enforces.
     pub fn budget(&self) -> &RunBudget {
         &self.inner.budget
@@ -559,6 +581,26 @@ impl Governor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resumed_governor_keeps_charging_from_prior_counters() {
+        let prior = RunCounters {
+            itemsets: 90,
+            candidate_bytes: 1024,
+            tree_nodes: 7,
+            checks: 3,
+        };
+        let budget = RunBudget {
+            max_itemsets: Some(100),
+            ..RunBudget::default()
+        };
+        let g = Governor::resumed(budget, prior);
+        assert_eq!(g.counters().itemsets, 90);
+        assert_eq!(g.counters().candidate_bytes, 1024);
+        assert!(g.record_itemsets(10), "exactly at the cap is allowed");
+        assert!(!g.record_itemsets(1), "the resumed run shares the budget");
+        assert_eq!(g.termination(), Termination::BudgetExhausted);
+    }
 
     #[test]
     fn unbounded_never_trips() {

@@ -288,7 +288,11 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 }
             }
             toks.push(Tok {
-                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
                 text: chars[start..i].iter().collect(),
                 line,
             });

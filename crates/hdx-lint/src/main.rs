@@ -34,6 +34,7 @@ use std::process::ExitCode;
 /// those but still checked for rule 4.
 const LIB_CRATES: &[&str] = &[
     "hdx-core",
+    "hdx-checkpoint",
     "hdx-obs",
     "hdx-governor",
     "hdx-mining",
@@ -294,7 +295,10 @@ fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
             ));
         };
         if !rules::RULES.contains(&rule) {
-            return Err(format!("allowlist line {}: unknown rule `{rule}`", lineno + 1));
+            return Err(format!(
+                "allowlist line {}: unknown rule `{rule}`",
+                lineno + 1
+            ));
         }
         let mut max = None;
         if let Some(extra) = parts.next() {

@@ -82,7 +82,11 @@ pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
             }
             j += 1;
         }
-        for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(attr_start) {
+        for m in mask
+            .iter_mut()
+            .take((j + 1).min(toks.len()))
+            .skip(attr_start)
+        {
             *m = true;
         }
         i = j + 1;
@@ -188,7 +192,9 @@ pub fn rule_no_float_eq(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<V
 }
 
 /// Item keywords that require documentation when `pub`.
-const ITEM_KWS: &[&str] = &["fn", "struct", "enum", "trait", "type", "mod", "static", "union"];
+const ITEM_KWS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "mod", "static", "union",
+];
 
 /// `missing-docs`: flags `pub` items in library crates without a preceding
 /// doc comment or `#[doc ...]` attribute. `pub(crate)`/`pub(super)` items

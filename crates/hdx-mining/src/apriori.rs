@@ -12,10 +12,12 @@
 
 use std::collections::HashSet;
 
+use hdx_checkpoint::{Checkpointer, MiningProgress};
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
 use hdx_stats::OutcomePlanes;
 
+use crate::checkpoint::{progress_snapshot, restore_itemset};
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
 use crate::vertical::{cover_bytes, item_covers};
@@ -41,6 +43,21 @@ pub fn apriori_governed(
     config: &MiningConfig,
     governor: &Governor,
 ) -> MiningResult {
+    apriori_run(transactions, catalog, config, governor, None, None)
+}
+
+/// The shared Apriori driver behind [`apriori_governed`] and
+/// [`crate::mine_governed_ckpt`]: optionally records a checkpoint boundary
+/// after every fully-counted level (cursor = completed level `k`, frontier =
+/// that level's survivors) and optionally restarts from such a boundary.
+pub(crate) fn apriori_run(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+    mut ckpt: Option<&mut Checkpointer>,
+    resume: Option<&MiningProgress>,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
     let candidate_bytes = cover_bytes(n);
@@ -57,37 +74,59 @@ pub fn apriori_governed(
     }
     let cover_of = |item: ItemId| -> &Bitset { &covers[cover_pos[item.index()] as usize].1 };
 
-    let mut out: Vec<FrequentItemset> = Vec::new();
-    let mut level: Vec<Itemset> = Vec::new();
-    hdx_obs::counter_add!(MineCandidatesGenerated, covers.len() as u64);
-    for (item, cover) in &covers {
-        let count = cover.count() as u64;
-        if count >= min_count {
-            // Charge each emission before pushing so every emitted itemset
-            // carries its exact accumulator even when truncated.
-            if !governor.keep_going() || !governor.record_itemsets(1) {
-                break;
+    let mut out: Vec<FrequentItemset>;
+    let mut level: Vec<Itemset>;
+    let mut k: usize;
+    if let Some(progress) = resume {
+        // Restart from a level boundary: `emitted` is exact and `frontier`
+        // is the completed level's survivors, so the join/count loop below
+        // continues as if the interruption never happened.
+        out = progress.emitted.iter().map(restore_itemset).collect();
+        level = progress
+            .frontier
+            .iter()
+            .map(|items| Itemset::from_sorted_unchecked(items.iter().map(|&i| ItemId(i)).collect()))
+            .collect();
+        k = (progress.cursor as usize).max(1);
+    } else {
+        out = Vec::new();
+        level = Vec::new();
+        hdx_obs::counter_add!(MineCandidatesGenerated, covers.len() as u64);
+        for (item, cover) in &covers {
+            let count = cover.count() as u64;
+            if count >= min_count {
+                // Charge each emission before pushing so every emitted itemset
+                // carries its exact accumulator even when truncated.
+                if !governor.keep_going() || !governor.record_itemsets(1) {
+                    break;
+                }
+                let itemset = Itemset::singleton(*item);
+                out.push(FrequentItemset {
+                    itemset: itemset.clone(),
+                    accum: planes.accum(cover.words(), count),
+                });
+                level.push(itemset);
+            } else {
+                hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
             }
-            let itemset = Itemset::singleton(*item);
-            out.push(FrequentItemset {
-                itemset: itemset.clone(),
-                accum: planes.accum(cover.words(), count),
-            });
-            level.push(itemset);
-        } else {
-            hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
+        }
+        level.sort();
+        #[cfg(feature = "obs")]
+        governor.record_obs_snapshot(1);
+        k = 1;
+        // L1 is a boundary only when it completed (a truncated L1 would
+        // resume into a frontier missing surviving singletons).
+        if !governor.is_tripped() {
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.at_boundary(progress_snapshot("apriori", 1, n, &out, &level, governor));
+            }
         }
     }
-    level.sort();
-    #[cfg(feature = "obs")]
-    governor.record_obs_snapshot(1);
 
     // Reusable per-level scratch: the member-cover list and the joint cover
     // of the frequent candidate being emitted.
     let mut member_covers: Vec<&Bitset> = Vec::new();
     let mut joint = Bitset::new(n);
-
-    let mut k = 1usize;
     'levels: while !level.is_empty() && config.max_len.is_none_or(|m| k < m) {
         if !governor.keep_going() {
             break;
@@ -186,6 +225,17 @@ pub fn apriori_governed(
                 MineLevelLatencyNs,
                 hdx_obs::now_ns().saturating_sub(level_start_ns)
             );
+        }
+        // A completed level is a checkpoint boundary. Tripped runs exit via
+        // `break 'levels` above; a trip racing in from the cancel token is
+        // still excluded here so a boundary always describes a full level.
+        if governor.is_tripped() {
+            break;
+        }
+        if let Some(ck) = ckpt.as_deref_mut() {
+            ck.at_boundary(progress_snapshot(
+                "apriori", k as u64, n, &out, &level, governor,
+            ));
         }
     }
 

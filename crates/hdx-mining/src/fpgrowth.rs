@@ -13,11 +13,13 @@
 //! filter keeps ancestor/descendant (and any same-attribute) pairs out of
 //! mined itemsets.
 
+use hdx_checkpoint::{Checkpointer, MiningProgress};
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{ItemCatalog, ItemId, Itemset};
 use hdx_stats::StatAccum;
 
 use crate::attrs::AttrSet;
+use crate::checkpoint::{progress_snapshot, restore_itemset};
 use crate::result::{FrequentItemset, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
@@ -158,6 +160,23 @@ pub fn fpgrowth_governed(
     config: &MiningConfig,
     governor: &Governor,
 ) -> MiningResult {
+    fpgrowth_run(transactions, catalog, config, governor, None, None)
+}
+
+/// The shared FP-Growth driver behind [`fpgrowth_governed`] and
+/// [`crate::mine_governed_ckpt`]: the bottom-up header traversal of the
+/// *initial* tree is driven here so a checkpoint boundary can be recorded
+/// after each fully-mined header subtree (cursor = subtrees completed);
+/// resume rebuilds the deterministic tree and skips the first `cursor`
+/// entries.
+pub(crate) fn fpgrowth_run(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+    mut ckpt: Option<&mut Checkpointer>,
+    resume: Option<&MiningProgress>,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
 
@@ -178,7 +197,10 @@ pub fn fpgrowth_governed(
         .collect();
     let tree = FpTree::build(&paths, min_count, n_items, governor);
 
-    let mut out = Vec::new();
+    let mut out = match resume {
+        Some(progress) => progress.emitted.iter().map(restore_itemset).collect(),
+        None => Vec::new(),
+    };
     // A tree interrupted mid-build has undercounted accumulators — skip
     // mining entirely (the empty result is trivially a valid subset).
     if !governor.is_tripped() {
@@ -191,7 +213,34 @@ pub fn fpgrowth_governed(
         };
         let mut suffix: Vec<ItemId> = Vec::new();
         let mut suffix_attrs = AttrSet::new();
-        mine_tree(&ctx, &tree, &mut suffix, &mut suffix_attrs, &mut out);
+        // Drive the initial tree's bottom-up header traversal here (instead
+        // of inside `mine_tree`) so each fully-mined top-level subtree is a
+        // checkpoint boundary.
+        let total = tree.header.len();
+        let done = resume.map_or(0, |p| (p.cursor as usize).min(total));
+        for processed in done..total {
+            let entry = total - 1 - processed;
+            if !governor.keep_going()
+                || !mine_header_entry(&ctx, &tree, entry, &mut suffix, &mut suffix_attrs, &mut out)
+            {
+                break;
+            }
+            // A trip inside the recursion leaves this subtree partially
+            // mined; only a clean completion is a boundary.
+            if governor.is_tripped() {
+                break;
+            }
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.at_boundary(progress_snapshot(
+                    "fpgrowth",
+                    (processed + 1) as u64,
+                    n,
+                    &out,
+                    &[],
+                    governor,
+                ));
+            }
+        }
     }
 
     MiningResult::complete(out, n, transactions.global_accum()).governed_by(governor)
@@ -216,74 +265,91 @@ fn mine_tree(
     out: &mut Vec<FrequentItemset>,
 ) {
     // Least-frequent first (classic bottom-up header traversal).
-    for (item, node_indices) in tree.header.iter().rev() {
-        if !ctx.governor.keep_going() {
+    for entry in (0..tree.header.len()).rev() {
+        if !ctx.governor.keep_going()
+            || !mine_header_entry(ctx, tree, entry, suffix, suffix_attrs, out)
+        {
             return;
         }
-        let attr = ctx.attr_table[item.index()];
-        debug_assert!(
-            !suffix_attrs.contains(attr),
-            "conditional base filtering must exclude suffix attributes"
-        );
-        let mut accum = StatAccum::new();
-        for &idx in node_indices {
-            accum.merge(&tree.nodes[idx].accum);
-        }
-        hdx_obs::counter_add!(MineCandidatesGenerated, 1);
-        if accum.count() < ctx.min_count {
-            hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
-            continue;
-        }
-        // Charge before emitting: a refused charge emits nothing, so every
-        // emitted itemset keeps its exact accumulator.
-        if !ctx.governor.record_itemsets(1) {
-            return;
-        }
-        let mut itemset_items: Vec<ItemId> = suffix.clone();
-        itemset_items.push(*item);
-        itemset_items.sort_unstable();
-        out.push(FrequentItemset {
-            itemset: Itemset::from_sorted_unchecked(itemset_items),
-            accum,
-        });
-
-        if ctx.max_len.is_some_and(|m| suffix.len() + 1 >= m) {
-            continue;
-        }
-
-        // Conditional pattern base, filtered by attribute.
-        let mut paths: Vec<(Vec<ItemId>, StatAccum)> = Vec::new();
-        for &idx in node_indices {
-            let mut path = tree.prefix_path(idx);
-            path.retain(|&p| {
-                let pa = ctx.attr_table[p.index()];
-                let keep = pa != attr && !suffix_attrs.contains(pa);
-                if !keep {
-                    hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
-                }
-                keep
-            });
-            if !path.is_empty() {
-                paths.push((path, tree.nodes[idx].accum));
-            }
-        }
-        if paths.is_empty() {
-            continue;
-        }
-        let cond = FpTree::build(&paths, ctx.min_count, ctx.n_items, ctx.governor);
-        // Never mine a conditional tree whose build was interrupted.
-        if ctx.governor.is_tripped() {
-            return;
-        }
-        if cond.is_empty() {
-            continue;
-        }
-        suffix.push(*item);
-        suffix_attrs.insert(attr);
-        mine_tree(ctx, &cond, suffix, suffix_attrs, out);
-        suffix.pop();
-        suffix_attrs.remove(attr);
     }
+}
+
+/// Mines the subtree of one header entry of `tree` (emission + conditional
+/// recursion). Returns `false` when the governor refused further work so
+/// callers stop traversing; `true` covers both "mined" and "pruned".
+fn mine_header_entry(
+    ctx: &MineCtx<'_>,
+    tree: &FpTree,
+    entry: usize,
+    suffix: &mut Vec<ItemId>,
+    suffix_attrs: &mut AttrSet,
+    out: &mut Vec<FrequentItemset>,
+) -> bool {
+    let (item, node_indices) = &tree.header[entry];
+    let attr = ctx.attr_table[item.index()];
+    debug_assert!(
+        !suffix_attrs.contains(attr),
+        "conditional base filtering must exclude suffix attributes"
+    );
+    let mut accum = StatAccum::new();
+    for &idx in node_indices {
+        accum.merge(&tree.nodes[idx].accum);
+    }
+    hdx_obs::counter_add!(MineCandidatesGenerated, 1);
+    if accum.count() < ctx.min_count {
+        hdx_obs::counter_add!(MineCandidatesPrunedSupport, 1);
+        return true;
+    }
+    // Charge before emitting: a refused charge emits nothing, so every
+    // emitted itemset keeps its exact accumulator.
+    if !ctx.governor.record_itemsets(1) {
+        return false;
+    }
+    let mut itemset_items: Vec<ItemId> = suffix.clone();
+    itemset_items.push(*item);
+    itemset_items.sort_unstable();
+    out.push(FrequentItemset {
+        itemset: Itemset::from_sorted_unchecked(itemset_items),
+        accum,
+    });
+
+    if ctx.max_len.is_some_and(|m| suffix.len() + 1 >= m) {
+        return true;
+    }
+
+    // Conditional pattern base, filtered by attribute.
+    let mut paths: Vec<(Vec<ItemId>, StatAccum)> = Vec::new();
+    for &idx in node_indices {
+        let mut path = tree.prefix_path(idx);
+        path.retain(|&p| {
+            let pa = ctx.attr_table[p.index()];
+            let keep = pa != attr && !suffix_attrs.contains(pa);
+            if !keep {
+                hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
+            }
+            keep
+        });
+        if !path.is_empty() {
+            paths.push((path, tree.nodes[idx].accum));
+        }
+    }
+    if paths.is_empty() {
+        return true;
+    }
+    let cond = FpTree::build(&paths, ctx.min_count, ctx.n_items, ctx.governor);
+    // Never mine a conditional tree whose build was interrupted.
+    if ctx.governor.is_tripped() {
+        return false;
+    }
+    if cond.is_empty() {
+        return true;
+    }
+    suffix.push(*item);
+    suffix_attrs.insert(attr);
+    mine_tree(ctx, &cond, suffix, suffix_attrs, out);
+    suffix.pop();
+    suffix_attrs.remove(attr);
+    true
 }
 
 #[cfg(test)]

@@ -60,12 +60,16 @@ pub mod invariants;
 
 mod apriori;
 mod attrs;
+mod checkpoint;
 mod fpgrowth;
 mod result;
 mod transactions;
 mod vertical;
 
 pub use apriori::{apriori, apriori_governed};
+pub use checkpoint::{
+    checkpoint_algorithm, mine_governed_ckpt, restore_itemset, snapshot_itemset, validate_resume,
+};
 pub use fpgrowth::{fpgrowth, fpgrowth_governed};
 pub use result::{FrequentItemset, MiningError, MiningResult};
 pub use transactions::Transactions;

@@ -30,11 +30,13 @@
 //! [`MiningError::WorkerPanicked`](crate::MiningError) while the remaining
 //! workers finish their share.
 
+use hdx_checkpoint::{Checkpointer, MiningProgress};
 use hdx_governor::{fail_point, Governor};
 use hdx_items::{Bitset, ItemCatalog, ItemId, Itemset};
 use hdx_stats::{Outcome, OutcomePlanes, StatAccum};
 
 use crate::attrs::AttrSet;
+use crate::checkpoint::{progress_snapshot, restore_itemset};
 use crate::result::{FrequentItemset, MiningError, MiningResult};
 use crate::transactions::Transactions;
 use crate::MiningConfig;
@@ -279,6 +281,23 @@ pub fn vertical_governed(
     config: &MiningConfig,
     governor: &Governor,
 ) -> MiningResult {
+    vertical_run(transactions, catalog, config, governor, None, None)
+}
+
+/// The shared serial-DFS driver behind [`vertical_governed`] and
+/// [`crate::mine_governed_ckpt`]: optionally records a checkpoint boundary
+/// after each fully-explored first-level subtree (cursor = roots completed)
+/// and optionally restarts from such a boundary. The frequent-item order is
+/// a deterministic function of the transactions, so a resumed run continues
+/// the exact traversal the interrupted one was on.
+pub(crate) fn vertical_run(
+    transactions: &Transactions,
+    catalog: &ItemCatalog,
+    config: &MiningConfig,
+    governor: &Governor,
+    mut ckpt: Option<&mut Checkpointer>,
+    resume: Option<&MiningProgress>,
+) -> MiningResult {
     let n = transactions.n_rows();
     let min_count = config.min_count(n);
 
@@ -298,10 +317,14 @@ pub fn vertical_governed(
 
     let mut scratch = scratch_pool(n, &frequent, config.max_len);
     hdx_obs::gauge_max!(MineScratchPoolBytes, scratch.len() as u64 * cover_bytes(n));
-    let mut out: Vec<FrequentItemset> = Vec::new();
+    let mut out: Vec<FrequentItemset> = match resume {
+        Some(progress) => progress.emitted.iter().map(restore_itemset).collect(),
+        None => Vec::new(),
+    };
+    let start = resume.map_or(0, |p| (p.cursor as usize).min(frequent.len()));
     let mut prefix_items: Vec<ItemId> = Vec::new();
     let mut prefix_attrs = AttrSet::new();
-    for idx in 0..frequent.len() {
+    for idx in start..frequent.len() {
         if !governor.keep_going()
             || !explore_root(
                 &ctx,
@@ -313,6 +336,22 @@ pub fn vertical_governed(
             )
         {
             break;
+        }
+        // `explore_root` returns true even when the DFS below it unwound on
+        // a trip, so a tripped governor means this subtree may be partial —
+        // only a clean completion is a boundary.
+        if governor.is_tripped() {
+            break;
+        }
+        if let Some(ck) = ckpt.as_deref_mut() {
+            ck.at_boundary(progress_snapshot(
+                "vertical",
+                (idx + 1) as u64,
+                n,
+                &out,
+                &[],
+                governor,
+            ));
         }
     }
 

@@ -42,11 +42,27 @@ pub enum CounterId {
     GovernorCandidateBytesCharged,
     /// Discretization-tree nodes charged against the run budget: `hdx.governor.budget.tree_nodes`.
     GovernorTreeNodesCharged,
+    /// Checkpoints written durably: `hdx.checkpoint.write.count`.
+    CheckpointWrites,
+    /// Envelope bytes written durably: `hdx.checkpoint.write.bytes`.
+    CheckpointWriteBytes,
+    /// Checkpoint writes that failed (non-fatal): `hdx.checkpoint.write.failed`.
+    CheckpointWritesFailed,
+    /// Checkpoints loaded successfully: `hdx.checkpoint.load.count`.
+    CheckpointLoads,
+    /// Checkpoint files rejected as corrupt during load: `hdx.checkpoint.load.rejected`.
+    CheckpointLoadsRejected,
+    /// Non-finite continuous cells quarantined to missing during ingestion: `hdx.data.quarantine.cells`.
+    DataCellsQuarantined,
+    /// Malformed rows quarantined (dropped) during ingestion: `hdx.data.quarantine.rows`.
+    DataRowsQuarantined,
+    /// Cells nulled by the missing-value injector: `hdx.datasets.missing.injected`.
+    DatasetsNullsInjected,
 }
 
 impl CounterId {
     /// Every registered counter, in telemetry order.
-    pub const ALL: [CounterId; 16] = [
+    pub const ALL: [CounterId; 24] = [
         CounterId::MineCandidatesGenerated,
         CounterId::MineCandidatesPrunedSupport,
         CounterId::MineCandidatesPrunedAttr,
@@ -63,6 +79,14 @@ impl CounterId {
         CounterId::GovernorItemsetsCharged,
         CounterId::GovernorCandidateBytesCharged,
         CounterId::GovernorTreeNodesCharged,
+        CounterId::CheckpointWrites,
+        CounterId::CheckpointWriteBytes,
+        CounterId::CheckpointWritesFailed,
+        CounterId::CheckpointLoads,
+        CounterId::CheckpointLoadsRejected,
+        CounterId::DataCellsQuarantined,
+        CounterId::DataRowsQuarantined,
+        CounterId::DatasetsNullsInjected,
     ];
 
     /// Number of registered counters.
@@ -87,6 +111,14 @@ impl CounterId {
             CounterId::GovernorItemsetsCharged => "hdx.governor.budget.itemsets",
             CounterId::GovernorCandidateBytesCharged => "hdx.governor.budget.candidate_bytes",
             CounterId::GovernorTreeNodesCharged => "hdx.governor.budget.tree_nodes",
+            CounterId::CheckpointWrites => "hdx.checkpoint.write.count",
+            CounterId::CheckpointWriteBytes => "hdx.checkpoint.write.bytes",
+            CounterId::CheckpointWritesFailed => "hdx.checkpoint.write.failed",
+            CounterId::CheckpointLoads => "hdx.checkpoint.load.count",
+            CounterId::CheckpointLoadsRejected => "hdx.checkpoint.load.rejected",
+            CounterId::DataCellsQuarantined => "hdx.data.quarantine.cells",
+            CounterId::DataRowsQuarantined => "hdx.data.quarantine.rows",
+            CounterId::DatasetsNullsInjected => "hdx.datasets.missing.injected",
         }
     }
 }

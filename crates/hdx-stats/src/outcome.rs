@@ -132,6 +132,14 @@ impl StatAccum {
         self.n_valid
     }
 
+    /// The raw additive components `(n, n_valid, sum, sum_sq)` — the exact
+    /// inverse of [`StatAccum::from_sums`], so an accumulator can be
+    /// persisted and rebuilt bit for bit (checkpoint/resume).
+    #[inline]
+    pub fn raw_parts(&self) -> (u64, u64, f64, f64) {
+        (self.n, self.n_valid, self.sum, self.sum_sq)
+    }
+
     /// The statistic `f` over this set: mean of defined outcomes, or `None`
     /// when no outcome is defined.
     #[inline]
@@ -226,6 +234,16 @@ impl StatAccum {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_parts_round_trips_through_from_sums() {
+        let mut acc = StatAccum::new();
+        acc.push(Outcome::Real(1.25));
+        acc.push(Outcome::Real(-3.5));
+        acc.push(Outcome::Undefined);
+        let (n, n_valid, sum, sum_sq) = acc.raw_parts();
+        assert_eq!(StatAccum::from_sums(n, n_valid, sum, sum_sq), acc);
+    }
 
     #[test]
     fn outcome_values() {

@@ -17,14 +17,16 @@
 //! * [`model`] — decision tree and random forest classifiers;
 //! * [`datasets`] — synthetic-peak and the synthetic dataset stand-ins;
 //! * [`baselines`] — Slice Finder and SliceLine;
-//! * [`governor`] — run budgets, deadlines and cooperative cancellation.
+//! * [`governor`] — run budgets, deadlines and cooperative cancellation;
+//! * [`checkpoint`] — crash-safe checkpoint/resume for mining runs.
 
 pub use hdx_baselines as baselines;
+pub use hdx_checkpoint as checkpoint;
 pub use hdx_core as core;
 pub use hdx_data as data;
-pub use hdx_governor as governor;
 pub use hdx_datasets as datasets;
 pub use hdx_discretize as discretize;
+pub use hdx_governor as governor;
 pub use hdx_items as items;
 pub use hdx_mining as mining;
 pub use hdx_model as model;
@@ -36,8 +38,8 @@ pub mod prelude {
         DivExplorer, DivergenceReport, ExplorationConfig, HDivExplorer, OutcomeFn, SubgroupRecord,
     };
     pub use hdx_data::{DataFrame, DataFrameBuilder, Schema, Value};
-    pub use hdx_governor::{CancelToken, RunBudget, Termination};
     pub use hdx_discretize::{GainCriterion, TreeDiscretizer, TreeDiscretizerConfig};
+    pub use hdx_governor::{CancelToken, RunBudget, Termination};
     pub use hdx_items::{Item, ItemCatalog, ItemHierarchy, ItemId, Itemset};
     pub use hdx_mining::MiningAlgorithm;
 }

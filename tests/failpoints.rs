@@ -18,7 +18,12 @@ use h_divexplorer::mining::{
     mine, mine_governed, MiningAlgorithm, MiningConfig, MiningError, Transactions,
 };
 use h_divexplorer::stats::Outcome;
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Serialises the tests that arm `discretize::split` (the registry is
+/// process-global, so two tests arming the same point would race).
+static DISCRETIZE_SPLIT_LOCK: Mutex<()> = Mutex::new(());
 
 /// Same deterministic fixture as `tests/governor.rs`.
 fn fixture() -> (Transactions, ItemCatalog) {
@@ -91,7 +96,11 @@ fn killed_worker_degrades_instead_of_dying() {
 /// panic.
 #[test]
 fn csv_read_fault_is_a_typed_error() {
-    failpoint::arm("data::csv-read", FailAction::Error("injected I/O fault".into()), 1);
+    failpoint::arm(
+        "data::csv-read",
+        FailAction::Error("injected I/O fault".into()),
+        1,
+    );
     let result = read_csv_str("a,b\n1,2\n", &CsvOptions::default());
     failpoint::disarm("data::csv-read");
     match result {
@@ -107,6 +116,9 @@ fn csv_read_fault_is_a_typed_error() {
 /// hanging.
 #[test]
 fn stalled_discretizer_split_trips_the_deadline() {
+    let _guard = DISCRETIZE_SPLIT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let dataset = compas(400, 7);
     let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
     failpoint::arm(
@@ -127,6 +139,97 @@ fn stalled_discretizer_split_trips_the_deadline() {
     failpoint::disarm("discretize::split");
     assert_eq!(result.termination(), Termination::DeadlineExceeded);
     assert!(result.is_partial());
+}
+
+/// An injected panic inside the tree discretizer's split search propagates
+/// as a clean unwind — no poisoned global state, and the very next run (same
+/// process, fail point disarmed) succeeds from scratch.
+#[test]
+fn discretizer_split_panic_is_a_clean_unwind() {
+    let _guard = DISCRETIZE_SPLIT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dataset = compas(300, 11);
+    let outcomes = dataset.classification_outcomes(OutcomeFn::Fpr);
+    let config = || HDivExplorerConfig {
+        min_support: 0.05,
+        ..HDivExplorerConfig::default()
+    };
+
+    failpoint::arm("discretize::split", FailAction::Panic, 1);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        h_divexplorer::core::HDivExplorer::new(config()).fit_mode(
+            &dataset.frame,
+            &outcomes,
+            ExplorationMode::Base,
+        )
+    });
+    std::panic::set_hook(hook);
+    failpoint::disarm("discretize::split");
+    assert!(outcome.is_err(), "injected panic must propagate");
+
+    // The unwind left nothing behind: an immediate retry completes.
+    let retry = h_divexplorer::core::HDivExplorer::new(config()).fit_mode(
+        &dataset.frame,
+        &outcomes,
+        ExplorationMode::Base,
+    );
+    assert_eq!(retry.termination(), Termination::Complete);
+    assert!(!retry.report.records.is_empty());
+}
+
+/// Checkpoint-write faults (disk full, permission loss) degrade persistence
+/// only: the mining run itself completes with full results, reporting the
+/// write failure out-of-band.
+#[test]
+fn checkpoint_write_faults_do_not_lose_the_run() {
+    use h_divexplorer::checkpoint::CheckpointStore;
+    use h_divexplorer::data::{DataFrameBuilder, Value};
+
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("x").unwrap();
+    b.add_categorical("g").unwrap();
+    let mut outcomes = Vec::new();
+    for i in 0..200usize {
+        let x = (i % 50) as f64;
+        let g = if i % 2 == 0 { "a" } else { "b" };
+        b.push_row(vec![Value::Num(x), Value::Cat(g.to_string())])
+            .unwrap();
+        outcomes.push(Outcome::Bool(x > 30.0 && g == "b"));
+    }
+    let df = b.finish();
+    let config = HDivExplorerConfig {
+        min_support: 0.1,
+        ..HDivExplorerConfig::default()
+    };
+
+    let plain = h_divexplorer::core::HDivExplorer::new(config.clone()).fit_mode(
+        &df,
+        &outcomes,
+        ExplorationMode::Generalized,
+    );
+
+    let dir = std::env::temp_dir().join(format!("hdx-fp-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::create(&dir).unwrap();
+    failpoint::arm(
+        "checkpoint::write",
+        FailAction::Error("injected disk full".into()),
+        1,
+    );
+    let run = h_divexplorer::core::HDivExplorer::new(config)
+        .fit_checkpointed(&df, &outcomes, ExplorationMode::Generalized, store, 1)
+        .unwrap();
+    failpoint::disarm("checkpoint::write");
+
+    assert_eq!(run.checkpoint_writes, 0, "every write was injected to fail");
+    let err = run.checkpoint_error.expect("failure must be surfaced");
+    assert!(err.contains("injected disk full"), "{err}");
+    // The run itself is complete and identical to the unpersisted one.
+    assert_eq!(run.result.termination(), Termination::Complete);
+    assert_eq!(run.result.report.records.len(), plain.report.records.len());
 }
 
 /// An injected panic in a single-threaded miner *does* propagate (there is

@@ -1,0 +1,61 @@
+//! Property-based tests of the checkpoint envelope: sealing must round-trip
+//! arbitrary payloads, and *any* single-byte corruption or truncation of the
+//! sealed bytes must be rejected by the loader — never mis-decoded.
+
+use h_divexplorer::checkpoint::envelope;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Seal → open is the identity on arbitrary payloads.
+    #[test]
+    fn seal_open_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let sealed = envelope::seal(&payload);
+        prop_assert!(sealed.len() >= envelope::HEADER_LEN);
+        prop_assert_eq!(&sealed[..envelope::MAGIC.len()], &envelope::MAGIC[..]);
+        prop_assert_eq!(envelope::open(&sealed).unwrap(), payload);
+    }
+
+    /// Flipping any single byte anywhere in the sealed envelope — magic,
+    /// length, CRC, or payload — makes `open` reject it.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        pos_seed in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        let sealed = envelope::seal(&payload);
+        let mut damaged = sealed.clone();
+        let pos = pos_seed % damaged.len();
+        damaged[pos] ^= flip;
+        prop_assert!(
+            envelope::open(&damaged).is_err(),
+            "flip of byte {pos} (of {}) went undetected",
+            damaged.len()
+        );
+    }
+
+    /// Every strict prefix of a sealed envelope (a torn write) is rejected.
+    #[test]
+    fn truncation_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        cut_seed in any::<usize>(),
+    ) {
+        let sealed = envelope::seal(&payload);
+        let cut = cut_seed % sealed.len();
+        prop_assert!(envelope::open(&sealed[..cut]).is_err());
+    }
+
+    /// Trailing garbage appended after the sealed payload is rejected — a
+    /// checkpoint file is exactly one envelope.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut sealed = envelope::seal(&payload);
+        sealed.extend_from_slice(&garbage);
+        prop_assert!(envelope::open(&sealed).is_err());
+    }
+}
