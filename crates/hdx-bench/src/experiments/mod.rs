@@ -4,19 +4,32 @@
 //! artifact; binaries are thin wrappers, and the integration tests assert on
 //! the structured results.
 
+/// Ablation: combined decision tree vs per-attribute trees + lattice.
 pub mod ablation;
 mod common;
+/// Fig. 1: the `#prior` item hierarchy from tree discretization on compas.
 pub mod fig1;
+/// Fig. 2: highest divergence and execution time, base vs hierarchical.
 pub mod fig2;
+/// Fig. 3: folktables divergence; divergence vs entropy split criteria.
 pub mod fig3;
+/// Fig. 4: complete vs polarity-pruned hierarchical exploration.
 pub mod fig4;
+/// Fig. 5: attribute ranges of the top synthetic-peak itemset.
 pub mod fig5;
+/// Fig. 6 / §VI-G: prior approaches on synthetic-peak.
 pub mod fig6;
+/// Fig. 7: quantile discretization vs tree-based hierarchical exploration.
 pub mod fig7;
+/// Fig. 8: divergence sensitivity to the discretization support `st`.
 pub mod fig8;
+/// Table I: compas FPR divergence under two `#prior` discretizations.
 pub mod table1;
+/// Table II: dataset characteristics.
 pub mod table2;
+/// Table III: top FPR-divergent compas itemsets per discretization.
 pub mod table3;
+/// Table IV: top income-divergent folktables itemsets, base vs generalized.
 pub mod table4;
 
 pub use common::{outcomes_for, pipeline_for, run_exploration, RunStats};

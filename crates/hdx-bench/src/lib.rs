@@ -16,8 +16,11 @@
 //! with scale, but the comparisons the paper makes (hierarchical ≥ base,
 //! polarity pruning lossless, …) hold at any scale.
 
+/// Experiment runners, one submodule per paper table/figure.
 pub mod experiments;
+/// Minimal plotting helpers (ASCII/Gnuplot-style series dumps).
 pub mod plot;
+/// Shared CLI argument parsing, RNG, and table formatting.
 pub mod util;
 
 pub use util::{fmt_table, splitmix64, Args};

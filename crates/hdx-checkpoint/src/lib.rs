@@ -113,7 +113,7 @@ impl Checkpointer {
     pub fn at_boundary(&mut self, progress: MiningProgress) {
         self.boundaries += 1;
         self.pending = Some(progress);
-        if self.boundaries % self.every == 0 {
+        if self.boundaries.is_multiple_of(self.every) {
             self.flush_pending();
         }
     }

@@ -42,9 +42,23 @@
 //! assert_eq!(governor.counters().itemsets, 2);
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use crate::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The concurrency primitives behind the governor, swapped for the
+/// `hdx-loom` modeled twins under `--cfg hdx_loom` so the models in
+/// `tests/loom_models.rs` drive the *real* governor code through every
+/// interleaving (see DESIGN.md §13 and `cargo xtask sanitize`).
+#[cfg(not(hdx_loom))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::{atomic, Arc};
+}
+/// `hdx-loom` twin of the `sync` facade (active under `--cfg hdx_loom`).
+#[cfg(hdx_loom)]
+pub(crate) mod sync {
+    pub(crate) use hdx_loom::sync::{atomic, Arc};
+}
 
 /// Dependency-free fault injection: named fail points armed from tests
 /// (compiled only under the `hdx-fail` feature).
@@ -217,11 +231,14 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent; never blocks.
     pub fn cancel(&self) {
+        // ORDERING: sticky one-way flag, polled cooperatively; no data is
+        // published under it, so observing it a poll late is harmless.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: see `cancel` — the flag value itself is the message.
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -356,14 +373,20 @@ impl Governor {
     /// [`resumed`](Self::resumed) observing an external `cancel` token.
     pub fn resumed_with_token(budget: RunBudget, cancel: CancelToken, prior: RunCounters) -> Self {
         let gov = Self::with_token(budget, cancel);
-        gov.inner.itemsets.store(prior.itemsets, Ordering::Relaxed);
-        gov.inner
+        let counters = &gov.inner;
+        // ORDERING: plain counter seeding; the governor has not been shared
+        // yet, and the Arc hand-off that shares it publishes these stores.
+        counters.itemsets.store(prior.itemsets, Ordering::Relaxed);
+        counters
             .candidate_bytes
+            // ORDERING: same not-yet-shared argument as `itemsets` above.
             .store(prior.candidate_bytes, Ordering::Relaxed);
-        gov.inner
+        counters
             .tree_nodes
+            // ORDERING: same not-yet-shared argument as `itemsets` above.
             .store(prior.tree_nodes, Ordering::Relaxed);
-        gov.inner.checks.store(prior.checks, Ordering::Relaxed);
+        // ORDERING: same not-yet-shared argument as `itemsets` above.
+        counters.checks.store(prior.checks, Ordering::Relaxed);
         gov
     }
 
@@ -397,11 +420,15 @@ impl Governor {
     /// and the deadline clock.
     #[inline]
     pub fn keep_going(&self) -> bool {
+        // ORDERING: `tripped` is a sticky latch polled cooperatively; acting
+        // one iteration late is fine and no memory is read under it.
         if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
             return false;
         }
+        // ORDERING: poll-pacing statistic; cross-thread exactness of the
+        // modulo phase is not required.
         let n = self.inner.checks.fetch_add(1, Ordering::Relaxed);
-        if n % POLL_INTERVAL == 0 {
+        if n.is_multiple_of(POLL_INTERVAL) {
             self.poll()
         } else {
             true
@@ -411,6 +438,7 @@ impl Governor {
     /// Forces a full poll of the cancel token and the deadline, regardless
     /// of the poll interval. Returns `true` while the run should continue.
     pub fn poll(&self) -> bool {
+        // ORDERING: sticky-latch early-out, same argument as `keep_going`.
         if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
             return false;
         }
@@ -466,11 +494,15 @@ impl Governor {
     /// Charges `n` units to `counter`. On overflow of `cap` the charge is
     /// rolled back, the governor trips, and `false` is returned.
     fn charge(&self, counter: &AtomicU64, n: u64, cap: Option<u64>) -> bool {
+        // ORDERING: sticky-latch early-out, same argument as `keep_going`.
         if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
             return false;
         }
+        // ORDERING: the cap is enforced by fetch_add's atomicity on this one
+        // counter; no other memory is published under the charge.
         let total = counter.fetch_add(n, Ordering::Relaxed) + n;
         if cap.is_some_and(|cap| total > cap) {
+            // ORDERING: rollback of the same counter; same argument.
             counter.fetch_sub(n, Ordering::Relaxed);
             self.trip(Termination::BudgetExhausted);
             return false;
@@ -495,7 +527,10 @@ impl Governor {
             .compare_exchange(
                 RUNNING,
                 termination as u8,
+                // ORDERING: first-trip-wins latch; readers consume the value
+                // itself, never memory ordered by it.
                 Ordering::Relaxed,
+                // ORDERING: the failure load is only used to discard repeats.
                 Ordering::Relaxed,
             )
             .is_ok();
@@ -518,12 +553,14 @@ impl Governor {
 
     /// Whether any limit has tripped.
     pub fn is_tripped(&self) -> bool {
+        // ORDERING: sticky latch; the loaded value itself is the answer.
         self.inner.tripped.load(Ordering::Relaxed) != RUNNING
     }
 
     /// The outcome so far: [`Termination::Complete`] while running or after
     /// an untripped run, otherwise the latched degraded outcome.
     pub fn termination(&self) -> Termination {
+        // ORDERING: sticky latch; the loaded value itself is the answer.
         match self.inner.tripped.load(Ordering::Relaxed) {
             x if x == Termination::BudgetExhausted as u8 => Termination::BudgetExhausted,
             x if x == Termination::DeadlineExceeded as u8 => Termination::DeadlineExceeded,
@@ -535,9 +572,14 @@ impl Governor {
     /// A snapshot of the charged work.
     pub fn counters(&self) -> RunCounters {
         RunCounters {
+            // ORDERING: statistical snapshot; each counter is read
+            // atomically and cross-counter consistency is not promised.
             itemsets: self.inner.itemsets.load(Ordering::Relaxed),
+            // ORDERING: snapshot read, as `itemsets` above.
             candidate_bytes: self.inner.candidate_bytes.load(Ordering::Relaxed),
+            // ORDERING: snapshot read, as `itemsets` above.
             tree_nodes: self.inner.tree_nodes.load(Ordering::Relaxed),
+            // ORDERING: snapshot read, as `itemsets` above.
             checks: self.inner.checks.load(Ordering::Relaxed),
         }
     }

@@ -1,0 +1,109 @@
+//! hdx-loom models of the governor's concurrency protocols, run by
+//! `cargo xtask sanitize`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg hdx_loom" cargo test -p hdx-governor --test loom_models
+//! ```
+//!
+//! Under `--cfg hdx_loom` the governor's `sync` facade swaps its atomics
+//! for the modeled twins, so these tests drive the *real* `CancelToken`,
+//! `charge`/rollback and `trip` code through every interleaving of their
+//! atomic operations. Built as an empty test crate without the cfg.
+#![cfg(hdx_loom)]
+
+use hdx_governor::{CancelToken, Governor, RunBudget, Termination};
+
+#[test]
+fn cancel_is_sticky_and_visible_after_join() {
+    hdx_loom::model(|| {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let h = hdx_loom::thread::spawn(move || remote.cancel());
+        // Mid-flight observation may be either value; it must never block
+        // and must never un-cancel.
+        let early = token.is_cancelled();
+        h.join().expect("cancel thread panicked");
+        assert!(token.is_cancelled(), "cancel lost after join");
+        if early {
+            assert!(token.is_cancelled(), "sticky flag reverted");
+        }
+    });
+}
+
+#[test]
+fn concurrent_polls_latch_cancellation_exactly_once() {
+    hdx_loom::model(|| {
+        let g = Governor::unbounded();
+        let token = g.cancel_token();
+        let g2 = g.clone();
+        let h = hdx_loom::thread::spawn(move || {
+            token.cancel();
+            g2.poll()
+        });
+        let local = g.poll();
+        let remote = h.join().expect("poll thread panicked");
+        // Whatever each in-flight poll saw, the latch is set afterwards
+        // and every later check agrees.
+        assert!(!remote, "the poll after cancel() must report a stop");
+        assert!(!g.poll());
+        assert!(g.is_tripped());
+        assert_eq!(g.termination(), Termination::Cancelled);
+        let _ = local; // may be true (pre-cancel) or false (post-cancel)
+    });
+}
+
+#[test]
+fn charges_from_two_threads_merge_exactly() {
+    hdx_loom::model(|| {
+        let g = Governor::unbounded();
+        let g2 = g.clone();
+        let h = hdx_loom::thread::spawn(move || {
+            assert!(g2.record_itemsets(3));
+            assert!(g2.record_candidate_bytes(5));
+        });
+        assert!(g.record_itemsets(4));
+        h.join().expect("charging thread panicked");
+        let c = g.counters();
+        assert_eq!(c.itemsets, 7, "no charge may be lost or doubled");
+        assert_eq!(c.candidate_bytes, 5);
+        assert_eq!(g.termination(), Termination::Complete);
+    });
+}
+
+#[test]
+fn capped_budget_admits_exactly_one_of_two_racing_charges() {
+    hdx_loom::model(|| {
+        let g = Governor::new(RunBudget::default().with_max_itemsets(1));
+        let g2 = g.clone();
+        let h = hdx_loom::thread::spawn(move || g2.record_itemsets(1));
+        let mine = g.record_itemsets(1);
+        let theirs = h.join().expect("charging thread panicked");
+        assert!(
+            mine != theirs,
+            "cap 1 must admit exactly one of two unit charges (got {mine}/{theirs})"
+        );
+        assert_eq!(g.counters().itemsets, 1, "the rejected charge rolls back");
+        assert_eq!(g.termination(), Termination::BudgetExhausted);
+    });
+}
+
+#[test]
+fn first_trip_wins_under_racing_reasons() {
+    hdx_loom::model(|| {
+        let g = Governor::unbounded();
+        let g2 = g.clone();
+        let h = hdx_loom::thread::spawn(move || g2.trip(Termination::Cancelled));
+        g.trip(Termination::DeadlineExceeded);
+        h.join().expect("tripping thread panicked");
+        let first = g.termination();
+        assert!(
+            first == Termination::Cancelled || first == Termination::DeadlineExceeded,
+            "latched reason must be one of the racers, got {first:?}"
+        );
+        // The latch is stable: repeated reads and late trips change nothing.
+        g.trip(Termination::BudgetExhausted);
+        assert_eq!(g.termination(), first);
+        assert!(g.is_tripped());
+        assert!(!g.keep_going());
+    });
+}

@@ -51,6 +51,19 @@ impl Tok {
     }
 }
 
+/// One plain (non-doc) comment, reported out-of-band so the token stream
+/// stays comment-free for the lexical rules while the semantic rules can
+/// still see justification markers (`// SAFETY:`, `// ORDERING:`, ...).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub first_line: u32,
+    /// 1-based line of the comment's last character (block comments span).
+    pub last_line: u32,
+    /// Full source text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
 /// Multi-character operators, longest first so greedy matching is correct.
 const MULTI_PUNCT: &[&str] = &[
     "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "::", "->", "=>",
@@ -65,10 +78,13 @@ fn is_ident_continue(c: char) -> bool {
     c == '_' || c.is_alphanumeric()
 }
 
-/// Lexes `src` into a token stream. Ordinary (non-doc) comments and
-/// whitespace are dropped; everything else becomes a token.
-pub fn lex(src: &str) -> Vec<Tok> {
+/// Lexes `src` into a token stream plus the plain comments the stream
+/// drops, with their line spans. Ordinary comments and whitespace never
+/// become tokens; doc comments stay in the token stream (as
+/// [`TokKind::Doc`]) and are *not* duplicated into the comment list.
+pub fn lex_with_comments(src: &str) -> (Vec<Tok>, Vec<Comment>) {
     let chars: Vec<char> = src.chars().collect();
+    let mut comments = Vec::new();
     let mut toks = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
@@ -102,6 +118,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     text,
                     line,
                 });
+            } else {
+                comments.push(Comment {
+                    first_line: line,
+                    last_line: line,
+                    text,
+                });
             }
             continue;
         }
@@ -132,6 +154,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     kind: TokKind::Doc,
                     text,
                     line: start_line,
+                });
+            } else {
+                comments.push(Comment {
+                    first_line: start_line,
+                    last_line: line,
+                    text,
                 });
             }
             continue;
@@ -323,7 +351,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
             i += 1;
         }
     }
-    toks
+    (toks, comments)
 }
 
 /// Recognizes a raw/byte/C string starting at `rest[0]` (an identifier

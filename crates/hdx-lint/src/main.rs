@@ -1,8 +1,10 @@
 //! `hdx-lint`: workspace static-analysis pass for the H-DivExplorer repo.
 //!
 //! Enforces the project's reliability rules over every workspace crate
-//! (see `crates/hdx-lint/README.md` and the "Invariants & static analysis"
-//! section of `DESIGN.md`):
+//! (see `crates/hdx-lint/README.md` and the "Static analysis" section of
+//! `DESIGN.md` §13). Three tiers:
+//!
+//! **Lexical rules** (token stream, [`rules`]):
 //!
 //! 1. `no-unwrap`   — no `.unwrap()` / `.expect()` / `panic!` in library
 //!    crates outside `#[cfg(test)]`.
@@ -11,17 +13,40 @@
 //! 3. `missing-docs` — all `pub` items in library crates are documented.
 //! 4. `no-exit`     — no `std::process::exit` outside `hdx-cli`.
 //!
-//! Violations not covered by `crates/hdx-lint/allowlist.txt` fail the run
-//! (exit code 1). `--format json` / `--output <path>` emit a
-//! machine-readable report for CI.
+//! **Semantic rules** (item tree + comment side-channel + manifests,
+//! [`semantic`]):
 //!
-//! Usage: `cargo lint` / `cargo xtask lint` / `cargo run -p hdx-lint --`
-//! with optional flags `[--format text|json] [--output <path>]
-//! [--allowlist <path>] [--root <dir>] [--self-test]`.
+//! 5. `unsafe-audit`      — `// SAFETY:` comment + `UNSAFE_LEDGER.md` row
+//!    for every `unsafe`.
+//! 6. `atomics-ordering`  — `// ORDERING:` justification for every
+//!    `Ordering::Relaxed`.
+//! 7. `no-alloc-hot-path` — functions in `crates/hdx-lint/hotpaths.toml`
+//!    do not allocate.
+//! 8. `no-panic-path`     — `panic_free` files avoid unchecked indexing
+//!    and panicking calls.
+//! 9. `doc-coverage`      — per-crate coverage floors from
+//!    `crates/hdx-lint/doc_ratchet.toml`.
+//!
+//! **Dynamic harness** (`cargo xtask sanitize`, [`sanitize`]): loom
+//! interleaving models, Miri, ThreadSanitizer.
+//!
+//! Violations not covered by `crates/hdx-lint/allowlist.txt` fail the run
+//! (exit code 1). `--format json|sarif` / `--output <path>` emit
+//! machine-readable reports for CI and editors.
+//!
+//! Usage: `cargo lint` / `cargo xtask lint` / `cargo xtask sanitize` /
+//! `cargo run -p hdx-lint --` with optional flags
+//! `[--format text|json|sarif] [--output <path>] [--allowlist <path>]
+//! [--root <dir>] [--strict] [--self-test]`.
 
+mod ast;
 mod lexer;
+mod manifest;
 mod rules;
+mod sanitize;
+mod sarif;
 mod selftest;
+mod semantic;
 
 use rules::Violation;
 use std::collections::BTreeMap;
@@ -31,7 +56,7 @@ use std::process::ExitCode;
 
 /// Library crates subject to rules 1–3. Binary/tooling crates (`hdx-cli`,
 /// `hdx-bench`, `hdx-lint` itself) and the facade crate are exempt from
-/// those but still checked for rule 4.
+/// those but still checked for rule 4 and all semantic rules.
 const LIB_CRATES: &[&str] = &[
     "hdx-core",
     "hdx-checkpoint",
@@ -55,13 +80,30 @@ struct AllowEntry {
     used: bool,
 }
 
+/// Output format for the violation report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 #[derive(Debug)]
 struct Options {
-    format_json: bool,
+    format: Format,
     output: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     root: Option<PathBuf>,
     self_test: bool,
+    sanitize: bool,
+    strict: bool,
+}
+
+/// The loaded manifests driving the semantic rules.
+pub(crate) struct Manifests {
+    pub(crate) hotpaths: manifest::Hotpaths,
+    pub(crate) ledger: manifest::UnsafeLedger,
+    pub(crate) ratchet: manifest::DocRatchet,
 }
 
 fn main() -> ExitCode {
@@ -85,6 +127,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.sanitize {
+        return ExitCode::from(sanitize::run(&root, opts.strict) as u8);
+    }
+
     let allowlist_path = opts
         .allowlist
         .clone()
@@ -97,8 +143,17 @@ fn main() -> ExitCode {
         }
     };
 
+    let manifests = match load_manifests(&root) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("hdx-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
     let files = collect_sources(&root);
     let mut violations = Vec::new();
+    let mut doc_counts: BTreeMap<String, semantic::DocCounts> = BTreeMap::new();
     for file in &files {
         let Ok(src) = fs::read_to_string(file) else {
             eprintln!("hdx-lint: warning: cannot read {}", file.display());
@@ -109,22 +164,30 @@ fn main() -> ExitCode {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        check_file(&rel, &src, &mut violations);
+        check_file(&rel, &src, &manifests, &mut doc_counts, &mut violations);
     }
+    semantic::rule_doc_coverage(
+        &doc_counts,
+        &manifests.ratchet,
+        "crates/hdx-lint/doc_ratchet.toml",
+        &mut violations,
+    );
 
     let (reported, allowlisted) = apply_allowlist(violations, &mut allowlist);
-    let report = render_report(&reported, allowlisted, files.len(), allowlist.len());
 
+    let report = match opts.format {
+        Format::Sarif => sarif::render(&reported),
+        _ => render_report(&reported, allowlisted, files.len(), allowlist.len()),
+    };
     if let Some(path) = &opts.output {
         if let Err(e) = fs::write(path, &report) {
             eprintln!("hdx-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
     }
-    if opts.format_json {
-        println!("{report}");
-    } else {
-        print_text(&reported, allowlisted, files.len(), &allowlist);
+    match opts.format {
+        Format::Json | Format::Sarif => println!("{report}"),
+        Format::Text => print_text(&reported, allowlisted, files.len(), &allowlist),
     }
 
     if reported.is_empty() {
@@ -136,27 +199,38 @@ fn main() -> ExitCode {
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        format_json: false,
+        format: Format::Text,
         output: None,
         allowlist: None,
         root: None,
         self_test: false,
+        sanitize: false,
+        strict: false,
     };
     let mut args = std::env::args().skip(1).peekable();
-    // Accept a leading `lint` subcommand so the `cargo xtask lint` alias
-    // (which expands to `cargo run -p hdx-lint -- lint`) works.
-    if args.peek().map(String::as_str) == Some("lint") {
-        args.next();
+    // Accept a leading subcommand: `lint` (the default, so `cargo xtask
+    // lint` works) or `sanitize` (the dynamic harness, `cargo xtask
+    // sanitize`).
+    match args.peek().map(String::as_str) {
+        Some("lint") => {
+            args.next();
+        }
+        Some("sanitize") => {
+            opts.sanitize = true;
+            args.next();
+        }
+        _ => {}
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
                 let v = args.next().ok_or("--format requires a value")?;
-                match v.as_str() {
-                    "json" => opts.format_json = true,
-                    "text" => opts.format_json = false,
+                opts.format = match v.as_str() {
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    "text" => Format::Text,
                     other => return Err(format!("unknown format `{other}`")),
-                }
+                };
             }
             "--output" => {
                 opts.output = Some(PathBuf::from(
@@ -171,11 +245,13 @@ fn parse_args() -> Result<Options, String> {
             "--root" => {
                 opts.root = Some(PathBuf::from(args.next().ok_or("--root requires a path")?));
             }
+            "--strict" => opts.strict = true,
             "--self-test" => opts.self_test = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: hdx-lint [lint] [--format text|json] [--output <path>] \
-                     [--allowlist <path>] [--root <dir>] [--self-test]"
+                    "usage: hdx-lint [lint|sanitize] [--format text|json|sarif] \
+                     [--output <path>] [--allowlist <path>] [--root <dir>] \
+                     [--strict] [--self-test]"
                         .to_string(),
                 );
             }
@@ -183,6 +259,15 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Loads the three semantic-rule manifests relative to the workspace root.
+fn load_manifests(root: &Path) -> Result<Manifests, String> {
+    Ok(Manifests {
+        hotpaths: manifest::load_hotpaths(&root.join("crates/hdx-lint/hotpaths.toml"))?,
+        ledger: manifest::load_unsafe_ledger(&root.join("UNSAFE_LEDGER.md"))?,
+        ratchet: manifest::load_doc_ratchet(&root.join("crates/hdx-lint/doc_ratchet.toml"))?,
+    })
 }
 
 /// Locates the workspace root: an explicit `--root`, else the grandparent of
@@ -257,22 +342,48 @@ fn crate_of(rel: &str) -> &str {
         .unwrap_or(".")
 }
 
-/// Runs every applicable rule over one file.
-fn check_file(rel: &str, src: &str, out: &mut Vec<Violation>) {
+/// Runs every applicable rule over one file. Doc-coverage is only tallied
+/// here (per crate); the ratchet comparison happens once after all files.
+pub(crate) fn check_file(
+    rel: &str,
+    src: &str,
+    manifests: &Manifests,
+    doc_counts: &mut BTreeMap<String, semantic::DocCounts>,
+    out: &mut Vec<Violation>,
+) {
     let krate = crate_of(rel);
     let is_lib = LIB_CRATES.contains(&krate);
     let exit_exempt = krate == "hdx-cli";
-    if !is_lib && exit_exempt {
-        return;
-    }
-    let toks = lexer::lex(src);
+
+    let (toks, comments) = lexer::lex_with_comments(src);
     let mask = rules::test_mask(&toks);
+
+    // Lexical rules.
     if is_lib {
         rules::rule_no_unwrap(&toks, &mask, rel, out);
         rules::rule_no_float_eq(&toks, &mask, rel, out);
         rules::rule_missing_docs(&toks, &mask, rel, out);
     }
-    rules::rule_no_exit(&toks, &mask, rel, out);
+    if !exit_exempt {
+        rules::rule_no_exit(&toks, &mask, rel, out);
+    }
+
+    // Semantic rules (all crates, tooling included).
+    let comment_index = semantic::CommentIndex::new(&comments);
+    let tree = ast::parse(&toks);
+    semantic::rule_unsafe_audit(&tree, &mask, &comment_index, &manifests.ledger, rel, out);
+    semantic::rule_atomics_ordering(&toks, &mask, &comment_index, rel, out);
+    if let Some(hotpath) = manifests.hotpaths.for_file(rel) {
+        semantic::rule_no_alloc_hot_path(&toks, &tree, &mask, &comment_index, hotpath, rel, out);
+        if hotpath.panic_free {
+            semantic::rule_no_panic_path(&toks, &mask, &comment_index, rel, out);
+        }
+    }
+    semantic::tally_doc_coverage(
+        &toks,
+        &mask,
+        doc_counts.entry(krate.to_string()).or_default(),
+    );
 }
 
 fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
@@ -382,7 +493,7 @@ fn json_escape(s: &str) -> String {
 
 /// Renders the machine-readable JSON report (hand-rolled: the linter is
 /// deliberately dependency-free so it builds before the workspace does).
-fn render_report(
+pub(crate) fn render_report(
     reported: &[Violation],
     allowlisted: usize,
     files_scanned: usize,

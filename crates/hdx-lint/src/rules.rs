@@ -27,18 +27,66 @@ pub struct Violation {
     pub message: String,
 }
 
-/// Rule identifiers, in reporting order.
-pub const RULES: &[&str] = &["no-unwrap", "no-float-eq", "missing-docs", "no-exit"];
+/// Rule identifiers, in reporting order. The first four are the lexical
+/// rules; the rest are the semantic rules (see [`crate::semantic`]).
+pub const RULES: &[&str] = &[
+    "no-unwrap",
+    "no-float-eq",
+    "missing-docs",
+    "no-exit",
+    "unsafe-audit",
+    "atomics-ordering",
+    "no-alloc-hot-path",
+    "no-panic-path",
+    "doc-coverage",
+];
 
 /// Computes a mask marking tokens inside `#[cfg(test)]` / `#[test]` items.
 ///
 /// When a test attribute is found, the attribute itself, any further
 /// attributes/doc comments, and the following item (up to its closing brace
-/// or terminating semicolon) are all masked.
+/// or terminating semicolon) are all masked. An *inner* test attribute
+/// (`#![cfg(test)]`) masks the rest of its enclosing brace block — or the
+/// rest of the file when it appears at the top level.
 pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
+    let mut depth = 0usize;
     let mut i = 0usize;
     while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth = depth.saturating_sub(1);
+        }
+        // Inner attribute `#![...]`: applies to the enclosing block/file.
+        if toks[i].is_punct("#")
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct("!"))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct("["))
+        {
+            let (attr_end, is_test) = scan_attribute(toks, i + 2);
+            if is_test {
+                // Mask from the attribute to the end of the enclosing block
+                // (the token closing `depth`), or to EOF at the top level.
+                let mut d = depth;
+                let mut j = attr_end + 1;
+                while j < toks.len() {
+                    if toks[j].is_punct("{") {
+                        d += 1;
+                    } else if toks[j].is_punct("}") {
+                        if d == depth && depth > 0 {
+                            break;
+                        }
+                        d = d.saturating_sub(1);
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+                    *m = true;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
         if !toks[i].is_punct("#") || !matches!(toks.get(i + 1), Some(t) if t.is_punct("[")) {
             i += 1;
             continue;
@@ -97,11 +145,17 @@ pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
 /// Scans an attribute whose `[` is at `open`. Returns the index of the
 /// matching `]` and whether the attribute marks test-only code
 /// (`#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]`, ...).
+///
+/// A `test` predicate under a `not(...)` group does **not** count:
+/// `#[cfg(not(test))]` is production-only code and must stay lintable.
 fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
     let mut depth = 0usize;
-    let mut has_cfg = false;
     let mut has_test = false;
     let mut first_ident: Option<&str> = None;
+    // Parenthesis groups entered so far, each tagged with whether it is (or
+    // sits inside) a `not(...)` group.
+    let mut group_negated: Vec<bool> = Vec::new();
+    let mut prev_ident_is_not = false;
     let mut j = open;
     while j < toks.len() {
         let t = &toks[j];
@@ -112,21 +166,28 @@ fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
             if depth == 0 {
                 break;
             }
+        } else if t.is_punct("(") {
+            let inherited = group_negated.last().copied().unwrap_or(false);
+            group_negated.push(inherited || prev_ident_is_not);
+            prev_ident_is_not = false;
+        } else if t.is_punct(")") {
+            group_negated.pop();
+            prev_ident_is_not = false;
         } else if t.kind == TokKind::Ident {
             if first_ident.is_none() {
                 first_ident = Some(&t.text);
             }
-            if t.text == "cfg" {
-                has_cfg = true;
-            }
-            if t.text == "test" {
+            if t.text == "test" && !group_negated.last().copied().unwrap_or(false) {
                 has_test = true;
             }
+            prev_ident_is_not = t.text == "not";
+        } else {
+            prev_ident_is_not = false;
         }
         j += 1;
     }
     let is_test = match first_ident {
-        Some("cfg") => has_cfg && has_test,
+        Some("cfg") => has_test,
         Some("test") => true,
         _ => false,
     };
@@ -225,7 +286,7 @@ pub fn rule_missing_docs(toks: &[Tok], mask: &[bool], file: &str, out: &mut Vec<
 /// Identifies the item declared after a `pub` at index `i`:
 /// `Some((kind, name))` for doc-requiring items, `None` otherwise
 /// (e.g. `pub use`, struct fields).
-fn item_after_pub(toks: &[Tok], i: usize) -> Option<(String, String)> {
+pub(crate) fn item_after_pub(toks: &[Tok], i: usize) -> Option<(String, String)> {
     let mut j = i + 1;
     loop {
         let t = toks.get(j)?;
@@ -258,7 +319,7 @@ fn item_after_pub(toks: &[Tok], i: usize) -> Option<(String, String)> {
 
 /// Walks backwards from the `pub` at index `i` over attributes and doc
 /// comments; true when a doc comment or `#[doc ...]` attribute is found.
-fn is_documented(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_documented(toks: &[Tok], i: usize) -> bool {
     let mut k = i;
     while k > 0 {
         let prev = &toks[k - 1];

@@ -1,0 +1,279 @@
+//! # hdx-loom
+//!
+//! A dependency-free exhaustive-interleaving model checker for the
+//! workspace's concurrency kernels, in the spirit of the `loom` crate
+//! (which the offline build cannot depend on).
+//!
+//! [`model`] runs a closure under **every distinguishable thread
+//! interleaving**: threads spawned with [`thread::spawn`] execute one at a
+//! time, and each operation on a modeled primitive ([`sync::atomic`],
+//! [`sync::Mutex`]) is a *schedule point* where the controller picks which
+//! runnable thread goes next. The decision sequence of each run is
+//! recorded and the schedule tree is explored depth-first until every
+//! branch has been tried, so an assertion inside the closure is checked
+//! against all interleavings, not just the ones a timing-dependent test
+//! happens to hit.
+//!
+//! ```
+//! use hdx_loom::sync::atomic::{AtomicU64, Ordering};
+//! use hdx_loom::sync::Arc;
+//!
+//! hdx_loom::model(|| {
+//!     let x = Arc::new(AtomicU64::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let h = hdx_loom::thread::spawn(move || x2.fetch_add(1, Ordering::Relaxed));
+//!     x.fetch_add(1, Ordering::Relaxed);
+//!     h.join().expect("worker panicked");
+//!     // fetch_add is atomic, so no interleaving loses an increment.
+//!     assert_eq!(x.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! ## What is and is not modeled
+//!
+//! * Scheduling is explored at modeled operations only; stretches of code
+//!   between schedule points run atomically. Code under test must route
+//!   its shared-state operations through [`sync`] (the workspace crates do
+//!   this with a `pub(crate) mod sync` facade switched on `--cfg
+//!   hdx_loom`).
+//! * The memory model is **sequential consistency**: every modeled atomic
+//!   runs as `SeqCst` regardless of the `Ordering` argument, so weak-memory
+//!   reorderings are *not* explored (ThreadSanitizer and Miri cover that
+//!   axis in `cargo xtask sanitize`). What *is* explored exhaustively is
+//!   the interleaving of the operations themselves.
+//! * Schedules where no thread can run panic with a deadlock report; a
+//!   panic on any schedule aborts the model and replays the failing
+//!   decision sequence in the error output.
+//!
+//! Model closures should join every thread they spawn and must be
+//! idempotent: the closure runs once per schedule (use fresh state inside
+//! the closure, or reset process-global state at its start). The number of
+//! schedules is capped (default [`DEFAULT_MAX_ITER`], override with the
+//! `HDX_LOOM_MAX_ITER` environment variable) so a model whose state space
+//! explodes fails loudly instead of hanging CI.
+
+mod sched;
+/// Modeled concurrency primitives: schedule-point twins of `std::sync`.
+pub mod sync;
+/// Model-aware thread spawn/join.
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Default cap on the number of schedules one [`model`] call may explore;
+/// override with the `HDX_LOOM_MAX_ITER` environment variable.
+pub const DEFAULT_MAX_ITER: u64 = 50_000;
+
+/// Runs `f` under every distinguishable interleaving of its modeled
+/// operations (see the [crate docs](self) for the exploration strategy and
+/// its limits).
+///
+/// # Panics
+///
+/// Propagates the first panic `f` raises on any schedule (printing the
+/// failing decision sequence first), panics on a deadlocked schedule, and
+/// panics when the schedule count exceeds the iteration cap.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let cap = std::env::var("HDX_LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_MAX_ITER);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut script: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= cap,
+            "hdx-loom: exceeded the cap of {cap} schedules — \
+             shrink the model or raise HDX_LOOM_MAX_ITER"
+        );
+        let (trace, panicked) = run_iteration(&f, script.clone());
+        if let Some(payload) = panicked {
+            eprintln!(
+                "hdx-loom: schedule {} failed (after {} passing schedule(s)); \
+                 replay decisions: {script:?}",
+                sched::format_trace(&trace),
+                iterations - 1,
+            );
+            std::panic::resume_unwind(payload);
+        }
+        match sched::next_script(&trace) {
+            Some(next) => script = next,
+            None => break,
+        }
+    }
+    eprintln!("hdx-loom: model complete — {iterations} schedule(s) explored");
+}
+
+/// Runs one schedule: replays `script` as the decision prefix, then takes
+/// the first branch at every new decision point. Returns the recorded
+/// decision trace and the root closure's panic payload, if any.
+fn run_iteration(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    script: Vec<usize>,
+) -> (Vec<sched::Choice>, Option<Box<dyn std::any::Any + Send>>) {
+    let ctrl = Arc::new(sched::Controller::new(script));
+    let ctrl_root = Arc::clone(&ctrl);
+    let body = Arc::clone(f);
+    let root = std::thread::Builder::new()
+        .name("hdx-loom-root".to_string())
+        .spawn(move || {
+            sched::set_current(Some((Arc::clone(&ctrl_root), 0)));
+            let guard = sched::FinishGuard::new(Arc::clone(&ctrl_root), 0);
+            body();
+            drop(guard);
+            sched::set_current(None);
+        })
+        .expect("hdx-loom: cannot spawn the model root thread");
+    let outcome = root.join();
+    ctrl.wait_all_finished();
+    (ctrl.trace(), outcome.err())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Mutex, PoisonError};
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+
+    /// Runs `f` under the model, collecting every distinct value it
+    /// reports across all explored schedules.
+    fn outcomes<F>(f: F) -> Vec<u64>
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        let seen: Arc<StdMutex<BTreeSet<u64>>> = Arc::new(StdMutex::new(BTreeSet::new()));
+        let sink = Arc::clone(&seen);
+        model(move || {
+            let value = f();
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(value);
+        });
+        let values: Vec<u64> = seen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect();
+        values
+    }
+
+    #[test]
+    fn explores_both_orders_of_a_racing_store() {
+        let observed = outcomes(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let h = thread::spawn(move || x2.store(1, Ordering::Relaxed));
+            let seen = x.load(Ordering::Relaxed);
+            h.join().expect("storer panicked");
+            seen
+        });
+        assert_eq!(observed, [0, 1], "both orders must be explored");
+    }
+
+    #[test]
+    fn finds_the_lost_update_of_an_unfused_increment() {
+        let finals = outcomes(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let unfused = |x: Arc<AtomicU64>| {
+                move || {
+                    let v = x.load(Ordering::Relaxed);
+                    x.store(v + 1, Ordering::Relaxed);
+                }
+            };
+            let a = thread::spawn(unfused(Arc::clone(&x)));
+            let b = thread::spawn(unfused(Arc::clone(&x)));
+            a.join().expect("a panicked");
+            b.join().expect("b panicked");
+            x.load(Ordering::Relaxed)
+        });
+        assert_eq!(
+            finals,
+            [1, 2],
+            "exploration must find the lost-update schedule (1) and the clean one (2)"
+        );
+    }
+
+    #[test]
+    fn mutex_protected_increments_are_never_lost() {
+        let finals = outcomes(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("incrementer panicked");
+            }
+            let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            *g
+        });
+        assert_eq!(finals, [2]);
+    }
+
+    #[test]
+    fn reports_abba_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+                });
+                {
+                    let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                }
+                h.join().expect("locker panicked");
+            });
+        });
+        assert!(result.is_err(), "some schedule must deadlock and panic");
+    }
+
+    #[test]
+    fn assertion_failures_propagate_with_their_payload() {
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let x2 = Arc::clone(&x);
+                let h = thread::spawn(move || x2.store(7, Ordering::Relaxed));
+                // Fails on the schedule where the store lands first.
+                assert_eq!(x.load(Ordering::Relaxed), 0, "saw the racing store");
+                h.join().expect("storer panicked");
+            });
+        });
+        let payload = result.expect_err("the racing schedule must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("saw the racing store"), "got: {msg}");
+    }
+
+    #[test]
+    fn primitives_pass_through_outside_a_model() {
+        // No model() wrapper: every op must behave like plain std.
+        let x = AtomicU64::new(1);
+        assert_eq!(x.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(x.load(Ordering::SeqCst), 3);
+        let m = Mutex::new(5u32);
+        *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        assert_eq!(*m.lock().unwrap_or_else(PoisonError::into_inner), 6);
+        let h = thread::spawn(|| 42u64);
+        assert_eq!(h.join().expect("thread panicked"), 42);
+    }
+}

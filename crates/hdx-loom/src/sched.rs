@@ -1,0 +1,272 @@
+//! The schedule controller: real threads serialized under one lock, with
+//! deterministic depth-first replay of scheduling decisions.
+//!
+//! One model iteration is one *schedule*. Exactly one model thread is
+//! `active` at any time; everything else blocks on the controller's
+//! condvar. At every schedule point the active thread re-enters the
+//! controller ([`Controller::reschedule`]), which picks the next thread
+//! from the runnable set: replaying the iteration's decision `script`
+//! while it lasts, then defaulting to the first runnable thread and
+//! recording the number of alternatives. [`next_script`] then bumps the
+//! deepest decision with an untried alternative, giving depth-first
+//! exploration of the whole schedule tree.
+//!
+//! Model threads are ordinary OS threads, so thread-locals, `Drop` order
+//! and real `JoinHandle` semantics inside the modeled code all behave
+//! exactly as in production — only the *timing* is controlled.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// What one model thread is doing, from the controller's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    /// Schedulable.
+    Runnable,
+    /// Waiting for the modeled mutex with this key (its address).
+    BlockedMutex(usize),
+    /// Waiting for the model thread with this id to finish.
+    BlockedJoin(usize),
+    /// Returned or unwound; never scheduled again.
+    Finished,
+}
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    /// Index chosen within the runnable set at this point.
+    chosen: usize,
+    /// Size of the runnable set at this point.
+    n_choices: usize,
+    /// Thread id that was scheduled (for trace reports).
+    thread: usize,
+}
+
+/// Mutable scheduler state, behind the controller's lock.
+struct Sched {
+    threads: Vec<ThreadState>,
+    active: usize,
+    script: Vec<usize>,
+    pos: usize,
+    trace: Vec<Choice>,
+    panicked: bool,
+}
+
+/// The per-iteration schedule controller shared by all model threads.
+pub(crate) struct Controller {
+    state: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Controller {
+    /// A controller for one iteration, replaying `script` as its decision
+    /// prefix. Thread 0 (the model root) is pre-registered and active.
+    pub(crate) fn new(script: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(Sched {
+                threads: vec![ThreadState::Runnable],
+                active: 0,
+                script,
+                pos: 0,
+                trace: Vec::new(),
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The schedule point: moves `me` into `me_state`, picks the next
+    /// thread to run, and blocks until `me` is scheduled again. Late calls
+    /// from a thread already marked finished (thread-local teardown after
+    /// the model closure returned) are a no-op.
+    pub(crate) fn reschedule(&self, me: usize, me_state: ThreadState) {
+        let mut st = self.locked();
+        if st.threads[me] == ThreadState::Finished {
+            return;
+        }
+        st.threads[me] = me_state;
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+        while st.active != me {
+            if st.panicked {
+                drop(st);
+                panic!("hdx-loom: abandoning schedule after another model thread panicked");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Picks the next active thread from the runnable set, recording the
+    /// decision. Panics with a deadlock report when live threads exist but
+    /// none is runnable; does nothing when every thread has finished.
+    fn pick_next(&self, st: &mut Sched) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (*t == ThreadState::Runnable).then_some(i))
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| *t == ThreadState::Finished) {
+                return;
+            }
+            st.panicked = true;
+            let report = format!(
+                "hdx-loom: deadlock — every live thread is blocked (states: {:?}); \
+                 schedule so far: {}",
+                st.threads,
+                format_trace(&st.trace),
+            );
+            self.cv.notify_all();
+            panic!("{report}");
+        }
+        let idx = if st.pos < st.script.len() {
+            // The clamp only matters if a model is nondeterministic between
+            // iterations, which is itself a modeling error; clamping keeps
+            // the replay well-defined instead of panicking on an index.
+            st.script[st.pos].min(runnable.len() - 1)
+        } else {
+            0
+        };
+        st.pos += 1;
+        st.trace.push(Choice {
+            chosen: idx,
+            n_choices: runnable.len(),
+            thread: runnable[idx],
+        });
+        st.active = runnable[idx];
+    }
+
+    /// Registers a newly spawned model thread as runnable; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.locked();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Blocks a freshly spawned thread until the scheduler first picks it.
+    pub(crate) fn wait_until_active(&self, id: usize) {
+        let mut st = self.locked();
+        while st.active != id {
+            if st.panicked {
+                drop(st);
+                panic!("hdx-loom: abandoning schedule after another model thread panicked");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Whether the model thread `id` has finished.
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        self.locked().threads[id] == ThreadState::Finished
+    }
+
+    /// Marks every thread blocked on the mutex `key` runnable again.
+    pub(crate) fn unlock_wake(&self, key: usize) {
+        let mut st = self.locked();
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::BlockedMutex(key) {
+                *t = ThreadState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every model thread has finished (or the schedule was
+    /// abandoned after a panic).
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.locked();
+        while !st.panicked && !st.threads.iter().all(|t| *t == ThreadState::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The decision trace recorded so far this iteration.
+    pub(crate) fn trace(&self) -> Vec<Choice> {
+        self.locked().trace.clone()
+    }
+}
+
+/// Marks its thread finished on drop — including on unwind, so a panicking
+/// model thread still hands the schedule back instead of hanging the
+/// model. Joiners are woken; on a normal return the scheduler picks the
+/// next thread (a panic instead abandons the whole schedule).
+pub(crate) struct FinishGuard {
+    ctrl: Arc<Controller>,
+    id: usize,
+}
+
+impl FinishGuard {
+    pub(crate) fn new(ctrl: Arc<Controller>, id: usize) -> Self {
+        Self { ctrl, id }
+    }
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let unwinding = std::thread::panicking();
+        let id = self.id;
+        let mut st = self.ctrl.locked();
+        st.threads[id] = ThreadState::Finished;
+        if unwinding {
+            st.panicked = true;
+        }
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::BlockedJoin(id) {
+                *t = ThreadState::Runnable;
+            }
+        }
+        if !st.panicked {
+            self.ctrl.pick_next(&mut st);
+        }
+        self.ctrl.cv.notify_all();
+    }
+}
+
+thread_local! {
+    /// The controller and thread id of the current model thread, if any.
+    static CURRENT: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model context (`None` outside a model, and during
+/// thread-local teardown once `CURRENT` itself has been destroyed).
+pub(crate) fn current() -> Option<(Arc<Controller>, usize)> {
+    CURRENT.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+/// Installs (or clears) the calling thread's model context.
+pub(crate) fn set_current(ctx: Option<(Arc<Controller>, usize)>) {
+    let _ = CURRENT.try_with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The schedule point used by the modeled primitives: a no-op outside a
+/// model, otherwise yields to the scheduler while staying runnable.
+pub(crate) fn yield_point() {
+    if let Some((ctrl, me)) = current() {
+        ctrl.reschedule(me, ThreadState::Runnable);
+    }
+}
+
+/// Computes the next iteration's decision script: the deepest decision
+/// with an untried alternative is bumped and everything after it dropped.
+/// `None` once the whole schedule tree has been explored.
+pub(crate) fn next_script(trace: &[Choice]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        if trace[i].chosen + 1 < trace[i].n_choices {
+            let mut script: Vec<usize> = trace[..i].iter().map(|c| c.chosen).collect();
+            script.push(trace[i].chosen + 1);
+            return Some(script);
+        }
+    }
+    None
+}
+
+/// Renders a trace as the sequence of scheduled thread ids.
+pub(crate) fn format_trace(trace: &[Choice]) -> String {
+    let ids: Vec<String> = trace.iter().map(|c| c.thread.to_string()).collect();
+    format!("[{}]", ids.join(", "))
+}

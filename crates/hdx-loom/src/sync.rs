@@ -1,0 +1,230 @@
+//! Modeled twins of the `std::sync` primitives the workspace's concurrent
+//! code uses: identical APIs, but every operation is a schedule point when
+//! the calling thread runs inside [`model`](crate::model). Outside a model
+//! every type behaves exactly like its `std` original, so code built with
+//! `--cfg hdx_loom` still works when executed normally.
+
+use crate::sched::{self, ThreadState};
+use std::ops::{Deref, DerefMut};
+use std::sync::TryLockError;
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, PoisonError};
+
+/// Modeled atomics: `std::sync::atomic` twins whose every operation is a
+/// schedule point. All operations run sequentially consistent regardless
+/// of the `Ordering` argument (see the crate docs for why).
+pub mod atomic {
+    use crate::sched;
+    use std::sync::atomic as std_atomic;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! modeled_int_atomic {
+        ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+            $(#[$meta])*
+            #[derive(Debug, Default)]
+            /// Every operation is a schedule point inside a model.
+            pub struct $name {
+                inner: std_atomic::$name,
+            }
+
+            impl $name {
+                /// A new atomic holding `value`.
+                pub const fn new(value: $ty) -> Self {
+                    Self { inner: std_atomic::$name::new(value) }
+                }
+
+                /// Loads the value (schedule point).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    sched::yield_point();
+                    self.inner.load(SeqCst)
+                }
+
+                /// Stores `value` (schedule point).
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    sched::yield_point();
+                    self.inner.store(value, SeqCst);
+                }
+
+                /// Adds `value`, returning the previous value (schedule point).
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    sched::yield_point();
+                    self.inner.fetch_add(value, SeqCst)
+                }
+
+                /// Subtracts `value`, returning the previous value (schedule
+                /// point).
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    sched::yield_point();
+                    self.inner.fetch_sub(value, SeqCst)
+                }
+
+                /// Stores `new` if the value equals `current` (schedule point);
+                /// `Ok` with the previous value on success, `Err` with it on
+                /// failure.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    sched::yield_point();
+                    self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+            }
+        };
+    }
+
+    modeled_int_atomic!(
+        /// Modeled `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    modeled_int_atomic!(
+        /// Modeled `AtomicU8`.
+        AtomicU8,
+        u8
+    );
+    modeled_int_atomic!(
+        /// Modeled `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+
+    /// Modeled `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std_atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// A new atomic holding `value`.
+        pub const fn new(value: bool) -> Self {
+            Self {
+                inner: std_atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value (schedule point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            sched::yield_point();
+            self.inner.load(SeqCst)
+        }
+
+        /// Stores `value` (schedule point).
+        pub fn store(&self, value: bool, _order: Ordering) {
+            sched::yield_point();
+            self.inner.store(value, SeqCst);
+        }
+
+        /// Stores `value` and returns the previous value (schedule point).
+        pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+            sched::yield_point();
+            self.inner.swap(value, SeqCst)
+        }
+    }
+}
+
+/// A modeled mutex: `std::sync::Mutex` plus schedule points on lock and
+/// unlock. A thread that would block is suspended in the scheduler until
+/// the modeled owner unlocks, so lock contention is explored exactly,
+/// including deadlocks (reported with the failing schedule).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new modeled mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock (schedule point), suspending this model thread
+    /// while another model thread holds it. Outside a model this is a
+    /// plain blocking `std` lock. Poisoning mirrors `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let key = self as *const Self as usize;
+        loop {
+            let Some((ctrl, me)) = sched::current() else {
+                return match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                };
+            };
+            ctrl.reschedule(me, ThreadState::Runnable);
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    return Ok(MutexGuard {
+                        inner: Some(g),
+                        model: Some((ctrl, key)),
+                    })
+                }
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(MutexGuard {
+                        inner: Some(poisoned.into_inner()),
+                        model: Some((ctrl, key)),
+                    }))
+                }
+                Err(TryLockError::WouldBlock) => {
+                    ctrl.reschedule(me, ThreadState::BlockedMutex(key));
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]: dropping it unlocks (a schedule point) and
+/// wakes every model thread blocked on the same mutex.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<crate::sched::Controller>, usize)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .expect("hdx-loom: mutex guard used after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("hdx-loom: mutex guard used after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((ctrl, key)) = self.model.take() {
+            ctrl.unlock_wake(key);
+            // Skip the unlock schedule point while unwinding: the panic
+            // protocol (FinishGuard) abandons the schedule instead, and a
+            // second panic here would abort the process.
+            if !std::thread::panicking() {
+                if let Some((cur, me)) = sched::current() {
+                    if Arc::ptr_eq(&cur, &ctrl) {
+                        ctrl.reschedule(me, ThreadState::Runnable);
+                    }
+                }
+            }
+        }
+    }
+}

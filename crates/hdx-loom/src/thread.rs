@@ -1,0 +1,65 @@
+//! Model-aware thread spawn/join: real OS threads whose scheduling is
+//! serialized by the model controller. Outside a model both functions
+//! defer to `std::thread` unchanged.
+
+use crate::sched::{self, ThreadState};
+use std::sync::Arc;
+
+/// Handle to a thread spawned with [`spawn`]; join it before the model
+/// closure returns so every schedule ends in a quiescent state.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<sched::Controller>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` holds
+    /// the panic payload, as with `std`). Inside a model this is a
+    /// schedule point: the joining thread is suspended until the target
+    /// thread has been scheduled to completion.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((ctrl, id)) = &self.model {
+            if let Some((current, me)) = sched::current() {
+                if Arc::ptr_eq(ctrl, &current) {
+                    while !ctrl.is_finished(*id) {
+                        ctrl.reschedule(me, ThreadState::BlockedJoin(*id));
+                    }
+                }
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns `f` on a new thread. When called from inside a model the thread
+/// is registered with the schedule controller and only runs when
+/// scheduled; the spawn itself is a schedule point (the child may be
+/// scheduled before the spawner continues).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((ctrl, me)) = sched::current() else {
+        return JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        };
+    };
+    let id = ctrl.register_thread();
+    let ctrl_child = Arc::clone(&ctrl);
+    let inner = std::thread::spawn(move || {
+        sched::set_current(Some((Arc::clone(&ctrl_child), id)));
+        ctrl_child.wait_until_active(id);
+        let guard = sched::FinishGuard::new(Arc::clone(&ctrl_child), id);
+        let out = f();
+        drop(guard);
+        sched::set_current(None);
+        out
+    });
+    ctrl.reschedule(me, ThreadState::Runnable);
+    JoinHandle {
+        inner,
+        model: Some((ctrl, id)),
+    }
+}

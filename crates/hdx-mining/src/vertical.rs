@@ -150,11 +150,10 @@ fn dfs(
     scratch: &mut [Bitset],
     out: &mut Vec<FrequentItemset>,
 ) {
-    for idx in start..ctx.frequent.len() {
+    for (idx, cand) in ctx.frequent.iter().enumerate().skip(start) {
         if !ctx.governor.keep_going() {
             return;
         }
-        let cand = &ctx.frequent[idx];
         hdx_obs::counter_add!(MineCandidatesGenerated, 1);
         if prefix_attrs.contains(cand.attr) {
             hdx_obs::counter_add!(MineCandidatesPrunedAttr, 1);
@@ -173,6 +172,8 @@ fn dfs(
         if !ctx.governor.record_itemsets(1) {
             return;
         }
+        // ALLOC: reusable prefix buffer — grows at most once per depth and
+        // is popped on unwind, so the steady state allocates nothing.
         prefix_items.push(cand.item);
         let deeper =
             ctx.max_len.is_none_or(|m| prefix_items.len() < m) && idx + 1 < ctx.frequent.len();
@@ -183,6 +184,8 @@ fn dfs(
                 // already-charged itemset through the fused pair kernel
                 // (no materialisation) and unwind.
                 if !ctx.governor.record_candidate_bytes(ctx.cover_bytes) {
+                    // ALLOC: emission — the cloned item list is the
+                    // documented per-result cost, charged to the governor.
                     out.push(FrequentItemset {
                         itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
                         accum: ctx.planes.accum_pair(
@@ -195,6 +198,8 @@ fn dfs(
                     return;
                 }
                 joint.assign_and(prefix_cover, &cand.cover);
+                // ALLOC: emission — see above; the joint cover itself goes
+                // into the pre-sized scratch pool, not a fresh allocation.
                 out.push(FrequentItemset {
                     itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
                     accum: ctx.planes.accum(joint.words(), count),
@@ -206,6 +211,7 @@ fn dfs(
                 // Unreachable: the pool depth covers every attainable prefix
                 // length. Degrade to a leaf emission rather than crash.
                 debug_assert!(false, "scratch pool exhausted");
+                // ALLOC: emission — degraded leaf path, same per-result cost.
                 out.push(FrequentItemset {
                     itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
                     accum: ctx
@@ -216,6 +222,8 @@ fn dfs(
         } else {
             // Leaf candidate: fused pair kernel straight off the two parent
             // covers — no materialisation, no byte charge.
+            // ALLOC: emission — the cloned item list is the documented
+            // per-result cost, charged to the governor.
             out.push(FrequentItemset {
                 itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
                 accum: ctx
@@ -238,15 +246,20 @@ fn explore_root(
     scratch: &mut [Bitset],
     out: &mut Vec<FrequentItemset>,
 ) -> bool {
-    let root = &ctx.frequent[idx];
+    let Some(root) = ctx.frequent.get(idx) else {
+        debug_assert!(false, "explore_root index beyond frequent items");
+        return true;
+    };
     if !ctx.governor.record_itemsets(1) {
         return false;
     }
+    // ALLOC: emission of the singleton result, charged to the governor.
     out.push(FrequentItemset {
         itemset: Itemset::singleton(root.item),
         accum: ctx.planes.accum(root.cover.words(), root.count),
     });
     if ctx.max_len.is_none_or(|m| m > 1) && idx + 1 < ctx.frequent.len() {
+        // ALLOC: reusable prefix buffer — grows at most once per depth.
         prefix_items.push(root.item);
         prefix_attrs.insert(root.attr);
         dfs(

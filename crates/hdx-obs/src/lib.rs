@@ -73,6 +73,20 @@ pub enum SpanArg {
     Owned(String),
 }
 
+/// The lock behind the recorder's retired-sink registry, swapped for the
+/// `hdx-loom` modeled twin under `--cfg hdx_loom` so the models in
+/// `tests/loom_models.rs` drive the *real* flush/collect hand-off through
+/// every interleaving (see DESIGN.md §13 and `cargo xtask sanitize`).
+#[cfg(all(feature = "obs", not(hdx_loom)))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::{Mutex, PoisonError};
+}
+/// `hdx-loom` twin of the `sync` facade (active under `--cfg hdx_loom`).
+#[cfg(all(feature = "obs", hdx_loom))]
+pub(crate) mod sync {
+    pub(crate) use hdx_loom::sync::{Mutex, PoisonError};
+}
+
 #[cfg(feature = "obs")]
 mod record;
 #[cfg(feature = "obs")]

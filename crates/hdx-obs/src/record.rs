@@ -16,12 +16,13 @@
 //! (`Instant`-based), so events from different threads order correctly.
 
 use crate::metrics::{CounterId, GaugeId, HistId, HistStat};
+use crate::sync::{Mutex, PoisonError};
 use crate::telemetry::{RunTelemetry, SnapshotSample, SpanStat};
 use crate::SpanArg;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,18 +48,6 @@ struct SinkData {
     hists: Vec<HistStat>,
     events: Vec<Event>,
     snapshots: Vec<SnapshotSample>,
-}
-
-impl SinkData {
-    fn new() -> Self {
-        Self {
-            counters: [0; CounterId::COUNT],
-            gauges: [0; GaugeId::COUNT],
-            hists: (0..HistId::COUNT).map(|_| HistStat::new()).collect(),
-            events: Vec::new(),
-            snapshots: Vec::new(),
-        }
-    }
 }
 
 /// The thread-local sink. Dropping it (thread exit) flushes its data into
@@ -385,7 +374,7 @@ fn truncate_path(path: &mut String, last_segment: &str) {
 /// lock), so test assertions filter to the labels each test records.
 #[cfg(test)]
 pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
     LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -71,12 +71,15 @@ impl OutcomePlanes {
         };
         for (row, o) in outcomes.iter().enumerate() {
             if let Some(v) = o.value() {
+                // BOUND: row < n, so row / 64 < n_words by construction.
                 valid[row / 64] |= 1u64 << (row % 64);
                 if !all_boolean {
+                    // BOUND: values was sized to n and row < n.
                     values[row] = v;
                 }
             }
             if matches!(o, Outcome::Bool(true)) {
+                // BOUND: row < n, so row / 64 < n_words by construction.
                 pos[row / 64] |= 1u64 << (row % 64);
             }
         }
@@ -125,13 +128,13 @@ impl OutcomePlanes {
         if self.all_boolean {
             let mut n_valid = 0u64;
             let mut k_pos = 0u64;
-            for (i, &c) in cover.iter().enumerate() {
-                n_valid += (c & self.valid[i]).count_ones() as u64;
-                k_pos += (c & self.pos[i]).count_ones() as u64;
+            for ((&c, &v), &p) in cover.iter().zip(&self.valid).zip(&self.pos) {
+                n_valid += u64::from((c & v).count_ones());
+                k_pos += u64::from((c & p).count_ones());
             }
             StatAccum::from_counts(n, n_valid, k_pos)
         } else {
-            let (n_valid, sum, sum_sq) = self.masked_sums(|i| cover[i]);
+            let (n_valid, sum, sum_sq) = self.masked_sums(cover.iter().copied());
             StatAccum::from_sums(n, n_valid, sum, sum_sq)
         }
     }
@@ -151,14 +154,14 @@ impl OutcomePlanes {
         if self.all_boolean {
             let mut n_valid = 0u64;
             let mut k_pos = 0u64;
-            for (i, (&wa, &wb)) in a.iter().zip(b).enumerate() {
+            for (((&wa, &wb), &v), &p) in a.iter().zip(b).zip(&self.valid).zip(&self.pos) {
                 let c = wa & wb;
-                n_valid += (c & self.valid[i]).count_ones() as u64;
-                k_pos += (c & self.pos[i]).count_ones() as u64;
+                n_valid += u64::from((c & v).count_ones());
+                k_pos += u64::from((c & p).count_ones());
             }
             StatAccum::from_counts(n, n_valid, k_pos)
         } else {
-            let (n_valid, sum, sum_sq) = self.masked_sums(|i| a[i] & b[i]);
+            let (n_valid, sum, sum_sq) = self.masked_sums(a.iter().zip(b).map(|(x, y)| x & y));
             StatAccum::from_sums(n, n_valid, sum, sum_sq)
         }
     }
@@ -166,18 +169,31 @@ impl OutcomePlanes {
     /// Masked word-chunked reduction for the numeric path: per word of
     /// `cover ∧ valid`, drains set bits lowest-first so rows are visited in
     /// the same ascending order as the scalar path (bitwise-identical sums).
-    fn masked_sums(&self, cover_word: impl Fn(usize) -> u64) -> (u64, f64, f64) {
+    ///
+    /// `cover_words` yields the cover's words in plane order; the values
+    /// slice is walked in lockstep 64-row chunks, so the reduction needs no
+    /// index arithmetic and no bounds checks.
+    fn masked_sums(&self, cover_words: impl Iterator<Item = u64>) -> (u64, f64, f64) {
         let mut n_valid = 0u64;
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
-        for (i, &v) in self.valid.iter().enumerate() {
-            let mut bits = cover_word(i) & v;
-            n_valid += bits.count_ones() as u64;
-            let base = i * 64;
+        for ((&v, chunk), c) in self
+            .valid
+            .iter()
+            .zip(self.values.chunks(64))
+            .zip(cover_words)
+        {
+            let mut bits = c & v;
+            n_valid += u64::from(bits.count_ones());
             while bits != 0 {
-                let x = self.values[base + bits.trailing_zeros() as usize];
-                sum += x;
-                sum_sq += x * x;
+                let tz = bits.trailing_zeros() as usize;
+                // The valid plane only sets bits for encoded rows, so `tz`
+                // is always within this 64-row chunk.
+                debug_assert!(tz < chunk.len(), "valid bit beyond encoded rows");
+                if let Some(&x) = chunk.get(tz) {
+                    sum += x;
+                    sum_sq += x * x;
+                }
                 bits &= bits - 1;
             }
         }

@@ -27,7 +27,7 @@ fn main() {
     for _ in 0..5_000 {
         let age: f64 = rng.random_range(18.0..80.0);
         let history: f64 = rng.random_range(0.0..(age - 17.0).min(30.0));
-        let region = ["north", "south", "east", "west"][rng.random_range(0..4)];
+        let region = ["north", "south", "east", "west"][rng.random_range(0..4usize)];
         builder
             .push_row(vec![
                 Value::Num(age.round()),

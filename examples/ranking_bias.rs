@@ -33,7 +33,7 @@ fn main() {
     for i in 0..n {
         let age: f64 = rng.random_range(22.0..65.0);
         let exp: f64 = rng.random_range(0.0..(age - 20.0).min(30.0));
-        let region = ["north", "south", "east"][rng.random_range(0..3)];
+        let region = ["north", "south", "east"][rng.random_range(0..3usize)];
         let merit = exp * 2.0 + rng.random_range(0.0..20.0);
         let penalty = if age > 50.0 && region == "south" {
             25.0

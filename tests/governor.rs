@@ -7,9 +7,7 @@ use h_divexplorer::core::{ExplorationMode, HDivExplorerConfig, OutcomeFn, Termin
 use h_divexplorer::datasets::{compas, synthetic_peak};
 use h_divexplorer::governor::{CancelToken, Governor, RunBudget};
 use h_divexplorer::items::{Item, ItemCatalog, ItemId, Itemset};
-use h_divexplorer::mining::{
-    mine, mine_governed, MiningAlgorithm, MiningConfig, Transactions,
-};
+use h_divexplorer::mining::{mine, mine_governed, MiningAlgorithm, MiningConfig, Transactions};
 use h_divexplorer::stats::Outcome;
 use hdx_bench::experiments::{outcomes_for, pipeline_for};
 use std::collections::BTreeMap;
@@ -132,8 +130,7 @@ fn expired_deadline_degrades_every_miner() {
             max_len: None,
             algorithm,
         };
-        let governor =
-            Governor::new(RunBudget::unbounded().with_deadline(Duration::ZERO));
+        let governor = Governor::new(RunBudget::unbounded().with_deadline(Duration::ZERO));
         let result = mine_governed(&transactions, &catalog, &config, &governor);
         assert_eq!(
             result.termination,
@@ -169,7 +166,12 @@ fn generous_budget_is_invisible_on_tier1_fixtures() {
             &outcomes,
             ExplorationMode::Generalized,
         );
-        assert_eq!(governed.termination(), Termination::Complete, "{}", dataset.name);
+        assert_eq!(
+            governed.termination(),
+            Termination::Complete,
+            "{}",
+            dataset.name
+        );
         assert!(!governed.is_partial(), "{}", dataset.name);
         assert_eq!(
             governed.report.records.len(),
@@ -231,11 +233,8 @@ fn adaptive_support_completes_within_budget() {
         adaptive_support: true,
         ..HDivExplorerConfig::default()
     };
-    let result = pipeline_for(&dataset, config).fit_mode(
-        &dataset.frame,
-        &outcomes,
-        ExplorationMode::Base,
-    );
+    let result =
+        pipeline_for(&dataset, config).fit_mode(&dataset.frame, &outcomes, ExplorationMode::Base);
     assert_eq!(result.termination(), Termination::Complete);
     assert!(result.adaptive_retries > 0);
     assert!(result.effective_min_support > 0.025);
@@ -262,13 +261,22 @@ fn governor_snapshots_are_monotone_across_a_charged_run() {
         }
         let _ = governor.keep_going();
         let snap = governor.snapshot();
-        assert!(snap.elapsed >= prev.elapsed, "step {step}: elapsed went back");
-        assert!(snap.itemsets >= prev.itemsets, "step {step}: itemsets shrank");
+        assert!(
+            snap.elapsed >= prev.elapsed,
+            "step {step}: elapsed went back"
+        );
+        assert!(
+            snap.itemsets >= prev.itemsets,
+            "step {step}: itemsets shrank"
+        );
         assert!(
             snap.candidate_bytes >= prev.candidate_bytes,
             "step {step}: candidate_bytes shrank"
         );
-        assert!(snap.tree_nodes >= prev.tree_nodes, "step {step}: tree_nodes shrank");
+        assert!(
+            snap.tree_nodes >= prev.tree_nodes,
+            "step {step}: tree_nodes shrank"
+        );
         assert!(snap.checks >= prev.checks, "step {step}: checks shrank");
         let (now, before) = (
             snap.deadline_remaining.expect("deadline set"),

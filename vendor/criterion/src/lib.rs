@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion` (see `Cargo.toml` for the why).
+//!
+//! The measurement model is intentionally simple: warm up for a fixed
+//! iteration count, then time `SAMPLE_ITERS` iterations with `Instant` and
+//! report the mean. That is enough for the relative comparisons the benches
+//! are used for in this container; upstream criterion's outlier rejection and
+//! confidence intervals are out of scope.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 10;
+const SAMPLE_ITERS: u64 = 50;
+
+/// Top-level benchmark driver (the `c: &mut Criterion` handle).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// A fresh driver. Upstream parses CLI args here; the stub does not.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[criterion-stub] group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group by function name and parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work-per-iteration hint used to report a rate alongside the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Records the throughput used when reporting subsequent benchmarks.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark labelled `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark labelled `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op in the stub; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        eprintln!("[criterion-stub]   {group}/{id}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+    eprintln!(
+        "[criterion-stub]   {group}/{id}: {} ns/iter ({} iters)",
+        per_iter, bencher.iters
+    );
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding a short warm-up first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..SAMPLE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += SAMPLE_ITERS;
+    }
+}
+
+/// Bundles benchmark functions under one name (upstream-compatible form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub-selftest");
+        group.sample_size(10).throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(stub_group, sample_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        stub_group();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}
