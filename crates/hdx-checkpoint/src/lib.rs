@@ -33,11 +33,17 @@ pub mod envelope;
 mod error;
 /// Order-insensitive 64-bit fingerprints for run-identity checks.
 pub mod fingerprint;
+/// Run-directory scanning: sealed manifests, completion markers, orphan scan.
+pub mod scan;
 mod state;
 mod store;
 
 pub use error::CheckpointError;
 pub use fingerprint::Fingerprint;
+pub use scan::{
+    list_manifests, read_sealed, write_sealed, ManifestListing, RunManifest, COMPLETE_FILE,
+    MANIFEST_FILE,
+};
 pub use state::{
     fingerprint_trees, AccumSnapshot, CheckpointState, CounterSnapshot, ItemsetSnapshot,
     MiningProgress, TreeNodeSnapshot, TreeSnapshot,

@@ -15,7 +15,7 @@ use hdx_stats::Outcome;
 
 use crate::args::{
     BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
-    ResumeOpts, Stat, ValidateTelemetryOpts,
+    ResumeOpts, ServeOpts, Stat, ValidateTelemetryOpts,
 };
 use crate::USAGE;
 
@@ -71,7 +71,41 @@ pub fn run(command: Command) -> Result<RunOutput, CliError> {
         Command::Baselines(opts) => baselines(&opts).map(RunOutput::complete),
         Command::Generate(opts) => generate(&opts).map(RunOutput::complete),
         Command::ValidateTelemetry(opts) => validate_telemetry(&opts).map(RunOutput::complete),
+        Command::Serve(opts) => serve(&opts),
     }
+}
+
+/// Runs the job server until a graceful drain (`POST /shutdown`) completes.
+///
+/// The listening line goes straight to stdout *before* the blocking accept
+/// loop so callers (and the CI smoke test) can discover the bound port; the
+/// returned [`RunOutput`] only carries the post-drain summary.
+fn serve(opts: &ServeOpts) -> Result<RunOutput, CliError> {
+    use std::io::Write as _;
+    let config = hdx_serve::ServeConfig {
+        addr: opts.addr.clone(),
+        state_dir: std::path::PathBuf::from(&opts.state_dir),
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        tenant_max_jobs: opts.tenant_max_jobs,
+        max_body_bytes: opts.max_body_bytes,
+        max_connections: opts.max_connections,
+        retry_max: opts.retry_max,
+        tenant_deadline_ms: opts.timeout.map(|d| d.as_millis() as u64),
+        tenant_max_itemsets: opts.max_itemsets,
+        ..hdx_serve::ServeConfig::default()
+    };
+    let server = hdx_serve::Server::bind(config)
+        .map_err(|e| CliError(format!("cannot start server: {e}")))?;
+    for note in &server.recovery_notes {
+        eprintln!("hdx: {note}");
+    }
+    println!("hdx: serving on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| CliError(format!("server failed: {e}")))?;
+    Ok(RunOutput::complete("hdx: drain complete\n".to_string()))
 }
 
 /// Parses one cell of a boolean column.
@@ -210,7 +244,10 @@ fn render_result(
     non_redundant: bool,
 ) -> (String, Option<String>) {
     let partial = result.is_partial().then(|| {
-        let mut reason = result.termination().to_string();
+        // Human phrasing ("timed out", "cancelled by user", ...) so the
+        // banner tells a user cancel apart from a deadline trip; the JSON
+        // report keeps the stable machine labels from `Termination::as_str`.
+        let mut reason = result.termination().describe().to_string();
         for e in &result.report.errors {
             reason.push_str(&format!("; {e}"));
         }
@@ -947,7 +984,7 @@ mod tests {
         // An itemset cap produces partial results, flagged for exit code 3.
         let capped = run_full(&["explore", &path, "-s", "0.01", "--max-itemsets", "3"]).unwrap();
         let reason = capped.partial.as_deref().expect("capped run is partial");
-        assert!(reason.contains("budget_exhausted"), "reason: {reason}");
+        assert!(reason.contains("budget exhausted"), "reason: {reason}");
         assert!(capped.text.contains("PARTIAL RESULTS"));
         assert!(
             capped.text.contains("3 subgroups"),
@@ -975,7 +1012,7 @@ mod tests {
         let path = write_fixture();
         let out = run_full(&["explore", &path, "--timeout", "0ms"]).unwrap();
         let reason = out.partial.as_deref().expect("zero timeout is partial");
-        assert!(reason.contains("deadline_exceeded"), "reason: {reason}");
+        assert!(reason.contains("timed out"), "reason: {reason}");
         assert!(out.text.contains("0 subgroups"), "text:\n{}", out.text);
     }
 
@@ -996,7 +1033,7 @@ mod tests {
         // still trips at the support ceiling — both must mention adaptation.
         match &out.partial {
             None => assert!(out.text.contains("adaptive support"), "{}", out.text),
-            Some(reason) => assert!(reason.contains("budget_exhausted"), "{reason}"),
+            Some(reason) => assert!(reason.contains("budget exhausted"), "{reason}"),
         }
     }
 

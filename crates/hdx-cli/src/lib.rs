@@ -19,7 +19,7 @@ mod commands;
 
 pub use args::{
     parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
-    ResumeOpts, Stat, ValidateTelemetryOpts,
+    ResumeOpts, ServeOpts, Stat, ValidateTelemetryOpts,
 };
 pub use commands::{run, RunOutput};
 
@@ -34,6 +34,7 @@ USAGE:
   hdx generate <dataset> [options]     write a synthetic benchmark dataset as CSV
   hdx describe <data.csv>              summarise the dataset's attributes
   hdx resume <ckpt-dir> [options]      resume an interrupted checkpointed explore
+  hdx serve [options]                  run the fault-tolerant mining job server
   hdx validate-telemetry <file> [options]  check a --metrics-out artifact
   hdx help                             show this text
 
@@ -90,6 +91,21 @@ GENERATE OPTIONS:
   --rows <n>             row count [paper size]
   --seed <n>             generator seed [42]
   --out <file>           output path [<dataset>.csv]
+
+SERVE OPTIONS (submit jobs with POST /jobs; stop with POST /shutdown):
+  --addr <host:port>     listen address; port 0 picks one [127.0.0.1:8373]
+  --state-dir <dir>      job persistence root; orphaned jobs found here at
+                         startup are resumed to their byte-identical result
+                         [hdx-serve-state]
+  --workers <n>          mining worker threads [2]
+  --queue-depth <n>      queued-job cap; beyond it submissions get 429 [16]
+  --tenant-max-jobs <n>  per-tenant in-flight job cap [2]
+  --max-body-bytes <n>   request-body byte cap (413 beyond it) [4194304]
+  --max-connections <n>  concurrent connection cap (503 beyond it) [32]
+  --retry-max <n>        retries before a transient job failure is final [2]
+  --timeout <dur>        per-tenant wall-clock budget, split across the
+                         tenant's job slots at admission [unbounded]
+  --max-itemsets <n>     per-tenant itemset budget, split likewise [unbounded]
 
 VALIDATE-TELEMETRY OPTIONS:
   --require-stage <name>    fail unless the stage recorded non-zero time

@@ -295,14 +295,17 @@ mod tests {
 
     #[test]
     fn external_cancel_token_stops_exploration() {
-        use hdx_governor::{CancelToken, Termination};
+        use hdx_governor::{CancelReason, CancelToken, Termination};
         let (df, catalog, hs, outcomes) = setup();
         let token = CancelToken::new();
         token.cancel();
         let explorer = DivExplorer::default().with_cancel_token(token);
         let report = explorer.explore_generalized(&df, &catalog, &hs, &outcomes);
         assert!(report.records.is_empty());
-        assert_eq!(report.termination, Termination::Cancelled);
+        assert_eq!(
+            report.termination,
+            Termination::Cancelled(CancelReason::User)
+        );
     }
 
     #[test]

@@ -649,7 +649,10 @@ mod tests {
         let result = HDivExplorer::default()
             .with_cancel_token(token)
             .fit(&df, &outcomes);
-        assert_eq!(result.termination(), Termination::Cancelled);
+        assert_eq!(
+            result.termination(),
+            Termination::Cancelled(hdx_governor::CancelReason::User)
+        );
     }
 
     #[test]

@@ -85,4 +85,4 @@ pub use hdx_obs as obs;
 /// The run-governor subsystem (re-exported from `hdx-governor`): budgets,
 /// deadlines, cooperative cancellation and fail-point injection.
 pub use hdx_governor as governor;
-pub use hdx_governor::{CancelToken, Governor, RunBudget, RunCounters, Termination};
+pub use hdx_governor::{CancelReason, CancelToken, Governor, RunBudget, RunCounters, Termination};

@@ -613,7 +613,7 @@ mod tests {
 
     #[test]
     fn cancelled_token_stops_refinement_immediately() {
-        use hdx_governor::{Governor, RunBudget, Termination};
+        use hdx_governor::{CancelReason, Governor, RunBudget, Termination};
         let (df, outcomes, x) = step_frame(200, 80.0);
         let governor = Governor::new(RunBudget::unbounded());
         governor.cancel_token().cancel();
@@ -623,6 +623,9 @@ mod tests {
             disc.discretize_attribute_governed(&df, x, &outcomes, &mut catalog, &governor);
         assert!(h.is_empty());
         assert_eq!(tree.nodes.len(), 1, "only the root survives cancellation");
-        assert_eq!(governor.termination(), Termination::Cancelled);
+        assert_eq!(
+            governor.termination(),
+            Termination::Cancelled(CancelReason::User)
+        );
     }
 }

@@ -42,7 +42,7 @@
 //! assert_eq!(governor.counters().itemsets, 2);
 //! ```
 
-use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use crate::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -156,6 +156,51 @@ impl RunBudget {
         self.max_tree_nodes = Some(max);
         self
     }
+
+    /// Derives a per-job budget from a per-tenant budget when the tenant is
+    /// running `shares` concurrent jobs: every *work* cap is divided evenly
+    /// (never below 1, so a configured cap can't round away to unbounded),
+    /// while the wall-clock deadline applies to each job in full — jobs run
+    /// on separate workers, so their wall clocks don't add up.
+    ///
+    /// `shares == 0` is treated as 1.
+    #[must_use]
+    pub fn split_among(self, shares: u64) -> Self {
+        let shares = shares.max(1);
+        let div = |cap: Option<u64>| cap.map(|c| (c / shares).max(1));
+        Self {
+            deadline: self.deadline,
+            max_itemsets: div(self.max_itemsets),
+            max_candidate_bytes: div(self.max_candidate_bytes),
+            max_tree_nodes: div(self.max_tree_nodes),
+        }
+    }
+}
+
+/// Why a [`CancelToken`] was cancelled. The token latches the *first* reason
+/// it is cancelled with, so a shutdown drain arriving after an explicit user
+/// cancel does not rewrite history (and vice versa).
+///
+/// The split exists for reporting: a service must tell "cancelled by user"
+/// apart from "drained for shutdown", and both apart from a deadline trip
+/// ([`Termination::DeadlineExceeded`], which the governor latches itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CancelReason {
+    /// An explicit caller/user cancellation request.
+    #[default]
+    User,
+    /// A service shutdown drain: stop at the next checkpoint boundary.
+    Shutdown,
+}
+
+impl CancelReason {
+    /// A stable lower-case label (used in reports and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::User => "user",
+            Self::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// How a governed stage ended.
@@ -164,7 +209,8 @@ impl RunBudget {
 /// [`BudgetExhausted`](Termination::BudgetExhausted) <
 /// [`DeadlineExceeded`](Termination::DeadlineExceeded) <
 /// [`Cancelled`](Termination::Cancelled); [`Termination::worst`] merges
-/// multi-stage outcomes.
+/// multi-stage outcomes. A cancellation carries its [`CancelReason`] so an
+/// explicit user cancel is distinguishable from a shutdown drain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Termination {
     /// The stage ran to completion; results are exhaustive.
@@ -174,9 +220,19 @@ pub enum Termination {
     BudgetExhausted,
     /// The wall-clock deadline passed; results are a valid subset.
     DeadlineExceeded,
-    /// The [`CancelToken`] was cancelled; results are a valid subset.
-    Cancelled,
+    /// The [`CancelToken`] was cancelled (carrying the latched
+    /// [`CancelReason`]); results are a valid subset.
+    Cancelled(CancelReason),
 }
+
+/// Latch code for [`Termination::BudgetExhausted`] (see `RUNNING`).
+const LATCH_BUDGET: u8 = 1;
+/// Latch code for [`Termination::DeadlineExceeded`].
+const LATCH_DEADLINE: u8 = 2;
+/// Latch code for [`Termination::Cancelled`]`(`[`CancelReason::User`]`)`.
+const LATCH_CANCELLED_USER: u8 = 3;
+/// Latch code for [`Termination::Cancelled`]`(`[`CancelReason::Shutdown`]`)`.
+const LATCH_CANCELLED_SHUTDOWN: u8 = 4;
 
 impl Termination {
     /// `true` only for [`Termination::Complete`].
@@ -189,23 +245,75 @@ impl Termination {
         !self.is_complete()
     }
 
+    /// Severity rank backing [`Termination::worst`] (higher is worse). Both
+    /// cancellation reasons rank equally — *why* a run was cancelled does
+    /// not change how degraded its results are.
+    fn severity(self) -> u8 {
+        match self {
+            Self::Complete => 0,
+            Self::BudgetExhausted => 1,
+            Self::DeadlineExceeded => 2,
+            Self::Cancelled(_) => 3,
+        }
+    }
+
+    /// The latch code stored in the governor's `tripped` atomic.
+    fn latch_code(self) -> u8 {
+        match self {
+            Self::Complete => RUNNING,
+            Self::BudgetExhausted => LATCH_BUDGET,
+            Self::DeadlineExceeded => LATCH_DEADLINE,
+            Self::Cancelled(CancelReason::User) => LATCH_CANCELLED_USER,
+            Self::Cancelled(CancelReason::Shutdown) => LATCH_CANCELLED_SHUTDOWN,
+        }
+    }
+
+    /// Decodes a latch code; anything unrecognised (notably `RUNNING`) is
+    /// [`Termination::Complete`].
+    fn from_latch_code(code: u8) -> Self {
+        match code {
+            LATCH_BUDGET => Self::BudgetExhausted,
+            LATCH_DEADLINE => Self::DeadlineExceeded,
+            LATCH_CANCELLED_USER => Self::Cancelled(CancelReason::User),
+            LATCH_CANCELLED_SHUTDOWN => Self::Cancelled(CancelReason::Shutdown),
+            _ => Self::Complete,
+        }
+    }
+
     /// The more severe of two stage outcomes (for multi-stage pipelines).
+    /// Ties keep `self` (the earlier stage's outcome).
     #[must_use]
     pub fn worst(self, other: Self) -> Self {
-        if (other as u8) > (self as u8) {
+        if other.severity() > self.severity() {
             other
         } else {
             self
         }
     }
 
-    /// A stable lower-case label (used in reports and JSON).
+    /// A stable lower-case label (used in reports and JSON). A user cancel
+    /// keeps the historical `"cancelled"` label; a shutdown drain reports
+    /// `"cancelled_shutdown"`.
     pub fn as_str(self) -> &'static str {
         match self {
             Self::Complete => "complete",
             Self::BudgetExhausted => "budget_exhausted",
             Self::DeadlineExceeded => "deadline_exceeded",
-            Self::Cancelled => "cancelled",
+            Self::Cancelled(CancelReason::User) => "cancelled",
+            Self::Cancelled(CancelReason::Shutdown) => "cancelled_shutdown",
+        }
+    }
+
+    /// A human-facing phrase for banners and status lines ("timed out",
+    /// "cancelled by user", ...), where [`as_str`](Self::as_str) is the
+    /// stable machine label.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Self::Complete => "complete",
+            Self::BudgetExhausted => "budget exhausted",
+            Self::DeadlineExceeded => "timed out",
+            Self::Cancelled(CancelReason::User) => "cancelled by user",
+            Self::Cancelled(CancelReason::Shutdown) => "cancelled by shutdown drain",
         }
     }
 }
@@ -216,11 +324,19 @@ impl std::fmt::Display for Termination {
     }
 }
 
+/// `CancelToken` flag value while not cancelled; a cancel latches
+/// `1 + CancelReason as u8` (first reason wins).
+const UNCANCELLED: u8 = 0;
+
 /// A shared cancellation flag. Cloning yields a handle to the *same* flag,
 /// so a caller can keep one half and hand the other to a [`Governor`].
+///
+/// The flag latches a [`CancelReason`]: the first cancel wins and later
+/// cancels (with any reason) are no-ops, so the reported reason is always
+/// the one that actually stopped the run.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    flag: Arc<AtomicU8>,
 }
 
 impl CancelToken {
@@ -229,17 +345,49 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation. Idempotent; never blocks.
+    /// Requests cancellation on behalf of the user/caller
+    /// ([`CancelReason::User`]). Idempotent; never blocks.
     pub fn cancel(&self) {
-        // ORDERING: sticky one-way flag, polled cooperatively; no data is
-        // published under it, so observing it a poll late is harmless.
-        self.flag.store(true, Ordering::Relaxed);
+        self.cancel_with(CancelReason::User);
+    }
+
+    /// Requests cancellation for a shutdown drain
+    /// ([`CancelReason::Shutdown`]): cooperating stages stop at their next
+    /// poll (for checkpointed runs, at a checkpoint boundary). Idempotent;
+    /// never blocks.
+    pub fn cancel_for_shutdown(&self) {
+        self.cancel_with(CancelReason::Shutdown);
+    }
+
+    /// Requests cancellation with an explicit `reason`. The first reason to
+    /// land wins; repeats never rewrite it.
+    pub fn cancel_with(&self, reason: CancelReason) {
+        let _ = self.flag.compare_exchange(
+            UNCANCELLED,
+            1 + reason as u8,
+            // ORDERING: sticky one-way latch, polled cooperatively; no data
+            // is published under it, so observing it a poll late is
+            // harmless, and the CAS alone serialises racing reasons.
+            Ordering::Relaxed,
+            // ORDERING: the failure load is only used to discard repeats.
+            Ordering::Relaxed,
+        );
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        // ORDERING: see `cancel` — the flag value itself is the message.
-        self.flag.load(Ordering::Relaxed)
+        // ORDERING: see `cancel_with` — the flag value itself is the message.
+        self.flag.load(Ordering::Relaxed) != UNCANCELLED
+    }
+
+    /// The latched cancellation reason, or `None` while un-cancelled.
+    pub fn reason(&self) -> Option<CancelReason> {
+        // ORDERING: see `cancel_with` — the flag value itself is the message.
+        match self.flag.load(Ordering::Relaxed) {
+            x if x == 1 + CancelReason::User as u8 => Some(CancelReason::User),
+            x if x == 1 + CancelReason::Shutdown as u8 => Some(CancelReason::Shutdown),
+            _ => None,
+        }
     }
 }
 
@@ -442,8 +590,8 @@ impl Governor {
         if self.inner.tripped.load(Ordering::Relaxed) != RUNNING {
             return false;
         }
-        if self.inner.cancel.is_cancelled() {
-            self.trip(Termination::Cancelled);
+        if let Some(reason) = self.inner.cancel.reason() {
+            self.trip(Termination::Cancelled(reason));
             return false;
         }
         if let Some(at) = self.inner.deadline_at {
@@ -526,7 +674,7 @@ impl Governor {
             .tripped
             .compare_exchange(
                 RUNNING,
-                termination as u8,
+                termination.latch_code(),
                 // ORDERING: first-trip-wins latch; readers consume the value
                 // itself, never memory ordered by it.
                 Ordering::Relaxed,
@@ -544,7 +692,7 @@ impl Governor {
                 Termination::DeadlineExceeded => {
                     hdx_obs::counter_add!(GovernorTripDeadline, 1);
                 }
-                Termination::Cancelled => {
+                Termination::Cancelled(_) => {
                     hdx_obs::counter_add!(GovernorTripCancelled, 1);
                 }
             }
@@ -561,12 +709,7 @@ impl Governor {
     /// an untripped run, otherwise the latched degraded outcome.
     pub fn termination(&self) -> Termination {
         // ORDERING: sticky latch; the loaded value itself is the answer.
-        match self.inner.tripped.load(Ordering::Relaxed) {
-            x if x == Termination::BudgetExhausted as u8 => Termination::BudgetExhausted,
-            x if x == Termination::DeadlineExceeded as u8 => Termination::DeadlineExceeded,
-            x if x == Termination::Cancelled as u8 => Termination::Cancelled,
-            _ => Termination::Complete,
-        }
+        Termination::from_latch_code(self.inner.tripped.load(Ordering::Relaxed))
     }
 
     /// A snapshot of the charged work.
@@ -676,7 +819,36 @@ mod tests {
         assert!(g.poll());
         token.cancel();
         assert!(!g.poll());
-        assert_eq!(g.termination(), Termination::Cancelled);
+        assert_eq!(g.termination(), Termination::Cancelled(CancelReason::User));
+    }
+
+    #[test]
+    fn shutdown_cancel_is_distinguishable_from_user_cancel() {
+        let token = CancelToken::new();
+        let g = Governor::with_token(RunBudget::default(), token.clone());
+        token.cancel_for_shutdown();
+        assert!(!g.poll());
+        assert_eq!(
+            g.termination(),
+            Termination::Cancelled(CancelReason::Shutdown)
+        );
+        assert_eq!(g.termination().as_str(), "cancelled_shutdown");
+        assert_eq!(g.termination().describe(), "cancelled by shutdown drain");
+    }
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.cancel_for_shutdown();
+        assert_eq!(token.reason(), Some(CancelReason::User));
+
+        let token = CancelToken::new();
+        assert_eq!(token.reason(), None);
+        token.cancel_for_shutdown();
+        token.cancel();
+        assert_eq!(token.reason(), Some(CancelReason::Shutdown));
+        assert!(token.is_cancelled());
     }
 
     #[test]
@@ -688,7 +860,7 @@ mod tests {
             steps += 1;
             assert!(steps <= POLL_INTERVAL, "cancellation missed a poll window");
         }
-        assert_eq!(g.termination(), Termination::Cancelled);
+        assert_eq!(g.termination(), Termination::Cancelled(CancelReason::User));
     }
 
     #[test]
@@ -719,10 +891,15 @@ mod tests {
     #[test]
     fn worst_orders_severity() {
         use Termination::*;
+        let cancelled = Cancelled(CancelReason::User);
+        let drained = Cancelled(CancelReason::Shutdown);
         assert_eq!(Complete.worst(BudgetExhausted), BudgetExhausted);
         assert_eq!(DeadlineExceeded.worst(BudgetExhausted), DeadlineExceeded);
-        assert_eq!(Cancelled.worst(DeadlineExceeded), Cancelled);
+        assert_eq!(cancelled.worst(DeadlineExceeded), cancelled);
         assert_eq!(Complete.worst(Complete), Complete);
+        // Equal severity keeps the earlier stage's reason.
+        assert_eq!(cancelled.worst(drained), cancelled);
+        assert_eq!(drained.worst(cancelled), drained);
     }
 
     #[test]
@@ -737,6 +914,23 @@ mod tests {
         assert_eq!(b.max_candidate_bytes, Some(1 << 20));
         assert_eq!(b.max_tree_nodes, Some(64));
         assert!(RunBudget::unbounded().is_unbounded());
+    }
+
+    #[test]
+    fn split_among_divides_work_caps_but_not_the_deadline() {
+        let b = RunBudget::default()
+            .with_deadline(Duration::from_secs(10))
+            .with_max_itemsets(100)
+            .with_max_candidate_bytes(3)
+            .with_max_tree_nodes(64);
+        let per_job = b.split_among(4);
+        assert_eq!(per_job.deadline, Some(Duration::from_secs(10)));
+        assert_eq!(per_job.max_itemsets, Some(25));
+        assert_eq!(per_job.max_candidate_bytes, Some(1), "never rounds to 0");
+        assert_eq!(per_job.max_tree_nodes, Some(16));
+        // Unset caps stay unset; zero shares is treated as one.
+        assert_eq!(RunBudget::default().split_among(8), RunBudget::default());
+        assert_eq!(b.split_among(0), b);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! atomic operations. Built as an empty test crate without the cfg.
 #![cfg(hdx_loom)]
 
-use hdx_governor::{CancelToken, Governor, RunBudget, Termination};
+use hdx_governor::{CancelReason, CancelToken, Governor, RunBudget, Termination};
 
 #[test]
 fn cancel_is_sticky_and_visible_after_join() {
@@ -47,7 +47,7 @@ fn concurrent_polls_latch_cancellation_exactly_once() {
         assert!(!remote, "the poll after cancel() must report a stop");
         assert!(!g.poll());
         assert!(g.is_tripped());
-        assert_eq!(g.termination(), Termination::Cancelled);
+        assert_eq!(g.termination(), Termination::Cancelled(CancelReason::User));
         let _ = local; // may be true (pre-cancel) or false (post-cancel)
     });
 }
@@ -92,12 +92,14 @@ fn first_trip_wins_under_racing_reasons() {
     hdx_loom::model(|| {
         let g = Governor::unbounded();
         let g2 = g.clone();
-        let h = hdx_loom::thread::spawn(move || g2.trip(Termination::Cancelled));
+        let h =
+            hdx_loom::thread::spawn(move || g2.trip(Termination::Cancelled(CancelReason::User)));
         g.trip(Termination::DeadlineExceeded);
         h.join().expect("tripping thread panicked");
         let first = g.termination();
         assert!(
-            first == Termination::Cancelled || first == Termination::DeadlineExceeded,
+            first == Termination::Cancelled(CancelReason::User)
+                || first == Termination::DeadlineExceeded,
             "latched reason must be one of the racers, got {first:?}"
         );
         // The latch is stable: repeated reads and late trips change nothing.

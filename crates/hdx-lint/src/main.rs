@@ -67,6 +67,7 @@ const LIB_CRATES: &[&str] = &[
     "hdx-stats",
     "hdx-discretize",
     "hdx-data",
+    "hdx-serve",
 ];
 
 /// One allowlist entry: `rule path [max=N]`.

@@ -499,7 +499,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use hdx_data::AttrId;
-    use hdx_governor::{RunBudget, Termination};
+    use hdx_governor::{CancelReason, RunBudget, Termination};
     use hdx_items::Item;
 
     /// Catalog with items a0, a1 on attr 0 and b0, b1 on attr 1.
@@ -767,6 +767,6 @@ mod tests {
         let governor = Governor::unbounded();
         governor.cancel_token().cancel();
         let r = vertical_governed(&t, &catalog, &MiningConfig::default(), &governor);
-        assert_eq!(r.termination, Termination::Cancelled);
+        assert_eq!(r.termination, Termination::Cancelled(CancelReason::User));
     }
 }

@@ -228,6 +228,25 @@ macro_rules! event {
     };
 }
 
+/// Opens the service's per-job attribution spans for the rest of the
+/// enclosing scope: a `tenant:<tenant>` span wrapping a `job:<job_id>`
+/// span, so every child span, event, and snapshot recorded while a job
+/// executes lands under a `... > tenant:<t> > job:<id> > ...` path in
+/// [`RunTelemetry`] and service telemetry stays attributable per tenant.
+/// `job_span!(job_id, tenant tenant_name)` — both arguments are anything
+/// `Display`able. Zero-cost without the calling crate's `obs`.
+#[macro_export]
+macro_rules! job_span {
+    ($job_id:expr, tenant $tenant:expr) => {
+        #[cfg(feature = "obs")]
+        let _hdx_obs_tenant_span =
+            $crate::SpanGuard::enter("tenant", $crate::SpanArg::Owned($tenant.to_string()));
+        #[cfg(feature = "obs")]
+        let _hdx_obs_job_span =
+            $crate::SpanGuard::enter("job", $crate::SpanArg::Owned($job_id.to_string()));
+    };
+}
+
 /// Adds to a registered counter by bare variant name:
 /// `counter_add!(MineCandidatesGenerated, 1)`. Zero-cost without the
 /// calling crate's `obs`.
@@ -312,6 +331,7 @@ mod disabled_tests {
     fn macros_expand_to_nothing_without_the_feature() {
         crate::span!("mine");
         crate::span!("level", int 3);
+        crate::job_span!("j-1", tenant "acme");
         crate::event!("trip", str "budget");
         crate::counter_add!(MineCandidatesGenerated, 1);
         crate::gauge_max!(MineScratchPoolBytes, 100);

@@ -58,11 +58,31 @@ pub enum CounterId {
     DataRowsQuarantined,
     /// Cells nulled by the missing-value injector: `hdx.datasets.missing.injected`.
     DatasetsNullsInjected,
+    /// Jobs admitted by the mining service: `hdx.serve.jobs.submitted`.
+    ServeJobsSubmitted,
+    /// Service jobs that finished with a result (complete or partial):
+    /// `hdx.serve.jobs.completed`.
+    ServeJobsCompleted,
+    /// Service jobs that failed permanently (retry budget spent or
+    /// non-retryable error): `hdx.serve.jobs.failed`.
+    ServeJobsFailed,
+    /// Transiently failed service jobs re-enqueued with backoff:
+    /// `hdx.serve.jobs.retried`.
+    ServeJobsRetried,
+    /// Submissions shed by admission control (429 + `Retry-After`):
+    /// `hdx.serve.admission.shed`.
+    ServeRequestsShed,
+    /// Orphaned incomplete jobs resumed by the startup scan:
+    /// `hdx.serve.recovery.resumed`.
+    ServeJobsResumed,
+    /// Worker threads respawned after a panic escaped a job:
+    /// `hdx.serve.worker.respawned`.
+    ServeWorkerRespawned,
 }
 
 impl CounterId {
     /// Every registered counter, in telemetry order.
-    pub const ALL: [CounterId; 24] = [
+    pub const ALL: [CounterId; 31] = [
         CounterId::MineCandidatesGenerated,
         CounterId::MineCandidatesPrunedSupport,
         CounterId::MineCandidatesPrunedAttr,
@@ -87,6 +107,13 @@ impl CounterId {
         CounterId::DataCellsQuarantined,
         CounterId::DataRowsQuarantined,
         CounterId::DatasetsNullsInjected,
+        CounterId::ServeJobsSubmitted,
+        CounterId::ServeJobsCompleted,
+        CounterId::ServeJobsFailed,
+        CounterId::ServeJobsRetried,
+        CounterId::ServeRequestsShed,
+        CounterId::ServeJobsResumed,
+        CounterId::ServeWorkerRespawned,
     ];
 
     /// Number of registered counters.
@@ -119,6 +146,13 @@ impl CounterId {
             CounterId::DataCellsQuarantined => "hdx.data.quarantine.cells",
             CounterId::DataRowsQuarantined => "hdx.data.quarantine.rows",
             CounterId::DatasetsNullsInjected => "hdx.datasets.missing.injected",
+            CounterId::ServeJobsSubmitted => "hdx.serve.jobs.submitted",
+            CounterId::ServeJobsCompleted => "hdx.serve.jobs.completed",
+            CounterId::ServeJobsFailed => "hdx.serve.jobs.failed",
+            CounterId::ServeJobsRetried => "hdx.serve.jobs.retried",
+            CounterId::ServeRequestsShed => "hdx.serve.admission.shed",
+            CounterId::ServeJobsResumed => "hdx.serve.recovery.resumed",
+            CounterId::ServeWorkerRespawned => "hdx.serve.worker.respawned",
         }
     }
 }
@@ -131,11 +165,23 @@ pub enum GaugeId {
     MineScratchPoolBytes,
     /// Nodes interned across all discretization trees: `hdx.discretize.tree.nodes`.
     DiscretizeTreeNodes,
+    /// Milliseconds since the serving process started:
+    /// `hdx.serve.process.uptime_ms`. Monotonic by construction — gauges
+    /// merge by maximum and the source clock never goes backwards.
+    ServeUptimeMs,
+    /// High-water depth of the service's bounded job queue:
+    /// `hdx.serve.queue.depth`.
+    ServeQueueDepth,
 }
 
 impl GaugeId {
     /// Every registered gauge, in telemetry order.
-    pub const ALL: [GaugeId; 2] = [GaugeId::MineScratchPoolBytes, GaugeId::DiscretizeTreeNodes];
+    pub const ALL: [GaugeId; 4] = [
+        GaugeId::MineScratchPoolBytes,
+        GaugeId::DiscretizeTreeNodes,
+        GaugeId::ServeUptimeMs,
+        GaugeId::ServeQueueDepth,
+    ];
 
     /// Number of registered gauges.
     pub const COUNT: usize = Self::ALL.len();
@@ -145,6 +191,8 @@ impl GaugeId {
         match self {
             GaugeId::MineScratchPoolBytes => "hdx.mining.scratch_pool.bytes",
             GaugeId::DiscretizeTreeNodes => "hdx.discretize.tree.nodes",
+            GaugeId::ServeUptimeMs => "hdx.serve.process.uptime_ms",
+            GaugeId::ServeQueueDepth => "hdx.serve.queue.depth",
         }
     }
 }

@@ -420,6 +420,41 @@ mod tests {
     }
 
     #[test]
+    fn job_span_attributes_work_to_its_tenant() {
+        let _guard = serial();
+        reset();
+        {
+            let _s = SpanGuard::enter("serve", SpanArg::None);
+            let job = String::from("j-0000000001");
+            crate::job_span!(job, tenant "acme");
+            let _m = SpanGuard::enter("mine", SpanArg::None);
+        }
+        let t = collect();
+        let paths: Vec<&str> = t.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(
+            paths.contains(&"serve > tenant:acme > job:j-0000000001 > mine"),
+            "paths: {paths:?}"
+        );
+    }
+
+    #[test]
+    fn uptime_gauge_merges_monotonically() {
+        let _guard = serial();
+        reset();
+        // Out-of-order and cross-thread samples: max-merge keeps the gauge
+        // monotone, which is what makes it a valid uptime.
+        gauge_max(GaugeId::ServeUptimeMs, 120);
+        gauge_max(GaugeId::ServeUptimeMs, 80);
+        let h = std::thread::spawn(|| {
+            gauge_max(GaugeId::ServeUptimeMs, 100);
+            crate::flush_thread!();
+        });
+        h.join().expect("gauge thread");
+        let t = collect();
+        assert_eq!(t.gauge(GaugeId::ServeUptimeMs), 120);
+    }
+
+    #[test]
     fn counters_gauges_hists_merge_across_threads() {
         let _guard = serial();
         reset();

@@ -1,0 +1,64 @@
+//! # hdx-serve — a fault-tolerant multi-tenant mining service
+//!
+//! Runs H-DivExplorer explorations as supervised background jobs behind a
+//! small HTTP/1.1 + JSON API. The crate is dependency-light by design
+//! (std's `TcpListener` and a hand-rolled request codec), consistent with
+//! the workspace's offline/vendored-deps policy, and treats robustness as
+//! architecture rather than error handling sprinkled on top:
+//!
+//! * **Admission control** — a bounded job queue with per-tenant in-flight
+//!   caps and per-tenant governor budgets derived at admission
+//!   ([`hdx_governor::RunBudget::split_among`]). Overload sheds with
+//!   `429 Retry-After`; request bodies and heads are byte-capped.
+//! * **Supervision** — every job runs under `catch_unwind`; a panic fails
+//!   the job, not the process. Workers that die are respawned by a
+//!   watchdog. Transient failures retry with jittered exponential backoff
+//!   under a retry budget; permanent failures are recorded, not retried.
+//! * **Crash recovery** — a job is acknowledged only after its dataset and
+//!   sealed manifest are durable. Every run checkpoints through
+//!   `hdx-checkpoint`; on startup the service scans its state directory
+//!   ([`hdx_checkpoint::list_manifests`]) and resumes orphans to the
+//!   byte-identical result an uninterrupted run would have produced.
+//! * **Graceful degradation** — `POST /shutdown` stops admission, cancels
+//!   running jobs with the *shutdown* reason (distinguishable from user
+//!   cancels), drains each to a checkpoint boundary, and flushes
+//!   telemetry. `kill -9` at any point is recoverable by construction.
+//!
+//! ## Endpoints
+//!
+//! | Method & path            | Purpose                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `POST /jobs`             | Submit a job (flat JSON; returns job id)  |
+//! | `GET /jobs/<id>`         | Status + crash-surviving progress         |
+//! | `GET /jobs/<id>/result`  | Ranked-results JSON (byte-stable)         |
+//! | `POST /jobs/<id>/cancel` | Cooperative cancel (user reason)          |
+//! | `POST /shutdown`         | Begin a graceful drain                    |
+//! | `GET /healthz`           | Liveness                                  |
+//! | `GET /readyz`            | Readiness (503 while draining)            |
+//!
+//! Under the `obs` feature the service records `hdx.serve.*` counters and
+//! gauges and tags per-job work with `tenant`/`job` spans; under
+//! `hdx-fail` the `serve::accept`, `serve::queue`, `serve::worker`,
+//! `serve::job`, and `serve::done` fail points inject faults for chaos
+//! tests.
+
+/// Minimal HTTP/1.1 request parsing and response writing over `TcpStream`.
+pub mod http;
+/// Job identity, specs, lifecycle states, and the durable job registry.
+pub mod job;
+/// A flat JSON parser/escaper for the submission wire format.
+pub mod json;
+/// Bounded admission queue with per-tenant caps and shed decisions.
+pub mod queue;
+/// The worker-side job runner: mining, checkpointing, and sealing results.
+pub mod runner;
+/// The TCP accept loop, request routing, supervisor, and drain protocol.
+pub mod server;
+
+/// The dataset file persisted at admission inside each job directory.
+pub const DATA_FILE: &str = "data.csv";
+
+pub use job::{DoneRecord, JobSpec, StatKind};
+pub use queue::{AdmissionQueue, Shed};
+pub use runner::JobRunOutcome;
+pub use server::{ServeConfig, Server};

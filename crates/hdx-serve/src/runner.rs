@@ -1,0 +1,368 @@
+//! Executes one job end to end: dataset → outcomes → governed, checkpointed
+//! exploration → sealed completion marker.
+//!
+//! The runner is deliberately pure with respect to the service: it takes a
+//! spec, a state directory, and a cancel token, and reports one of four
+//! outcomes. Classification matters — the supervisor retries
+//! [`JobRunOutcome::Transient`] with backoff, records
+//! [`JobRunOutcome::Permanent`] as failed (re-running bad input cannot
+//! help), and leaves [`JobRunOutcome::Drained`] jobs *incomplete on disk*
+//! so the next start resumes them to their byte-identical result.
+
+use std::path::Path;
+
+use hdx_checkpoint::{write_sealed, CheckpointStore, COMPLETE_FILE};
+use hdx_core::{
+    real_outcomes, report_to_json, ExplorationMode, HDivExplorer, HDivExplorerConfig, OutcomeFn,
+    RunBudget,
+};
+use hdx_data::{read_csv_str, AttributeKind, Column, CsvOptions, DataFrame, NULL_CODE};
+use hdx_discretize::GainCriterion;
+use hdx_governor::{fail_point, CancelReason, CancelToken, Termination};
+use hdx_stats::Outcome;
+
+use crate::job::{DoneRecord, JobSpec, StatKind};
+
+/// How one execution attempt ended.
+#[derive(Debug)]
+pub enum JobRunOutcome {
+    /// The job reached a terminal state and its marker is sealed.
+    Done(DoneRecord),
+    /// The run was cancelled by shutdown drain; the checkpoint on disk is
+    /// the resume point for the next start. No marker is written.
+    Drained,
+    /// Infrastructure trouble (marker write failed, injected fault): the
+    /// work may succeed if retried.
+    Transient(String),
+    /// The input or configuration is bad: retrying cannot help.
+    Permanent(String),
+}
+
+/// A `serve::job` / `serve::done` fail-point error (tests only).
+struct Injected(String);
+
+/// Parses one cell of a boolean column (same truth table as the CLI).
+fn parse_bool_cell(col: &Column, row: usize, name: &str) -> Result<bool, String> {
+    match col {
+        Column::Categorical(c) => {
+            let code = c.code(row);
+            if code == NULL_CODE {
+                return Err(format!("null label in column `{name}` row {row}"));
+            }
+            match c.level(code).to_ascii_lowercase().as_str() {
+                "true" | "t" | "yes" | "y" | "1" => Ok(true),
+                "false" | "f" | "no" | "n" | "0" => Ok(false),
+                other => Err(format!("column `{name}` is not boolean (value `{other}`)")),
+            }
+        }
+        Column::Continuous(c) => match c.get(row) {
+            Some(v) if v == f64::from(u8::from(v > 0.5)) => Ok(v > 0.5),
+            Some(v) => Err(format!("column `{name}` is not boolean (value `{v}`)")),
+            None => Err(format!("null label in column `{name}` row {row}")),
+        },
+    }
+}
+
+fn bool_column(df: &DataFrame, name: &str) -> Result<Vec<bool>, String> {
+    let col = df.column_by_name(name).map_err(|e| e.to_string())?;
+    (0..df.n_rows())
+        .map(|row| parse_bool_cell(col, row, name))
+        .collect()
+}
+
+/// Loads the job's dataset and computes the mining frame + outcomes.
+fn load(spec: &JobSpec, csv: &str) -> Result<(DataFrame, Vec<Outcome>), String> {
+    let options = CsvOptions {
+        separator: spec.separator as char,
+        ..CsvOptions::default()
+    };
+    let df = read_csv_str(csv, &options).map_err(|e| format!("cannot read dataset: {e}"))?;
+    let (outcomes, drop): (Vec<Outcome>, Vec<String>) = match spec.stat {
+        StatKind::Target => {
+            let name = spec
+                .target_col
+                .clone()
+                .ok_or("`stat: target` requires `target_col`")?;
+            let attr = df.schema().require(&name).map_err(|e| e.to_string())?;
+            if df.schema().kind(attr) != AttributeKind::Continuous {
+                return Err(format!("target column `{name}` is not numeric"));
+            }
+            (real_outcomes(df.continuous(attr).values()), vec![name])
+        }
+        stat => {
+            let y_true = bool_column(&df, &spec.label_col)?;
+            let y_pred = bool_column(&df, &spec.pred_col)?;
+            let f = match stat {
+                StatKind::Fpr => OutcomeFn::Fpr,
+                StatKind::Fnr => OutcomeFn::Fnr,
+                StatKind::Tpr => OutcomeFn::Tpr,
+                StatKind::Tnr => OutcomeFn::Tnr,
+                StatKind::Error => OutcomeFn::ErrorRate,
+                StatKind::Accuracy => OutcomeFn::Accuracy,
+                StatKind::PositiveRate => OutcomeFn::PositiveRate,
+                StatKind::Target => return Err("unreachable stat".into()),
+            };
+            (
+                f.compute(&y_true, &y_pred),
+                vec![spec.label_col.clone(), spec.pred_col.clone()],
+            )
+        }
+    };
+    let drop_refs: Vec<&str> = drop.iter().map(String::as_str).collect();
+    let frame = df.drop_columns(&drop_refs).map_err(|e| e.to_string())?;
+    if frame.n_attributes() == 0 {
+        return Err("no attributes left to mine".into());
+    }
+    Ok((frame, outcomes))
+}
+
+fn budget_of(spec: &JobSpec) -> RunBudget {
+    let mut budget = RunBudget::unbounded();
+    if let Some(ms) = spec.deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(max) = spec.max_itemsets {
+        budget = budget.with_max_itemsets(max);
+    }
+    budget
+}
+
+/// Runs one attempt of `spec` inside `job_dir`.
+///
+/// The directory must already hold `data.csv`; checkpoints accumulate next
+/// to it. Fresh directories run [`HDivExplorer::fit_checkpointed`]; a
+/// directory with checkpoints resumes instead, which the resume layer
+/// guarantees reaches the same bytes an uninterrupted run would have.
+pub fn execute(spec: &JobSpec, job_dir: &Path, cancel: CancelToken, attempt: u32) -> JobRunOutcome {
+    match execute_inner(spec, job_dir, cancel, attempt) {
+        Ok(outcome) => outcome,
+        Err(Injected(msg)) => JobRunOutcome::Transient(format!("injected job failure: {msg}")),
+    }
+}
+
+fn execute_inner(
+    spec: &JobSpec,
+    job_dir: &Path,
+    cancel: CancelToken,
+    attempt: u32,
+) -> Result<JobRunOutcome, Injected> {
+    fail_point!("serve::job", Injected);
+    let csv = match std::fs::read_to_string(job_dir.join(crate::DATA_FILE)) {
+        Ok(csv) => csv,
+        // The dataset was persisted at admission; failure to read it back is
+        // an infrastructure problem, not a bad job.
+        Err(e) => {
+            return Ok(JobRunOutcome::Transient(format!(
+                "cannot read dataset: {e}"
+            )))
+        }
+    };
+    let (frame, outcomes) = match load(spec, &csv) {
+        Ok(v) => v,
+        Err(msg) => return Ok(JobRunOutcome::Permanent(msg)),
+    };
+    let pipeline = HDivExplorer::new(HDivExplorerConfig {
+        min_support: spec.support,
+        tree_min_support: spec.tree_support,
+        criterion: if spec.entropy {
+            GainCriterion::Entropy
+        } else {
+            GainCriterion::Divergence
+        },
+        max_len: spec.max_len.map(|v| v as usize),
+        budget: budget_of(spec),
+        ..HDivExplorerConfig::default()
+    })
+    .with_cancel_token(cancel);
+    let mode = if spec.base_mode {
+        ExplorationMode::Base
+    } else {
+        ExplorationMode::Generalized
+    };
+    let store = match CheckpointStore::open(job_dir) {
+        Ok(store) => store,
+        Err(e) => {
+            return Ok(JobRunOutcome::Transient(format!(
+                "cannot open job dir: {e}"
+            )))
+        }
+    };
+    let sequences = match store.sequences() {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(JobRunOutcome::Transient(format!(
+                "cannot scan job dir: {e}"
+            )))
+        }
+    };
+    let run = if sequences.is_empty() {
+        pipeline.fit_checkpointed(&frame, &outcomes, mode, store, spec.checkpoint_every)
+    } else {
+        match pipeline.resume_checkpointed(
+            &frame,
+            &outcomes,
+            mode,
+            store.clone(),
+            spec.checkpoint_every,
+        ) {
+            Ok(run) => Ok(run),
+            // The dataset and spec are immutable after admission, so a
+            // resume refusal (fingerprint mismatch, unreadable file) can
+            // only mean the checkpoints themselves are unusable — e.g. a
+            // drain that interrupted discretization sealed truncated
+            // trees. Recovery must never brick a job on a stale
+            // checkpoint: quarantine them and redo the work from scratch.
+            Err(_) => {
+                for seq in &sequences {
+                    let _ = std::fs::remove_file(store.path_of(*seq));
+                }
+                pipeline.fit_checkpointed(&frame, &outcomes, mode, store, spec.checkpoint_every)
+            }
+        }
+    };
+    let mut run = match run {
+        Ok(run) => run,
+        Err(e) => return Ok(JobRunOutcome::Permanent(e.to_string())),
+    };
+    let termination = run.result.termination();
+    if termination == Termination::Cancelled(CancelReason::Shutdown) {
+        // Drain: the freshly finalized checkpoint is the handoff to the
+        // next process; deliberately no completion marker.
+        return Ok(JobRunOutcome::Drained);
+    }
+    fail_point!("serve::done", Injected);
+    // The sealed body is the `/jobs/<id>/result` byte-identity surface: a
+    // resumed run must serve the same bytes an uninterrupted run would
+    // have. Every report field is deterministic except wall-clock elapsed
+    // time, so pin it before serialising.
+    run.result.report.elapsed = std::time::Duration::ZERO;
+    let record = DoneRecord {
+        ok: true,
+        termination: termination.as_str().to_string(),
+        attempts: attempt,
+        body: report_to_json(&run.result.report, &run.result.catalog),
+    };
+    match write_sealed(&job_dir.join(COMPLETE_FILE), &record.encode()) {
+        Ok(()) => Ok(JobRunOutcome::Done(record)),
+        Err(e) => Ok(JobRunOutcome::Transient(format!(
+            "cannot seal completion marker: {e}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::parse_submission;
+    use crate::json::parse_object;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hdx-serve-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    fn sample_csv() -> String {
+        let mut csv = String::from("class,pred,age,grp\n");
+        for r in 0..120usize {
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                u8::from(r % 3 == 0),
+                u8::from(r % 4 == 0),
+                r % 17,
+                ["a", "b", "c"][r % 3],
+            ));
+        }
+        csv
+    }
+
+    fn spec_and_csv() -> (JobSpec, String) {
+        let body = format!(
+            r#"{{"csv":"{}","stat":"fpr","support":0.05,"checkpoint_every":1}}"#,
+            crate::json::escape(&sample_csv())
+        );
+        parse_submission(&parse_object(&body).expect("json")).expect("spec")
+    }
+
+    #[test]
+    fn a_fresh_job_completes_and_seals_its_marker() {
+        let dir = tmp_dir("fresh");
+        let (spec, csv) = spec_and_csv();
+        std::fs::write(dir.join(crate::DATA_FILE), csv).expect("persist csv");
+        let outcome = execute(&spec, &dir, CancelToken::new(), 1);
+        let JobRunOutcome::Done(record) = outcome else {
+            panic!("expected Done, got {outcome:?}");
+        };
+        assert!(record.ok);
+        assert_eq!(record.termination, "complete");
+        assert!(record.body.contains("\"subgroups\""));
+        assert!(
+            record.body.contains("\"elapsed_seconds\":0"),
+            "wall-clock time must be pinned out of the sealed body"
+        );
+        let sealed =
+            hdx_checkpoint::read_sealed(&dir.join(COMPLETE_FILE)).expect("marker readable");
+        assert_eq!(DoneRecord::decode(&sealed).expect("decodes"), record);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_input_is_a_permanent_failure() {
+        let dir = tmp_dir("permanent");
+        let (mut spec, csv) = spec_and_csv();
+        spec.label_col = "missing".into();
+        std::fs::write(dir.join(crate::DATA_FILE), csv).expect("persist csv");
+        let outcome = execute(&spec, &dir, CancelToken::new(), 1);
+        assert!(
+            matches!(outcome, JobRunOutcome::Permanent(_)),
+            "{outcome:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_missing_dataset_is_transient() {
+        let dir = tmp_dir("transient");
+        let (spec, _) = spec_and_csv();
+        let outcome = execute(&spec, &dir, CancelToken::new(), 1);
+        assert!(
+            matches!(outcome, JobRunOutcome::Transient(_)),
+            "{outcome:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_cancel_leaves_the_job_resumable_to_identical_bytes() {
+        let dir = tmp_dir("drain");
+        let (spec, csv) = spec_and_csv();
+        std::fs::write(dir.join(crate::DATA_FILE), &csv).expect("persist csv");
+        // Pre-cancelled token: the governor trips at the first poll, after
+        // the first checkpoint boundary seals.
+        let cancel = CancelToken::new();
+        cancel.cancel_for_shutdown();
+        let outcome = execute(&spec, &dir, cancel, 1);
+        assert!(matches!(outcome, JobRunOutcome::Drained), "{outcome:?}");
+        assert!(
+            !dir.join(COMPLETE_FILE).exists(),
+            "a drained job must not look finished"
+        );
+        // "Next start": the resumed run completes to the same bytes an
+        // uninterrupted run produces.
+        let resumed = execute(&spec, &dir, CancelToken::new(), 2);
+        let JobRunOutcome::Done(resumed) = resumed else {
+            panic!("expected Done after resume, got {resumed:?}");
+        };
+        let fresh_dir = tmp_dir("drain-fresh");
+        std::fs::write(fresh_dir.join(crate::DATA_FILE), &csv).expect("persist csv");
+        let JobRunOutcome::Done(fresh) = execute(&spec, &fresh_dir, CancelToken::new(), 1) else {
+            panic!("fresh run failed");
+        };
+        assert_eq!(resumed.body, fresh.body, "resume must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+    }
+}

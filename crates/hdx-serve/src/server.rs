@@ -1,0 +1,936 @@
+//! The HTTP job server: admission, supervision, recovery, drain.
+//!
+//! One [`Server`] owns a listener, a bounded [`AdmissionQueue`], a worker
+//! pool watched by a supervisor, and an in-memory job registry backed by
+//! per-job state directories. Every lifecycle decision favours staying up:
+//! connection handlers and job executions run under `catch_unwind`, dead
+//! workers are respawned, transient failures retry with jittered
+//! exponential backoff, and overload is answered with `429 Retry-After`
+//! instead of unbounded queues.
+//!
+//! Durability contract: a job is acknowledged (`202`) only after its
+//! dataset and sealed manifest are on disk, so from the client's point of
+//! view an accepted job survives `kill -9` — the next start's orphan scan
+//! re-queues it and the checkpoint layer resumes it to the byte-identical
+//! result.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hdx_checkpoint::{list_manifests, write_sealed, CheckpointStore, COMPLETE_FILE, MANIFEST_FILE};
+use hdx_governor::{fail_point, CancelToken, RunBudget};
+use hdx_obs::{counter_add, flush_thread, gauge_max, job_span};
+
+use crate::http::{read_request, respond, respond_error, respond_json, HttpError, Request};
+use crate::job::{parse_submission, DoneRecord, JobSpec};
+use crate::json::escape;
+use crate::queue::{AdmissionQueue, Shed};
+use crate::runner::{self, JobRunOutcome};
+use crate::DATA_FILE;
+
+/// How long a worker parks on an empty queue before re-checking drain state.
+const POP_WAIT: Duration = Duration::from_millis(100);
+/// Accept-loop poll interval while the listener has no pending connection.
+const ACCEPT_WAIT: Duration = Duration::from_millis(10);
+/// Supervisor poll interval for dead-worker detection.
+const WATCHDOG_WAIT: Duration = Duration::from_millis(50);
+
+/// Tunables for one service instance. `Default` is a small, safe local
+/// deployment; every field maps onto an `hdx serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Root state directory (job state lives under `<state_dir>/jobs/`).
+    pub state_dir: PathBuf,
+    /// Mining worker threads.
+    pub workers: usize,
+    /// Global queued-job cap (admissions beyond it shed with 429).
+    pub queue_depth: usize,
+    /// Per-tenant in-flight (queued + running) job cap.
+    pub tenant_max_jobs: usize,
+    /// Request-body byte cap (submissions beyond it shed with 413).
+    pub max_body_bytes: usize,
+    /// Concurrent connection cap (beyond it: 503, connection closed).
+    pub max_connections: usize,
+    /// Retries after the first attempt before a transient failure is final.
+    pub retry_max: u32,
+    /// Base backoff between retries (doubles per attempt, plus jitter).
+    pub retry_base_ms: u64,
+    /// Backoff ceiling.
+    pub retry_cap_ms: u64,
+    /// `Retry-After` seconds suggested to shed clients.
+    pub retry_after_secs: u64,
+    /// Per-tenant wall-clock deadline; each admitted job gets at most this.
+    pub tenant_deadline_ms: Option<u64>,
+    /// Per-tenant itemset budget, split evenly across the tenant's
+    /// concurrent job slots at admission.
+    pub tenant_max_itemsets: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: PathBuf::from("hdx-serve-state"),
+            workers: 2,
+            queue_depth: 16,
+            tenant_max_jobs: 2,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_connections: 32,
+            retry_max: 2,
+            retry_base_ms: 50,
+            retry_cap_ms: 2_000,
+            retry_after_secs: 1,
+            tenant_deadline_ms: None,
+            tenant_max_itemsets: None,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobPhase {
+    /// Admitted and waiting for a worker.
+    Queued,
+    /// A worker is mining it.
+    Running,
+    /// A transient failure; the worker is waiting out the backoff.
+    Backoff,
+    /// Cancelled by shutdown drain; resumable by the next start.
+    Drained,
+    /// Terminal (successful, partial, or failed — see the record).
+    Finished(DoneRecord),
+}
+
+impl JobPhase {
+    fn as_str(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Backoff => "backoff",
+            JobPhase::Drained => "drained",
+            JobPhase::Finished(record) if record.ok => "done",
+            JobPhase::Finished(_) => "failed",
+        }
+    }
+}
+
+/// One job's in-memory state. The durable twin lives in its state dir.
+struct JobRecord {
+    spec: JobSpec,
+    phase: JobPhase,
+    attempts: u32,
+    cancel: CancelToken,
+    resumed: bool,
+    /// Transient-failure messages accumulated across retries.
+    retry_log: Vec<String>,
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Shared {
+    config: ServeConfig,
+    jobs_dir: PathBuf,
+    queue: AdmissionQueue,
+    registry: Mutex<HashMap<String, JobRecord>>,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+    active_connections: AtomicUsize,
+    started: Instant,
+}
+
+impl Shared {
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, HashMap<String, JobRecord>> {
+        // Registry updates are single-statement map edits; a panicking
+        // holder cannot leave them half-done, so serving beats wedging.
+        self.registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn draining(&self) -> bool {
+        // ORDERING: Relaxed — the flag is a latch; every consumer re-checks
+        // on its next loop iteration, so no edge ordering is needed.
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    fn job_dir(&self, job_id: &str) -> PathBuf {
+        self.jobs_dir.join(job_id)
+    }
+
+    /// Marks a job terminal in memory, seals the durable marker if the
+    /// runner didn't already, and frees the tenant slot.
+    fn finish(&self, job_id: &str, record: DoneRecord, seal: bool) {
+        if seal {
+            // Best-effort: the in-memory registry still answers clients if
+            // the marker can't be written; the next start will re-run the
+            // job instead of remembering the failure, which is safe.
+            let _ = write_sealed(&self.job_dir(job_id).join(COMPLETE_FILE), &record.encode());
+        }
+        let tenant = {
+            let mut registry = self.lock_registry();
+            let Some(job) = registry.get_mut(job_id) else {
+                return;
+            };
+            job.phase = JobPhase::Finished(record);
+            job.spec.tenant.clone()
+        };
+        self.queue.release(&tenant);
+    }
+}
+
+/// A fault-tolerant, multi-tenant mining job service over HTTP/1.1.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    /// Startup recovery report: one line per resumed or quarantined entry.
+    pub recovery_notes: Vec<String>,
+}
+
+impl Server {
+    /// Binds the listener, prepares the state directory, and recovers
+    /// orphaned jobs from a previous process.
+    ///
+    /// # Errors
+    /// Returns an [`io::Error`] when the state directory or listen address
+    /// is unusable.
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let jobs_dir = config.state_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_depth, config.tenant_max_jobs),
+            config,
+            jobs_dir,
+            registry: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        let recovery_notes = recover(&shared).map_err(io::Error::other)?;
+        Ok(Self {
+            shared,
+            listener,
+            local_addr,
+            recovery_notes,
+        })
+    }
+
+    /// The bound address (useful with `addr: "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the service until a drain completes: accepts connections,
+    /// supervises the worker pool, and on `POST /shutdown` stops admission,
+    /// cancels running jobs at their next governor poll, waits for every
+    /// worker to reach a checkpoint boundary, and returns.
+    ///
+    /// # Errors
+    /// Returns an [`io::Error`] only for unrecoverable listener failures;
+    /// per-connection errors are answered in-band and per-job failures are
+    /// recorded on the job.
+    pub fn run(&self) -> io::Result<()> {
+        let supervisor = {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || supervise_workers(&shared))
+        };
+        // Serve until the supervisor reports the worker pool fully drained —
+        // NOT merely until the drain flag flips. Clients keep polling job
+        // status and fetching results while workers wind down, and
+        // submissions during the drain get their 503 instead of a reset.
+        while !supervisor.is_finished() {
+            gauge_max!(
+                ServeUptimeMs,
+                self.shared.started.elapsed().as_millis() as u64
+            );
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    // ORDERING: Relaxed — an approximate load cap; an
+                    // off-by-one race sheds one connection early/late.
+                    if shared.active_connections.fetch_add(1, Ordering::Relaxed)
+                        >= shared.config.max_connections
+                    {
+                        // ORDERING: Relaxed — undoes the optimistic count above;
+                        // the counter is advisory, not a synchronisation point.
+                        shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        respond_error(
+                            &mut stream,
+                            503,
+                            "Service Unavailable",
+                            "too many connections",
+                        );
+                        continue;
+                    }
+                    thread::spawn(move || {
+                        let mut stream = stream;
+                        // A panicking handler must cost one connection, not
+                        // the process.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(&shared, &mut stream);
+                        }));
+                        if caught.is_err() {
+                            respond_error(
+                                &mut stream,
+                                500,
+                                "Internal Server Error",
+                                "request handler panicked",
+                            );
+                        }
+                        // ORDERING: Relaxed — see the cap check above.
+                        shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        flush_thread!();
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_WAIT);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain complete: admission was closed when the drain began; every
+        // worker has stopped at a checkpoint boundary.
+        let _ = supervisor.join();
+        flush_thread!();
+        Ok(())
+    }
+
+    /// Requests a drain as if `POST /shutdown` had been received.
+    pub fn shutdown(&self) {
+        start_drain(&self.shared);
+    }
+}
+
+/// Scans the jobs directory and re-queues every incomplete job.
+fn recover(shared: &Arc<Shared>) -> Result<Vec<String>, String> {
+    let listing = list_manifests(&shared.jobs_dir).map_err(|e| e.to_string())?;
+    let mut notes = listing.warnings.clone();
+    let mut max_id = 0u64;
+    for run in &listing.runs {
+        let job_id = run
+            .dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if let Some(n) = job_id
+            .strip_prefix("j-")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            max_id = max_id.max(n);
+        }
+        let spec = match JobSpec::decode(&run.manifest) {
+            Ok(spec) => spec,
+            Err(e) => {
+                notes.push(format!("skipped `{job_id}`: undecodable manifest ({e})"));
+                continue;
+            }
+        };
+        match &run.completion {
+            Some(payload) => {
+                // Finished before the crash: keep the result queryable.
+                match DoneRecord::decode(payload) {
+                    Ok(record) => {
+                        shared.lock_registry().insert(
+                            job_id,
+                            JobRecord {
+                                spec,
+                                phase: JobPhase::Finished(record),
+                                attempts: 0,
+                                cancel: CancelToken::new(),
+                                resumed: false,
+                                retry_log: Vec::new(),
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        notes.push(format!(
+                            "re-running `{job_id}`: undecodable completion marker ({e})"
+                        ));
+                        resume_orphan(shared, &job_id, spec, &mut notes);
+                    }
+                }
+            }
+            None => resume_orphan(shared, &job_id, spec, &mut notes),
+        }
+    }
+    // ORDERING: Relaxed — recovery runs before any worker or connection
+    // thread exists; the store is just initialization.
+    shared.next_id.store(max_id + 1, Ordering::Relaxed);
+    Ok(notes)
+}
+
+/// Registers one orphaned (incomplete) job and re-queues it.
+fn resume_orphan(shared: &Arc<Shared>, job_id: &str, spec: JobSpec, notes: &mut Vec<String>) {
+    notes.push(format!(
+        "resuming orphaned job `{job_id}` (tenant `{}`)",
+        spec.tenant
+    ));
+    counter_add!(ServeJobsResumed, 1);
+    let tenant = spec.tenant.clone();
+    shared.lock_registry().insert(
+        job_id.to_string(),
+        JobRecord {
+            spec,
+            phase: JobPhase::Queued,
+            attempts: 0,
+            cancel: CancelToken::new(),
+            resumed: true,
+            retry_log: Vec::new(),
+        },
+    );
+    shared.queue.reserve_slot(&tenant);
+    shared.queue.enqueue(job_id);
+}
+
+/// Closes admission, then cancels every running job with the shutdown
+/// reason so workers stop at the next checkpoint boundary.
+fn start_drain(shared: &Arc<Shared>) {
+    shared.queue.close();
+    {
+        let registry = shared.lock_registry();
+        for job in registry.values() {
+            if matches!(job.phase, JobPhase::Running | JobPhase::Backoff) {
+                job.cancel.cancel_for_shutdown();
+            }
+        }
+    }
+    // ORDERING: Relaxed — the queue closed above under its lock; consumers
+    // of the flag re-poll, so no release edge is required.
+    shared.draining.store(true, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+/// Spawns the pool, respawns dead workers, and joins them all at drain.
+fn supervise_workers(shared: &Arc<Shared>) {
+    let mut handles: Vec<thread::JoinHandle<()>> = (0..shared.config.workers.max(1))
+        .map(|_| spawn_worker(shared))
+        .collect();
+    loop {
+        thread::sleep(WATCHDOG_WAIT);
+        if shared.draining() {
+            break;
+        }
+        for handle in &mut handles {
+            if handle.is_finished() {
+                // A worker thread only exits early if a panic escaped the
+                // per-job isolation (e.g. an armed `serve::worker` fail
+                // point). The job itself was failed by its lease; the pool
+                // must get its thread back.
+                let dead = std::mem::replace(handle, spawn_worker(shared));
+                let _ = dead.join();
+                counter_add!(ServeWorkerRespawned, 1);
+            }
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::spawn(move || worker_loop(&shared))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop(POP_WAIT) {
+            Some(job_id) => {
+                if shared.draining() {
+                    // Popped after the drain began: never *start* work while
+                    // draining. The job is already durable (dataset +
+                    // manifest, no completion marker), so the next start's
+                    // orphan scan re-queues it — drain loses no accepted job.
+                    if let Some(job) = shared.lock_registry().get_mut(&job_id) {
+                        job.phase = JobPhase::Drained;
+                    }
+                    continue;
+                }
+                let lease = JobLease {
+                    shared,
+                    job_id,
+                    settled: false,
+                };
+                // An armed `serve::worker` fail point panics *outside* the
+                // per-job catch below: the worker thread dies (exercising
+                // the supervisor's respawn path) and the lease's Drop marks
+                // the job failed on the way out.
+                fail_point!("serve::worker");
+                lease.run();
+            }
+            None => {
+                if shared.draining() {
+                    break;
+                }
+            }
+        }
+        flush_thread!();
+    }
+    flush_thread!();
+}
+
+/// Pins one popped job to one worker. If the worker dies without settling
+/// the job (a panic that escaped `catch_unwind`), `Drop` marks the job
+/// failed so no client ever waits on a job nobody owns.
+struct JobLease<'a> {
+    shared: &'a Arc<Shared>,
+    job_id: String,
+    settled: bool,
+}
+
+impl Drop for JobLease<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            counter_add!(ServeJobsFailed, 1);
+            self.shared.finish(
+                &self.job_id,
+                DoneRecord {
+                    ok: false,
+                    termination: "failed".to_string(),
+                    attempts: 0,
+                    body: "worker lost while running this job".to_string(),
+                },
+                true,
+            );
+        }
+    }
+}
+
+impl JobLease<'_> {
+    /// Runs the job to a terminal state (or drain), retrying transient
+    /// failures with jittered exponential backoff.
+    fn run(mut self) {
+        loop {
+            let Some((spec, cancel, attempt)) = ({
+                let mut registry = self.shared.lock_registry();
+                registry.get_mut(&self.job_id).map(|job| {
+                    job.phase = JobPhase::Running;
+                    job.attempts += 1;
+                    (job.spec.clone(), job.cancel.clone(), job.attempts)
+                })
+            }) else {
+                // Unknown id (stale queue entry); nothing to do.
+                self.settled = true;
+                return;
+            };
+            job_span!(&self.job_id, tenant & spec.tenant);
+            let dir = self.shared.job_dir(&self.job_id);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                runner::execute(&spec, &dir, cancel, attempt)
+            }));
+            match outcome {
+                Err(panic) => {
+                    // Isolated: the job fails, the worker survives.
+                    let msg = panic_message(&panic);
+                    counter_add!(ServeJobsFailed, 1);
+                    self.shared.finish(
+                        &self.job_id,
+                        DoneRecord {
+                            ok: false,
+                            termination: "failed".to_string(),
+                            attempts: attempt,
+                            body: format!("worker panicked: {msg}"),
+                        },
+                        true,
+                    );
+                    self.settled = true;
+                    return;
+                }
+                Ok(JobRunOutcome::Done(record)) => {
+                    counter_add!(ServeJobsCompleted, 1);
+                    // The runner already sealed the marker.
+                    self.shared.finish(&self.job_id, record, false);
+                    self.settled = true;
+                    return;
+                }
+                Ok(JobRunOutcome::Drained) => {
+                    if let Some(job) = self.shared.lock_registry().get_mut(&self.job_id) {
+                        job.phase = JobPhase::Drained;
+                    }
+                    self.settled = true;
+                    return;
+                }
+                Ok(JobRunOutcome::Permanent(msg)) => {
+                    counter_add!(ServeJobsFailed, 1);
+                    self.shared.finish(
+                        &self.job_id,
+                        DoneRecord {
+                            ok: false,
+                            termination: "failed".to_string(),
+                            attempts: attempt,
+                            body: msg,
+                        },
+                        true,
+                    );
+                    self.settled = true;
+                    return;
+                }
+                Ok(JobRunOutcome::Transient(msg)) => {
+                    let retries_left = attempt <= self.shared.config.retry_max;
+                    if let Some(job) = self.shared.lock_registry().get_mut(&self.job_id) {
+                        job.retry_log.push(msg.clone());
+                        if retries_left {
+                            job.phase = JobPhase::Backoff;
+                        }
+                    }
+                    if !retries_left {
+                        counter_add!(ServeJobsFailed, 1);
+                        self.shared.finish(
+                            &self.job_id,
+                            DoneRecord {
+                                ok: false,
+                                termination: "failed".to_string(),
+                                attempts: attempt,
+                                body: format!("retries exhausted: {msg}"),
+                            },
+                            true,
+                        );
+                        self.settled = true;
+                        return;
+                    }
+                    counter_add!(ServeJobsRetried, 1);
+                    self.backoff(attempt);
+                    if self.shared.draining() {
+                        // Don't start another attempt mid-drain; the job is
+                        // durable and the next start will pick it up.
+                        if let Some(job) = self.shared.lock_registry().get_mut(&self.job_id) {
+                            job.phase = JobPhase::Drained;
+                        }
+                        self.settled = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sleeps out the backoff for `attempt`, in small slices so a drain is
+    /// noticed promptly.
+    fn backoff(&self, attempt: u32) {
+        let config = &self.shared.config;
+        let exp = config.retry_base_ms.saturating_mul(1u64 << attempt.min(16)) / 2;
+        let jitter =
+            splitmix64(seed_of(&self.job_id) ^ u64::from(attempt)) % config.retry_base_ms.max(1);
+        let total = Duration::from_millis(exp.saturating_add(jitter).min(config.retry_cap_ms));
+        let slice = Duration::from_millis(20);
+        let deadline = Instant::now() + total;
+        while Instant::now() < deadline && !self.shared.draining() {
+            thread::sleep(slice.min(deadline.saturating_duration_since(Instant::now())));
+        }
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// SplitMix64: deterministic backoff jitter without a rand dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn seed_of(job_id: &str) -> u64 {
+    job_id.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface.
+
+fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    // Slowloris guard: a client gets five seconds to deliver a request.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    fail_point!("serve::accept");
+    let request = match read_request(stream, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::Io(_)) => return,
+        Err(e) => {
+            if matches!(e, HttpError::BodyTooLarge) {
+                counter_add!(ServeRequestsShed, 1);
+            }
+            let (status, reason) = e.status();
+            respond_error(stream, status, reason, &format!("{e:?}"));
+            return;
+        }
+    };
+    route(shared, stream, &request);
+}
+
+fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let path = request.path.trim_end_matches('/');
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let body = format!("ok uptime_ms={}\n", shared.started.elapsed().as_millis());
+            respond(stream, 200, "OK", "text/plain", &body, &[]);
+        }
+        ("GET", "/readyz") => {
+            if shared.draining() {
+                respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "draining\n",
+                    &[],
+                );
+            } else {
+                respond(stream, 200, "OK", "text/plain", "ready\n", &[]);
+            }
+        }
+        ("POST", "/shutdown") => {
+            start_drain(shared);
+            respond_json(stream, 202, "Accepted", "{\"status\":\"draining\"}");
+        }
+        ("POST", "/jobs") => submit(shared, stream, &request.body),
+        ("GET", _) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            if let Some(job_id) = rest.strip_suffix("/result") {
+                job_result(shared, stream, job_id);
+            } else if !rest.contains('/') {
+                job_status(shared, stream, rest);
+            } else {
+                respond_error(stream, 404, "Not Found", "no such endpoint");
+            }
+        }
+        ("POST", _) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
+            let job_id = &path["/jobs/".len()..path.len() - "/cancel".len()];
+            job_cancel(shared, stream, job_id);
+        }
+        _ => respond_error(stream, 404, "Not Found", "no such endpoint"),
+    }
+}
+
+/// Resolves the job's budget at admission: the tenant's fair share (the
+/// per-tenant budget split across its job slots), tightened by anything the
+/// request asked for. Persisted into the spec so a crash-recovered resume
+/// runs under the identical budget.
+fn resolve_budget(config: &ServeConfig, spec: &mut JobSpec) {
+    let mut tenant_budget = RunBudget::unbounded();
+    if let Some(ms) = config.tenant_deadline_ms {
+        tenant_budget = tenant_budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(max) = config.tenant_max_itemsets {
+        tenant_budget = tenant_budget.with_max_itemsets(max);
+    }
+    let share = tenant_budget.split_among(config.tenant_max_jobs as u64);
+    let share_deadline_ms = share.deadline.map(|d| d.as_millis() as u64);
+    spec.deadline_ms = match (spec.deadline_ms, share_deadline_ms) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    spec.max_itemsets = match (spec.max_itemsets, share.max_itemsets) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+}
+
+fn submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            respond_error(stream, 400, "Bad Request", "body is not UTF-8");
+            return;
+        }
+    };
+    let object = match crate::json::parse_object(text) {
+        Ok(object) => object,
+        Err(e) => {
+            respond_error(stream, 400, "Bad Request", &format!("invalid JSON: {e}"));
+            return;
+        }
+    };
+    let (mut spec, csv) = match parse_submission(&object) {
+        Ok(v) => v,
+        Err(e) => {
+            respond_error(stream, 400, "Bad Request", &e);
+            return;
+        }
+    };
+    resolve_budget(&shared.config, &mut spec);
+    if let Err(shed) = shared.queue.admit(&spec.tenant) {
+        counter_add!(ServeRequestsShed, 1);
+        let retry_after = ("Retry-After", shared.config.retry_after_secs.to_string());
+        let (status, reason) = match shed {
+            Shed::Draining => (503, "Service Unavailable"),
+            _ => (429, "Too Many Requests"),
+        };
+        let body = format!("{{\"error\":\"{}\"}}", escape(&shed.describe()));
+        respond(
+            stream,
+            status,
+            reason,
+            "application/json",
+            &body,
+            &[retry_after],
+        );
+        return;
+    }
+    // The tenant slot is held; everything below must release it on failure.
+    // ORDERING: Relaxed — the id must be unique, not sequenced with other
+    // memory; fetch_add alone guarantees uniqueness.
+    let id_num = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let job_id = format!("j-{id_num:010}");
+    let dir = shared.job_dir(&job_id);
+    if let Err(e) = persist_admission(&dir, &spec, &csv) {
+        shared.queue.release(&spec.tenant);
+        let _ = std::fs::remove_dir_all(&dir);
+        respond_error(
+            stream,
+            500,
+            "Internal Server Error",
+            &format!("cannot persist job: {e}"),
+        );
+        return;
+    }
+    shared.lock_registry().insert(
+        job_id.clone(),
+        JobRecord {
+            spec: spec.clone(),
+            phase: JobPhase::Queued,
+            attempts: 0,
+            cancel: CancelToken::new(),
+            resumed: false,
+            retry_log: Vec::new(),
+        },
+    );
+    shared.queue.enqueue(&job_id);
+    counter_add!(ServeJobsSubmitted, 1);
+    gauge_max!(ServeQueueDepth, shared.queue.depth() as u64);
+    let body = format!("{{\"job_id\":\"{job_id}\",\"status\":\"queued\"}}");
+    respond_json(stream, 202, "Accepted", &body);
+}
+
+/// Writes the dataset and seals the manifest. The manifest is last: its
+/// presence commits the admission.
+fn persist_admission(dir: &std::path::Path, spec: &JobSpec, csv: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let data_path = dir.join(DATA_FILE);
+    std::fs::write(&data_path, csv).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(&data_path).map_err(|e| e.to_string())?;
+    file.sync_all().map_err(|e| e.to_string())?;
+    write_sealed(&dir.join(MANIFEST_FILE), &spec.encode()).map_err(|e| e.to_string())
+}
+
+fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
+    let Some((phase, attempts, resumed, tenant, retry_log, phase_record)) = ({
+        let registry = shared.lock_registry();
+        registry.get(job_id).map(|job| {
+            (
+                job.phase.as_str(),
+                job.attempts,
+                job.resumed,
+                job.spec.tenant.clone(),
+                job.retry_log.clone(),
+                match &job.phase {
+                    JobPhase::Finished(record) => Some(record.clone()),
+                    _ => None,
+                },
+            )
+        })
+    }) else {
+        respond_error(stream, 404, "Not Found", "unknown job");
+        return;
+    };
+    // Progress that survives crashes: every sealed checkpoint is one mining
+    // level the governor sampled (`hdx.governor` snapshots land in the run
+    // telemetry; the sequence numbers are their durable shadow).
+    let checkpoints = CheckpointStore::open(shared.job_dir(job_id))
+        .and_then(|store| store.sequences())
+        .unwrap_or_default();
+    let mut body = format!(
+        "{{\"job_id\":\"{job_id}\",\"tenant\":\"{}\",\"state\":\"{phase}\",\
+         \"attempts\":{attempts},\"resumed\":{resumed},\
+         \"checkpointed_levels\":{},\"latest_checkpoint_seq\":{}",
+        escape(&tenant),
+        checkpoints.len(),
+        checkpoints
+            .last()
+            .map_or("null".to_string(), u64::to_string),
+    );
+    if !retry_log.is_empty() {
+        let entries: Vec<String> = retry_log
+            .iter()
+            .map(|m| format!("\"{}\"", escape(m)))
+            .collect();
+        body.push_str(&format!(",\"retries\":[{}]", entries.join(",")));
+    }
+    if let Some(record) = phase_record {
+        body.push_str(&format!(
+            ",\"termination\":\"{}\",\"ok\":{}",
+            escape(&record.termination),
+            record.ok
+        ));
+    }
+    body.push('}');
+    respond_json(stream, 200, "OK", &body);
+}
+
+fn job_result(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
+    let record = {
+        let registry = shared.lock_registry();
+        match registry.get(job_id) {
+            None => {
+                respond_error(stream, 404, "Not Found", "unknown job");
+                return;
+            }
+            Some(job) => match &job.phase {
+                JobPhase::Finished(record) => record.clone(),
+                _ => {
+                    respond_error(stream, 409, "Conflict", "job is not finished");
+                    return;
+                }
+            },
+        }
+    };
+    if record.ok {
+        // The ranked-results JSON exactly as the runner sealed it — the
+        // byte-identity surface for crash-recovery checks.
+        respond_json(stream, 200, "OK", &record.body);
+    } else {
+        let body = format!(
+            "{{\"error\":\"{}\",\"termination\":\"{}\"}}",
+            escape(&record.body),
+            escape(&record.termination)
+        );
+        respond_json(stream, 409, "Conflict", &body);
+    }
+}
+
+fn job_cancel(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
+    let registry = shared.lock_registry();
+    match registry.get(job_id) {
+        None => respond_error(stream, 404, "Not Found", "unknown job"),
+        Some(job) => {
+            job.cancel.cancel();
+            respond_json(stream, 202, "Accepted", "{\"status\":\"cancelling\"}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! End-to-end service tests over real TCP: submit → poll → result, overload
+//! shedding, cooperative cancel, graceful drain, and crash-style recovery
+//! (a second server over the same state directory resumes the orphaned job
+//! and serves the byte-identical result an uninterrupted server produces).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hdx_serve::{ServeConfig, Server};
+
+/// One HTTP exchange (the service closes the connection per request).
+struct Response {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            // A reset after the response arrived is expected when the
+            // service refuses a body without reading it (413).
+            Err(_) if !raw.is_empty() => break,
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    let raw = String::from_utf8_lossy(&raw).into_owned();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("blank line");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    Response {
+        status,
+        headers: head.to_string(),
+        body: payload.to_string(),
+    }
+}
+
+fn tmp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdx-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A dataset large enough that a job does not finish between two
+/// back-to-back HTTP requests, small enough to complete in well under the
+/// poll deadline.
+fn sample_csv(rows: usize) -> String {
+    let mut csv = String::from("class,pred,age,income,grp\n");
+    for r in 0..rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            u8::from(r % 3 == 0),
+            u8::from(r % 4 == 0),
+            r % 23,
+            (r * 37) % 101,
+            ["a", "b", "c", "d"][r % 4],
+        ));
+    }
+    csv
+}
+
+fn submission(csv: &str, tenant: &str) -> String {
+    format!(
+        r#"{{"csv":"{}","tenant":"{tenant}","stat":"fpr","support":0.02,"checkpoint_every":1}}"#,
+        hdx_serve::json::escape(csv)
+    )
+}
+
+fn config(state_dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir,
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds and runs a server on a background thread, returning its address
+/// and the join handle (the thread exits when the server drains).
+fn start(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+/// Extracts a top-level string field from a JSON body (the status document
+/// can contain arrays, which the flat submission parser rejects).
+fn json_str_field(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":\"");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no `{key}` in {body}"))
+        + marker.len();
+    let rest = &body[start..];
+    rest[..rest.find('"').expect("closing quote")].to_string()
+}
+
+/// Polls a job until it leaves the active states, returning its final state.
+fn await_terminal(addr: SocketAddr, job_id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+        assert_eq!(status.status, 200, "{}", status.body);
+        let state = json_str_field(&status.body, "state");
+        if !matches!(state.as_str(), "queued" | "running" | "backoff") {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{job_id}` stuck in `{state}`"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn extract_job_id(body: &str) -> String {
+    json_str_field(body, "job_id")
+}
+
+#[test]
+fn submit_poll_result_lifecycle() {
+    let state = tmp_state_dir("lifecycle");
+    let (addr, handle) = start(config(state.clone()));
+    assert_eq!(http(addr, "GET", "/healthz", "").status, 200);
+    assert_eq!(http(addr, "GET", "/readyz", "").status, 200);
+
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(200), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+
+    // Not finished yet (or already done on a fast machine) — the result
+    // endpoint must never 500 either way.
+    let early = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert!(
+        early.status == 200 || early.status == 409,
+        "{}",
+        early.headers
+    );
+
+    assert_eq!(await_terminal(addr, &job_id), "done");
+    let result = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(result.status, 200);
+    assert!(result.body.contains("\"subgroups\""), "{}", result.body);
+    assert!(result.body.contains("\"termination\":\"complete\""));
+
+    assert_eq!(http(addr, "GET", "/jobs/j-9999999999", "").status, 404);
+    assert_eq!(
+        http(addr, "POST", "/jobs", "{not json").status,
+        400,
+        "malformed submissions are rejected"
+    );
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_draining_refuses_work() {
+    let state = tmp_state_dir("overload");
+    let mut cfg = config(state.clone());
+    cfg.tenant_max_jobs = 1;
+    let (addr, handle) = start(cfg);
+
+    // Slot 1: a job big enough to still be in flight when the second
+    // submission lands a millisecond later.
+    let first = http(
+        addr,
+        "POST",
+        "/jobs",
+        &submission(&sample_csv(4000), "acme"),
+    );
+    assert_eq!(first.status, 202, "{}", first.body);
+    let first_id = extract_job_id(&first.body);
+
+    let shed = http(addr, "POST", "/jobs", &submission(&sample_csv(10), "acme"));
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(
+        shed.headers.contains("Retry-After:"),
+        "shed responses advise a retry: {}",
+        shed.headers
+    );
+    // Another tenant is unaffected by acme's cap.
+    let other = http(addr, "POST", "/jobs", &submission(&sample_csv(10), "zen"));
+    assert_eq!(other.status, 202, "{}", other.body);
+
+    assert_eq!(await_terminal(addr, &first_id), "done");
+
+    // Draining: readiness flips and submissions shed with 503.
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    let late = http(addr, "POST", "/jobs", &submission(&sample_csv(10), "acme"));
+    assert_eq!(late.status, 503, "{}", late.body);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn cancel_is_cooperative_and_keeps_partial_results() {
+    let state = tmp_state_dir("cancel");
+    let (addr, handle) = start(config(state.clone()));
+    let accepted = http(
+        addr,
+        "POST",
+        "/jobs",
+        &submission(&sample_csv(4000), "acme"),
+    );
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+
+    let cancelled = http(addr, "POST", &format!("/jobs/{job_id}/cancel"), "");
+    assert_eq!(cancelled.status, 202, "{}", cancelled.body);
+
+    // A user cancel is terminal-with-results: the job finishes "done" with
+    // a cancelled termination (or "complete" if it beat the cancel).
+    assert_eq!(await_terminal(addr, &job_id), "done");
+    let result = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(result.status, 200, "{}", result.body);
+    assert!(
+        result.body.contains("\"termination\":\"cancelled\"")
+            || result.body.contains("\"termination\":\"complete\""),
+        "{}",
+        result.body
+    );
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn drain_then_restart_resumes_the_job_to_identical_bytes() {
+    let state = tmp_state_dir("recovery");
+    let csv = sample_csv(600);
+
+    // Server #1 accepts the job and is immediately drained: whether the job
+    // was still queued or already mining, it must land on disk incomplete.
+    let (addr, handle) = start(config(state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&csv, "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    // Server #2 over the same state directory: the orphan scan re-queues
+    // the job and runs it to completion.
+    let server = Server::bind(config(state.clone())).expect("rebind");
+    assert!(
+        server
+            .recovery_notes
+            .iter()
+            .any(|n| n.contains(&job_id) && n.contains("resuming")),
+        "recovery notes must name the orphan: {:?}",
+        server.recovery_notes
+    );
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("serve"));
+    assert_eq!(await_terminal(addr, &job_id), "done");
+    let resumed = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(resumed.status, 200);
+    let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+    assert!(status.body.contains("\"resumed\":true"), "{}", status.body);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    // Control: an uninterrupted server over a fresh state directory.
+    let control_state = tmp_state_dir("recovery-control");
+    let (addr, handle) = start(config(control_state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&csv, "acme"));
+    let control_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &control_id), "done");
+    let control = http(addr, "GET", &format!("/jobs/{control_id}/result"), "");
+    assert_eq!(control.status, 200);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    assert_eq!(
+        resumed.body, control.body,
+        "a recovered job must serve the byte-identical result"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&control_state);
+}
+
+#[test]
+fn oversized_bodies_are_refused_before_they_are_read() {
+    let state = tmp_state_dir("toobig");
+    let mut cfg = config(state.clone());
+    cfg.max_body_bytes = 512;
+    let (addr, handle) = start(cfg);
+    let big = http(addr, "POST", "/jobs", &submission(&sample_csv(500), "acme"));
+    assert_eq!(big.status, 413, "{}", big.headers);
+    // The service is still healthy afterwards.
+    assert_eq!(http(addr, "GET", "/healthz", "").status, 200);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}

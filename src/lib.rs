@@ -30,6 +30,7 @@ pub use hdx_governor as governor;
 pub use hdx_items as items;
 pub use hdx_mining as mining;
 pub use hdx_model as model;
+pub use hdx_serve as serve;
 pub use hdx_stats as stats;
 
 /// Commonly used types, suitable for `use h_divexplorer::prelude::*`.
@@ -39,7 +40,7 @@ pub mod prelude {
     };
     pub use hdx_data::{DataFrame, DataFrameBuilder, Schema, Value};
     pub use hdx_discretize::{GainCriterion, TreeDiscretizer, TreeDiscretizerConfig};
-    pub use hdx_governor::{CancelToken, RunBudget, Termination};
+    pub use hdx_governor::{CancelReason, CancelToken, RunBudget, Termination};
     pub use hdx_items::{Item, ItemCatalog, ItemHierarchy, ItemId, Itemset};
     pub use hdx_mining::MiningAlgorithm;
 }

@@ -5,7 +5,7 @@
 
 use h_divexplorer::core::{ExplorationMode, HDivExplorerConfig, OutcomeFn, Termination};
 use h_divexplorer::datasets::{compas, synthetic_peak};
-use h_divexplorer::governor::{CancelToken, Governor, RunBudget};
+use h_divexplorer::governor::{CancelReason, CancelToken, Governor, RunBudget};
 use h_divexplorer::items::{Item, ItemCatalog, ItemId, Itemset};
 use h_divexplorer::mining::{mine, mine_governed, MiningAlgorithm, MiningConfig, Transactions};
 use h_divexplorer::stats::Outcome;
@@ -115,7 +115,11 @@ fn cancellation_stops_every_miner() {
         };
         let governor = Governor::with_token(RunBudget::unbounded(), token.clone());
         let result = mine_governed(&transactions, &catalog, &config, &governor);
-        assert_eq!(result.termination, Termination::Cancelled, "{algorithm:?}");
+        assert_eq!(
+            result.termination,
+            Termination::Cancelled(CancelReason::User),
+            "{algorithm:?}"
+        );
         assert!(result.itemsets.is_empty(), "{algorithm:?}");
     }
 }
@@ -318,6 +322,6 @@ fn cross_thread_cancellation_is_cooperative() {
     // it must never panic or return a corrupt report.
     assert!(matches!(
         result.termination(),
-        Termination::Complete | Termination::Cancelled
+        Termination::Complete | Termination::Cancelled(_)
     ));
 }
