@@ -37,6 +37,7 @@ fn bench_algorithms(c: &mut Criterion) {
                     min_support: 0.05,
                     max_len: None,
                     algorithm,
+                    threads: None,
                 };
                 group.bench_with_input(
                     BenchmarkId::new(format!("{}/{kind}", dataset.name), format!("{algorithm:?}")),

@@ -1,9 +1,11 @@
 //! Mining-performance harness: times the word-level outcome kernels against
-//! the scalar reference path (micro) and the three miners end to end
-//! (synthetic-peak and compas), then writes machine-readable results to
-//! `BENCH_mining.json` (`hdx-bench/mining/v2`), with the run's hdx-obs
-//! telemetry — per-stage spans, pruning counters, the
-//! `hdx.bench.iter.latency_ns` histogram — embedded under `"telemetry"`.
+//! the scalar reference path (micro), the three miners end to end
+//! (synthetic-peak and compas), and the parallel miner's rows × threads
+//! scaling curve, then writes machine-readable results to
+//! `BENCH_mining.json` (`hdx-bench/mining/v3`), with the run's hdx-obs
+//! telemetry — per-stage spans, pruning counters, scheduler steal/park
+//! counters, the `hdx.bench.iter.latency_ns` histogram — embedded under
+//! `"telemetry"`.
 //!
 //! Unlike the criterion benches this binary needs no bench runner, finishes
 //! in seconds, and has a CI mode:
@@ -12,22 +14,42 @@
 //! bench_mining [--quick] [--enforce] [--out PATH]
 //! ```
 //!
-//! `--quick` shrinks iteration counts and row counts for smoke runs;
-//! `--enforce` exits non-zero if the boolean dense kernel is not faster than
-//! the scalar path (the regression gate CI runs); `--out` overrides the
-//! output path (default `BENCH_mining.json` in the current directory).
+//! `--quick` shrinks iteration, row and thread counts for smoke runs;
+//! `--enforce` exits non-zero when a performance floor is missed (the
+//! regression gate CI runs): the boolean dense kernel must beat the scalar
+//! path, the numeric dense kernel must clear
+//! [`NUMERIC_FLOOR_FULL`]/[`NUMERIC_FLOOR_QUICK`], and — only when the host
+//! actually has ≥ 4 CPUs, since a smaller host cannot *measure* parallel
+//! speedup — the 4-thread parallel efficiency on the largest scaling input
+//! must clear [`EFFICIENCY_FLOOR`]. `--out` overrides the output path
+//! (default `BENCH_mining.json` in the current directory).
+//!
+//! Schema history: v3 added `"kernel_path"`, `"host_cpus"` and the
+//! `"scaling"` section, and re-sized the quick micro geometry (16 Ki → 32 Ki
+//! rows) so per-call setup no longer dominates the quick kernel timings.
 
 use hdx_bench::experiments::{outcomes_for, pipeline_for};
 use hdx_bench::splitmix64;
 use hdx_core::HDivExplorerConfig;
+use hdx_data::AttrId;
 use hdx_datasets::{compas, synthetic_peak};
-use hdx_items::Bitset;
+use hdx_items::{Bitset, Item, ItemCatalog};
 use hdx_mining::{accum_scalar, mine, MiningAlgorithm, MiningConfig, Transactions};
 use hdx_obs::timing::median_ns;
-use hdx_stats::{Outcome, OutcomePlanes};
+use hdx_stats::{active_kernel, Outcome, OutcomePlanes};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
+
+/// `--enforce` floor for the numeric dense micro speedup in full mode (the
+/// paper-repro acceptance bar; assumes a host with AVX-512 or comparable).
+const NUMERIC_FLOOR_FULL: f64 = 8.0;
+/// `--enforce` floor for the numeric dense micro speedup in quick (smoke)
+/// mode — conservative enough for AVX2-only or portable-kernel CI runners.
+const NUMERIC_FLOOR_QUICK: f64 = 2.5;
+/// `--enforce` floor for 4-thread parallel efficiency on the largest
+/// scaling input (checked only on hosts with ≥ 4 CPUs).
+const EFFICIENCY_FLOOR: f64 = 0.6;
 
 struct Opts {
     quick: bool,
@@ -53,6 +75,12 @@ fn parse_opts() -> Opts {
         }
     }
     opts
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
 }
 
 /// One timed micro-comparison: ns per (cover, outcome-vector) accumulation
@@ -106,7 +134,7 @@ fn make_outcomes(kind: &str, n_rows: usize) -> Vec<Outcome> {
 
 fn micro(kind: &'static str, quick: bool) -> MicroResult {
     let (n_rows, n_covers, iters) = if quick {
-        (16_384, 16, 5)
+        (32_768, 16, 7)
     } else {
         (131_072, 32, 15)
     };
@@ -166,6 +194,7 @@ fn end_to_end(quick: bool) -> Vec<EndToEnd> {
                 min_support: 0.05,
                 max_len: None,
                 algorithm,
+                threads: None,
             };
             let itemsets = mine(&transactions, &catalog, &config).itemsets.len();
             let ns = median_ns(iters, || {
@@ -182,16 +211,134 @@ fn end_to_end(quick: bool) -> Vec<EndToEnd> {
     out
 }
 
+/// One cell of the rows × threads scaling matrix. `threads == 0` encodes the
+/// serial [`MiningAlgorithm::Vertical`] reference row.
+struct ScalingCell {
+    rows: usize,
+    threads: usize,
+    itemsets: usize,
+    ms: f64,
+    /// `T(1 thread) / (threads · T(threads))` within the same row count;
+    /// 1.0 for the 1-thread baseline, `None` for the serial reference.
+    efficiency: Option<f64>,
+}
+
+/// Synthetic scaling input: `n_attrs` categorical attributes of
+/// `values_per_attr` levels each (one item per attribute per row, uniform)
+/// with a numeric outcome, so the parallel scaling run exercises the
+/// masked-sum kernels and a `n_attrs · values_per_attr`-root DFS.
+fn scaling_input(n_rows: usize) -> (Transactions, ItemCatalog) {
+    const N_ATTRS: usize = 6;
+    const VALUES_PER_ATTR: u32 = 3;
+    static NAMES: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+    static LEVELS: [&str; 3] = ["0", "1", "2"];
+    let mut catalog = ItemCatalog::new();
+    let ids: Vec<Vec<_>> = (0..N_ATTRS)
+        .map(|a| {
+            (0..VALUES_PER_ATTR)
+                // BOUND: `a < N_ATTRS = NAMES.len()`; `v < 3 = LEVELS.len()`.
+                .map(|v| {
+                    catalog.intern(Item::cat_eq(
+                        AttrId(a as u16),
+                        v,
+                        NAMES[a],
+                        LEVELS[v as usize],
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+    let mut state = 0x5ca1_ab1e_0000_0001;
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut outcomes = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<_> = ids
+            .iter()
+            .map(|attr| {
+                let bits = splitmix64(&mut state);
+                // BOUND: index taken modulo the per-attribute item count.
+                attr[(bits % VALUES_PER_ATTR as u64) as usize]
+            })
+            .collect();
+        rows.push(row);
+        outcomes.push(Outcome::Real((splitmix64(&mut state) >> 11) as f64 * 1e-6));
+    }
+    (Transactions::from_rows(rows, outcomes), catalog)
+}
+
+/// Times the parallel miner over a rows × threads matrix (plus a serial
+/// reference per row count) on the synthetic scaling input.
+fn scaling(quick: bool) -> Vec<ScalingCell> {
+    let (row_sizes, thread_counts, iters): (&[usize], &[usize], usize) = if quick {
+        (&[16_384, 65_536], &[1, 2, 4], 2)
+    } else {
+        (&[65_536, 1_048_576], &[1, 2, 4, 8], 3)
+    };
+    let mut out = Vec::new();
+    for &n_rows in row_sizes {
+        hdx_obs::span!("scaling", int n_rows as i64);
+        let (transactions, catalog) = scaling_input(n_rows);
+        let serial = MiningConfig {
+            min_support: 0.01,
+            max_len: None,
+            algorithm: MiningAlgorithm::Vertical,
+            threads: None,
+        };
+        let itemsets = mine(&transactions, &catalog, &serial).itemsets.len();
+        let serial_ns = median_ns(iters, || {
+            black_box(mine(&transactions, &catalog, &serial).itemsets.len());
+        });
+        out.push(ScalingCell {
+            rows: n_rows,
+            threads: 0,
+            itemsets,
+            ms: serial_ns / 1e6,
+            efficiency: None,
+        });
+        let mut one_thread_ms = 0.0f64;
+        for &k in thread_counts {
+            let config = MiningConfig {
+                algorithm: MiningAlgorithm::VerticalParallel,
+                threads: Some(k),
+                ..serial
+            };
+            let ns = median_ns(iters, || {
+                black_box(mine(&transactions, &catalog, &config).itemsets.len());
+            });
+            let ms = ns / 1e6;
+            if k == 1 {
+                one_thread_ms = ms;
+            }
+            let efficiency = if one_thread_ms > 0.0 {
+                Some(one_thread_ms / (k as f64 * ms))
+            } else {
+                None
+            };
+            out.push(ScalingCell {
+                rows: n_rows,
+                threads: k,
+                itemsets,
+                ms,
+                efficiency,
+            });
+        }
+    }
+    out
+}
+
 fn render_json(
     mode: &str,
     micros: &[MicroResult],
     e2e: &[EndToEnd],
+    cells: &[ScalingCell],
     telemetry: &hdx_obs::RunTelemetry,
 ) -> String {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v3\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"kernel_path\": \"{}\",", active_kernel().as_str());
+    let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
     let _ = writeln!(json, "  \"micro\": [");
     for (i, m) in micros.iter().enumerate() {
         let comma = if i + 1 < micros.len() { "," } else { "" };
@@ -220,6 +367,25 @@ fn render_json(
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"scaling\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let algorithm = if c.threads == 0 {
+            "Vertical"
+        } else {
+            "VerticalParallel"
+        };
+        let efficiency = c
+            .efficiency
+            .map_or("null".to_string(), |e| format!("{e:.3}"));
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {}, \"algorithm\": \"{algorithm}\", \"threads\": {}, \
+             \"itemsets\": {}, \"ms\": {:.3}, \"efficiency\": {efficiency}}}{comma}",
+            c.rows, c.threads, c.itemsets, c.ms,
+        );
+    }
+    let _ = writeln!(json, "  ],");
     // Embed the run telemetry verbatim (re-indented) so one artifact carries
     // both the headline numbers and the per-stage breakdown behind them.
     let nested = telemetry.to_json();
@@ -230,6 +396,76 @@ fn render_json(
     );
     let _ = writeln!(json, "\n}}");
     json
+}
+
+/// The `--enforce` gates; returns an error message for the first missed
+/// floor. The parallel-efficiency floor only applies on hosts with enough
+/// CPUs to run the measured threads truly in parallel — a 1-core runner
+/// timesharing 4 workers measures scheduling, not scaling.
+fn enforce(quick: bool, micros: &[MicroResult], cells: &[ScalingCell]) -> Result<(), String> {
+    let micro_of = |name: &str| {
+        micros
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("{name} micro always runs"))
+    };
+    let boolean = micro_of("boolean_dense");
+    if boolean.speedup() < 1.0 {
+        return Err(format!(
+            "boolean dense kernel is {:.2}x scalar (must be >= 1.0x)",
+            boolean.speedup()
+        ));
+    }
+    let numeric = micro_of("numeric_dense");
+    let floor = if quick {
+        NUMERIC_FLOOR_QUICK
+    } else {
+        NUMERIC_FLOOR_FULL
+    };
+    if numeric.speedup() < floor {
+        return Err(format!(
+            "numeric dense kernel is {:.2}x scalar (must be >= {floor:.1}x; \
+             kernel path {})",
+            numeric.speedup(),
+            active_kernel().as_str()
+        ));
+    }
+    println!(
+        "enforce OK: boolean {:.2}x, numeric {:.2}x (floor {floor:.1}x, kernel {})",
+        boolean.speedup(),
+        numeric.speedup(),
+        active_kernel().as_str()
+    );
+    const GATED_THREADS: usize = 4;
+    if host_cpus() < GATED_THREADS {
+        println!(
+            "enforce: skipping parallel-efficiency floor (host has {} CPU(s), gate needs {})",
+            host_cpus(),
+            GATED_THREADS
+        );
+        return Ok(());
+    }
+    let largest = cells.iter().map(|c| c.rows).max().unwrap_or(0);
+    let gated = cells
+        .iter()
+        .find(|c| c.rows == largest && c.threads == GATED_THREADS);
+    match gated.and_then(|c| c.efficiency) {
+        Some(eff) if eff < EFFICIENCY_FLOOR => Err(format!(
+            "parallel efficiency at {GATED_THREADS} threads on {largest} rows is {eff:.3} \
+             (must be >= {EFFICIENCY_FLOOR})"
+        )),
+        Some(eff) => {
+            println!(
+                "enforce OK: parallel efficiency {eff:.3} at {GATED_THREADS} threads on \
+                 {largest} rows"
+            );
+            Ok(())
+        }
+        None => {
+            println!("enforce: no {GATED_THREADS}-thread scaling cell measured; skipping");
+            Ok(())
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -257,8 +493,18 @@ fn main() -> ExitCode {
             e.dataset, e.algorithm, e.itemsets, e.ms,
         );
     }
+    let cells = scaling(opts.quick);
+    for c in &cells {
+        let eff = c
+            .efficiency
+            .map_or_else(|| "  (serial)".to_string(), |e| format!(" eff {e:.3}"));
+        println!(
+            "scaling {:>9} rows  {:>2} thread(s)  {:>6} itemsets  {:>9.3} ms{eff}",
+            c.rows, c.threads, c.itemsets, c.ms,
+        );
+    }
 
-    let json = render_json(mode, &micros, &e2e, &hdx_obs::collect());
+    let json = render_json(mode, &micros, &e2e, &cells, &hdx_obs::collect());
     if let Err(err) = std::fs::write(&opts.out, &json) {
         eprintln!("cannot write {}: {err}", opts.out);
         return ExitCode::FAILURE;
@@ -266,21 +512,10 @@ fn main() -> ExitCode {
     println!("wrote {}", opts.out);
 
     if opts.enforce {
-        let boolean = micros
-            .iter()
-            .find(|m| m.name == "boolean_dense")
-            .expect("boolean_dense micro always runs");
-        if boolean.speedup() < 1.0 {
-            eprintln!(
-                "REGRESSION: boolean dense kernel is {:.2}x scalar (must be >= 1.0x)",
-                boolean.speedup()
-            );
+        if let Err(msg) = enforce(opts.quick, &micros, &cells) {
+            eprintln!("REGRESSION: {msg}");
             return ExitCode::FAILURE;
         }
-        println!(
-            "enforce OK: boolean dense kernel {:.2}x scalar",
-            boolean.speedup()
-        );
     }
     ExitCode::SUCCESS
 }

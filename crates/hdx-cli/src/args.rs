@@ -135,6 +135,8 @@ pub struct ExploreOpts {
     pub polarity: bool,
     /// Pattern length cap.
     pub max_len: Option<usize>,
+    /// Worker-thread cap for the parallel miner (`None` = all cores).
+    pub threads: Option<usize>,
     /// Rows to print.
     pub top: usize,
     /// Redundancy filter.
@@ -412,6 +414,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 base_mode: false,
                 polarity: false,
                 max_len: None,
+                threads: None,
                 top: 10,
                 non_redundant: false,
                 fd_tolerance: None,
@@ -439,6 +442,13 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                     },
                     "--polarity" => opts.polarity = true,
                     "--max-len" => opts.max_len = Some(cur.parse_value(&flag)?),
+                    "--threads" => {
+                        let n: usize = cur.parse_value(&flag)?;
+                        if n == 0 {
+                            return Err(CliError::new("--threads must be at least 1"));
+                        }
+                        opts.threads = Some(n);
+                    }
                     "--top" => opts.top = cur.parse_value(&flag)?,
                     "--non-redundant" => opts.non_redundant = true,
                     "--fd" => opts.fd_tolerance = Some(cur.parse_value(&flag)?),
@@ -656,6 +666,8 @@ mod tests {
             "--polarity",
             "--max-len",
             "3",
+            "--threads",
+            "4",
             "--top",
             "5",
             "--json",
@@ -673,6 +685,7 @@ mod tests {
         assert_eq!(o.tree_support, 0.2);
         assert!(o.base_mode && o.polarity && o.json && o.entropy && o.non_redundant);
         assert_eq!(o.max_len, Some(3));
+        assert_eq!(o.threads, Some(4));
         assert_eq!(o.top, 5);
         assert_eq!(o.fd_tolerance, Some(0.01));
     }
@@ -696,6 +709,10 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown command"));
+        assert!(parse(v(&["explore", "d.csv", "--threads", "0"]))
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
         assert!(parse(v(&["explore", "d.csv", "--stat", "woo"]))
             .unwrap_err()
             .0

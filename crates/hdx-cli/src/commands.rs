@@ -206,6 +206,7 @@ fn pipeline_config(
     entropy: bool,
     polarity: bool,
     max_len: Option<usize>,
+    threads: Option<usize>,
 ) -> HDivExplorerConfig {
     HDivExplorerConfig {
         min_support: support,
@@ -217,6 +218,7 @@ fn pipeline_config(
         },
         polarity_pruning: polarity,
         max_len,
+        threads,
         ..HDivExplorerConfig::default()
     }
 }
@@ -354,6 +356,7 @@ fn explore(opts: &ExploreOpts) -> Result<RunOutput, CliError> {
             opts.entropy,
             opts.polarity,
             opts.max_len,
+            opts.threads,
         )
     });
     if let Some(tolerance) = opts.fd_tolerance {
@@ -407,12 +410,16 @@ fn resume(opts: &ResumeOpts) -> Result<RunOutput, CliError> {
     let mut pipeline = HDivExplorer::new(HDivExplorerConfig {
         budget: build_budget(opts.timeout, opts.max_itemsets),
         adaptive_support: manifest.adaptive_support,
+        // Thread count is a per-invocation resource knob, not run-determining
+        // configuration, so it is not sealed in the manifest: a resume uses
+        // the default (all cores).
         ..pipeline_config(
             manifest.support,
             manifest.tree_support,
             manifest.entropy,
             false,
             manifest.max_len,
+            None,
         )
     });
     if let Some(tolerance) = manifest.fd_tolerance {
@@ -586,6 +593,7 @@ fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
         opts.entropy,
         false,
         None,
+        None,
     ));
     let (catalog, _, trees) = pipeline.discretize(&frame, &outcomes);
     let mut out = String::new();
@@ -608,7 +616,14 @@ fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
 fn baselines(opts: &BaselinesOpts) -> Result<String, CliError> {
     let (frame, outcomes, _) = load(&opts.input)?;
     let losses: Vec<f64> = outcomes.iter().map(|o| o.value().unwrap_or(0.0)).collect();
-    let pipeline = HDivExplorer::new(pipeline_config(0.05, opts.tree_support, false, false, None));
+    let pipeline = HDivExplorer::new(pipeline_config(
+        0.05,
+        opts.tree_support,
+        false,
+        false,
+        None,
+        None,
+    ));
     let (catalog, hierarchies, _) = pipeline.discretize(&frame, &outcomes);
     let leaf_items = hierarchies.leaf_items();
 

@@ -53,6 +53,7 @@ EXPLORE OPTIONS:
   --mode <base|hierarchical>        exploration mode [hierarchical]
   --polarity             enable polarity pruning
   --max-len <n>          cap pattern length
+  --threads <n>          cap parallel-miner worker threads [all cores]
   --top <k>              rows to print [10]
   --non-redundant        drop subgroups explained by a sub-pattern
   --fd <tolerance>       discover taxonomies from functional dependencies

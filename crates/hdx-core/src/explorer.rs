@@ -20,6 +20,9 @@ pub struct ExplorationConfig {
     pub algorithm: MiningAlgorithm,
     /// Optional cap on pattern length.
     pub max_len: Option<usize>,
+    /// Worker threads for [`MiningAlgorithm::VerticalParallel`] (`None` =
+    /// all available cores). Ignored by the serial algorithms.
+    pub threads: Option<usize>,
     /// Whether to apply polarity pruning (§V-C).
     pub polarity_pruning: bool,
     /// Work/time limits for the run (unbounded by default). When a limit
@@ -35,6 +38,7 @@ impl Default for ExplorationConfig {
             min_support: 0.05,
             algorithm: MiningAlgorithm::default(),
             max_len: None,
+            threads: None,
             polarity_pruning: false,
             budget: RunBudget::unbounded(),
         }
@@ -47,6 +51,7 @@ impl ExplorationConfig {
             min_support: self.min_support,
             max_len: self.max_len,
             algorithm: self.algorithm,
+            threads: self.threads,
         }
     }
 }

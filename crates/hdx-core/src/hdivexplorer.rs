@@ -47,6 +47,9 @@ pub struct HDivExplorerConfig {
     pub algorithm: MiningAlgorithm,
     /// Optional cap on pattern length.
     pub max_len: Option<usize>,
+    /// Worker threads for [`MiningAlgorithm::VerticalParallel`] (`None` =
+    /// all available cores). Ignored by the serial algorithms.
+    pub threads: Option<usize>,
     /// Whether to apply polarity pruning (§V-C).
     pub polarity_pruning: bool,
     /// Work/time limits for the whole run. The discretization stage charges
@@ -74,6 +77,7 @@ impl Default for HDivExplorerConfig {
             max_tree_depth: None,
             algorithm: MiningAlgorithm::default(),
             max_len: None,
+            threads: None,
             polarity_pruning: false,
             budget: RunBudget::unbounded(),
             adaptive_support: false,
@@ -87,6 +91,7 @@ impl HDivExplorerConfig {
             min_support,
             algorithm: self.algorithm,
             max_len: self.max_len,
+            threads: self.threads,
             polarity_pruning: self.polarity_pruning,
             // The pipeline drives the governed explorer entry points
             // directly; the per-stage governors carry the limits.

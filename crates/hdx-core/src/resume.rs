@@ -297,6 +297,7 @@ impl HDivExplorer {
                 min_support,
                 max_len: self.config.max_len,
                 algorithm: self.config.algorithm,
+                threads: self.config.threads,
             };
             // The loaded progress applies only to the first pass; adaptive
             // retries restart mining from scratch at the coarser support.

@@ -138,6 +138,17 @@ impl Bitset {
         &self.words
     }
 
+    /// Mutable access to the backing word slice, for fused kernels that
+    /// intersect covers and accumulate statistics in one cache-hot pass
+    /// (`hdx_stats::OutcomePlanes::accum_assign_pair`). The caller must
+    /// preserve the layout invariant: bits at or beyond `len` in the last
+    /// word stay zero. Writing the AND of two well-formed covers (the only
+    /// use) preserves it automatically.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Overwrites `self` with `a ∩ b` — the allocation-free counterpart of
     /// [`Bitset::and`] for reusable scratch buffers.
     ///

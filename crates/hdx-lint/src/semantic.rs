@@ -247,9 +247,15 @@ pub fn rule_no_panic_path(
             TokKind::Punct if t.text == "[" => {
                 // Indexing/slicing: `[` directly after an expression tail
                 // (identifier, `)`, `]`). Type positions, array literals and
-                // attributes are preceded by other punctuation.
+                // attributes are preceded by other punctuation — or by a
+                // keyword (`&mut [u64]`, `for x in [..]`, `return [..]`),
+                // which tokenizes as an identifier but cannot be indexed.
+                const KEYWORDS: &[&str] = &[
+                    "let", "mut", "ref", "dyn", "in", "return", "break", "else", "match", "move",
+                ];
                 let is_index = i > 0
                     && (toks[i - 1].kind == TokKind::Ident
+                        && !KEYWORDS.contains(&toks[i - 1].text.as_str())
                         || toks[i - 1].is_punct(")")
                         || toks[i - 1].is_punct("]"));
                 if !is_index {

@@ -58,6 +58,24 @@
 /// threshold, anti-monotonicity).
 pub mod invariants;
 
+/// Work-stealing scheduler behind [`vertical_parallel`]: injector cursor +
+/// Chase–Lev-style per-worker deques over DFS subtree roots.
+pub mod sched;
+
+/// The atomics behind the work-stealing scheduler, swapped for the
+/// `hdx-loom` modeled twins under `--cfg hdx_loom` so the models in
+/// `tests/loom_models.rs` drive the *real* push/pop/steal code through
+/// every interleaving (see DESIGN.md §13 and `cargo xtask sanitize`).
+#[cfg(not(hdx_loom))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::atomic;
+}
+/// `hdx-loom` twin of the `sync` facade (active under `--cfg hdx_loom`).
+#[cfg(hdx_loom)]
+pub(crate) mod sync {
+    pub(crate) use hdx_loom::sync::atomic;
+}
+
 mod apriori;
 mod attrs;
 mod checkpoint;
@@ -119,6 +137,11 @@ pub struct MiningConfig {
     pub max_len: Option<usize>,
     /// Algorithm choice.
     pub algorithm: MiningAlgorithm,
+    /// Worker-thread count for [`MiningAlgorithm::VerticalParallel`]
+    /// (`None` = all available cores; `Some(0)` is treated as 1). Always
+    /// additionally clamped to the number of subtree roots — see
+    /// [`MiningConfig::n_workers`]. Ignored by the serial algorithms.
+    pub threads: Option<usize>,
 }
 
 impl Default for MiningConfig {
@@ -127,6 +150,7 @@ impl Default for MiningConfig {
             min_support: 0.05,
             max_len: None,
             algorithm: MiningAlgorithm::default(),
+            threads: None,
         }
     }
 }
@@ -136,6 +160,20 @@ impl MiningConfig {
     /// `n_rows` transactions: `sup(I) ≥ s  ⇔  count ≥ ⌈s·n⌉`.
     pub fn min_count(&self, n_rows: usize) -> u64 {
         (self.min_support * n_rows as f64).ceil().max(1.0) as u64
+    }
+
+    /// The worker-thread count a parallel mine over `n_roots` subtree roots
+    /// will use: the [`threads`](Self::threads) override when set (floored
+    /// at 1), else `std::thread::available_parallelism()`, in both cases
+    /// clamped to `n_roots` (an idle worker with no root to claim is pure
+    /// overhead).
+    pub fn n_workers(&self, n_roots: usize) -> usize {
+        let requested = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1)
+        });
+        requested.clamp(1, n_roots.max(1))
     }
 }
 
@@ -289,6 +327,7 @@ mod cross_tests {
                 min_support: support,
                 max_len: None,
                 algorithm,
+                threads: None,
             };
             let a = mine(&base, &catalog, &mk(MiningAlgorithm::Apriori));
             let f = mine(&base, &catalog, &mk(MiningAlgorithm::FpGrowth));
@@ -321,6 +360,7 @@ mod cross_tests {
                 min_support: support,
                 max_len: None,
                 algorithm,
+                threads: None,
             };
             let a = mine(&gen, &catalog, &mk(MiningAlgorithm::Apriori));
             let f = mine(&gen, &catalog, &mk(MiningAlgorithm::FpGrowth));
@@ -371,6 +411,7 @@ mod cross_tests {
             min_support: 0.02,
             max_len: Some(2),
             algorithm: MiningAlgorithm::Vertical,
+            threads: None,
         };
         for algorithm in [
             MiningAlgorithm::Apriori,

@@ -1,0 +1,325 @@
+//! Work-stealing scheduler for the parallel vertical miner.
+//!
+//! The depth-first subtrees rooted at each frequent single item are
+//! independent but wildly *skewed*: early items have the largest extension
+//! sets, so the static striding the parallel miner used previously could
+//! leave most workers idle while one ground through a giant subtree
+//! sequence. This module replaces the stride with:
+//!
+//! * a shared **injector cursor** — an atomic index over the root array from
+//!   which workers claim small contiguous batches ([`CLAIM_BATCH`]) with one
+//!   `fetch_add`, keeping the common case a single uncontended atomic op;
+//! * one **[`WorkDeque`]** per worker — a Chase–Lev-style deque the owner
+//!   pushes its claimed batch into and pops from LIFO, while idle workers
+//!   *steal* FIFO from the other end. A worker that drains its own deque and
+//!   finds the injector exhausted sweeps the other deques before exiting, so
+//!   a batch of heavy roots claimed by one worker is redistributed instead
+//!   of serialising the tail of the run.
+//!
+//! The deque is dependency-free safe Rust over `AtomicUsize`: the buffer is
+//! pre-sized to the total number of items that can ever be pushed (subtree
+//! roots, bounded by the frequent-item count), so indices never wrap and the
+//! ABA/overwrite hazards of the ring-buffer formulation do not arise. All
+//! operations are sequentially consistent; the push/pop/steal races are
+//! exhaustively model-checked in `tests/loom_models.rs` via the crate's
+//! `sync` facade (swapped for `hdx-loom` twins under `--cfg hdx_loom`).
+//!
+//! **Termination.** A worker exits once its own deque is empty, the
+//! injector is exhausted, and a full steal sweep found nothing. Items still
+//! sitting in *another* worker's deque are drained by that owner (each owner
+//! empties its own deque before exiting), so an early exit can only cost
+//! parallelism, never work. The one benign race — a claimed-but-not-yet
+//! -pushed batch making the world look empty — is narrowed by a yield-and
+//! -resweep pass (counted as `hdx.mining.sched.parks`) and, like every other
+//! miss, degrades to the owner finishing the batch alone.
+
+use crate::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+/// Number of subtree roots a worker claims from the injector cursor per
+/// `fetch_add`. Small enough that the tail of a skewed run still spreads
+/// across workers, large enough that claiming is not a cursor hot spot.
+pub const CLAIM_BATCH: usize = 8;
+
+/// Result of a [`WorkDeque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque had no stealable item.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may succeed.
+    Retry,
+    /// Stole this item.
+    Stolen(usize),
+}
+
+/// A Chase–Lev-style work-stealing deque of `usize` items (subtree-root
+/// indices), in safe Rust over sequentially consistent atomics.
+///
+/// One thread — the *owner* — calls [`push`](Self::push) and
+/// [`pop`](Self::pop) (LIFO end); any thread may call
+/// [`steal`](Self::steal) (FIFO end). The buffer never wraps: `capacity`
+/// must be at least the total number of items ever pushed over the deque's
+/// lifetime, which the miner guarantees by sizing every deque to the root
+/// count. Each slot is therefore written at most once before becoming
+/// visible, which is what makes the all-atomic formulation race-free
+/// without `unsafe` — a thief that reads `top < bottom` is guaranteed (by
+/// the SC ordering of the slot store before the `bottom` store) to read the
+/// slot's final value.
+#[derive(Debug)]
+pub struct WorkDeque {
+    /// Item slots; `top..bottom` is the live window.
+    buf: Box<[AtomicUsize]>,
+    /// Steal end: thieves advance this with CAS.
+    top: AtomicUsize,
+    /// Owner end: the owner alone stores this.
+    bottom: AtomicUsize,
+}
+
+impl WorkDeque {
+    /// A deque that can hold `capacity` *lifetime* pushes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            top: AtomicUsize::new(0),
+            bottom: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pushes `item` on the owner end. **Owner thread only.**
+    ///
+    /// # Panics
+    /// Panics if the lifetime push count exceeds the constructed capacity.
+    pub fn push(&self, item: usize) {
+        let b = self.bottom.load(SeqCst);
+        assert!(b < self.buf.len(), "WorkDeque capacity exceeded");
+        // BOUND: `b < buf.len()` asserted directly above.
+        self.buf[b].store(item, SeqCst);
+        self.bottom.store(b + 1, SeqCst);
+    }
+
+    /// Pops the most recently pushed item. **Owner thread only.**
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(SeqCst);
+        if b == 0 {
+            // Nothing was ever pushed (bottom only rewinds to `top`, which
+            // never exceeds the push count).
+            return None;
+        }
+        let b1 = b - 1;
+        // Reserve the slot *before* reading top: a thief that loads
+        // `bottom` afterwards keeps its hands off `b1`.
+        self.bottom.store(b1, SeqCst);
+        let t = self.top.load(SeqCst);
+        if b1 > t {
+            // More than one item was left: the reservation is uncontended.
+            // BOUND: `b1 < b ≤ capacity`, checked by push's assert.
+            return Some(self.buf[b1].load(SeqCst));
+        }
+        if b1 == t {
+            // Last item: race the thieves for it by advancing `top`.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(t + 1, SeqCst);
+            // BOUND: `b1 < b ≤ capacity`, checked by push's assert.
+            return won.then(|| self.buf[b1].load(SeqCst));
+        }
+        // The deque was already empty; undo the reservation.
+        self.bottom.store(t, SeqCst);
+        None
+    }
+
+    /// Attempts to steal the oldest item. Any thread.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Slots are written at most once (no wrap), and the SC order
+        // slot-store → bottom-store → our bottom-load guarantees this read
+        // sees the final value.
+        // BOUND: `t < b ≤ capacity`, checked by push's assert.
+        let item = self.buf[t].load(SeqCst);
+        if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Stolen(item)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Whether the live window is currently empty (advisory: the answer can
+    /// be stale by the time the caller acts on it).
+    pub fn is_empty(&self) -> bool {
+        self.top.load(SeqCst) >= self.bottom.load(SeqCst)
+    }
+}
+
+/// The shared scheduling state of one parallel mining run: the injector
+/// cursor over `0..n_roots` plus one deque per worker.
+#[derive(Debug)]
+pub(crate) struct RootScheduler {
+    deques: Vec<WorkDeque>,
+    cursor: AtomicUsize,
+    n_roots: usize,
+}
+
+impl RootScheduler {
+    /// A scheduler distributing `n_roots` subtree roots over `n_workers`
+    /// deques. Every deque is sized to `n_roots`: a worker can never push
+    /// more items than exist.
+    pub(crate) fn new(n_workers: usize, n_roots: usize) -> Self {
+        Self {
+            deques: (0..n_workers).map(|_| WorkDeque::new(n_roots)).collect(),
+            cursor: AtomicUsize::new(0),
+            n_roots,
+        }
+    }
+
+    /// The next subtree root `worker` should explore, or `None` when the
+    /// run is drained: own deque first (LIFO), then a fresh injector batch
+    /// (rest pushed locally, becoming stealable), then a steal sweep over
+    /// the other workers' deques — with one yield-and-resweep pass before
+    /// giving up, so a concurrently claimed batch is usually caught.
+    pub(crate) fn next_root(&self, worker: usize) -> Option<usize> {
+        debug_assert!(worker < self.deques.len(), "worker index out of range");
+        let own = self.deques.get(worker)?;
+        if let Some(idx) = own.pop() {
+            return Some(idx);
+        }
+        let start = self.cursor.fetch_add(CLAIM_BATCH, SeqCst);
+        if start < self.n_roots {
+            let end = (start + CLAIM_BATCH).min(self.n_roots);
+            // Push in reverse so the owner pops the batch in ascending
+            // root order while thieves take from the far (high) end.
+            for idx in (start + 1..end).rev() {
+                // ALLOC: `WorkDeque::push` stores into the deque's
+                // pre-sized atomic buffer — it never allocates.
+                own.push(idx);
+            }
+            return Some(start);
+        }
+        for sweep in 0..2 {
+            for k in 1..self.deques.len() {
+                let victim = (worker + k) % self.deques.len();
+                // BOUND: `victim < deques.len()` by the modulus.
+                let victim = &self.deques[victim];
+                loop {
+                    match victim.steal() {
+                        Steal::Stolen(idx) => {
+                            hdx_obs::counter_add!(MineSchedSteals, 1);
+                            return Some(idx);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+            }
+            if sweep == 0 {
+                // One park before concluding the run is drained: lets a
+                // mid-claim peer publish its batch.
+                hdx_obs::counter_add!(MineSchedParks, 1);
+                std::thread::yield_now();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let d = WorkDeque::new(8);
+        for i in 0..5 {
+            d.push(i);
+        }
+        for i in (0..5).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_is_fifo_and_disjoint_from_pop() {
+        let d = WorkDeque::new(8);
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Stolen(0));
+        assert_eq!(d.steal(), Steal::Stolen(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_overflow_panics() {
+        let d = WorkDeque::new(1);
+        d.push(0);
+        d.push(1);
+    }
+
+    #[test]
+    fn empty_deque_pops_and_steals_nothing() {
+        let d = WorkDeque::new(4);
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+        d.push(7);
+        assert_eq!(d.pop(), Some(7));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn scheduler_hands_out_every_root_exactly_once_serially() {
+        for (workers, roots) in [(1, 0), (1, 7), (3, 20), (4, 8), (2, 100)] {
+            let s = RootScheduler::new(workers, roots);
+            let mut seen = BTreeSet::new();
+            // Round-robin the workers to interleave claims.
+            let mut live: Vec<usize> = (0..workers).collect();
+            while !live.is_empty() {
+                live.retain(|&w| match s.next_root(w) {
+                    Some(idx) => {
+                        assert!(seen.insert(idx), "root {idx} handed out twice");
+                        true
+                    }
+                    None => false,
+                });
+            }
+            assert_eq!(seen.len(), roots, "workers={workers} roots={roots}");
+            assert!(seen.iter().all(|&r| r < roots));
+        }
+    }
+
+    #[test]
+    fn scheduler_hands_out_every_root_exactly_once_concurrently() {
+        let workers = 4;
+        let roots = 503;
+        let s = RootScheduler::new(workers, roots);
+        let mut all: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let s = &s;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(idx) = s.next_root(w) {
+                            mine.push(idx);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().expect("scheduler worker panicked"));
+            }
+        });
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..roots).collect();
+        assert_eq!(all, expect, "each root exactly once across workers");
+    }
+}

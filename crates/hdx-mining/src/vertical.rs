@@ -197,12 +197,20 @@ fn dfs(
                     prefix_items.pop();
                     return;
                 }
-                joint.assign_and(prefix_cover, &cand.cover);
+                // Fused intersect-assign-accumulate: the joint cover is
+                // written and folded into the accumulator in one blocked
+                // pass, so each row block is consumed while cache-hot.
+                let accum = ctx.planes.accum_assign_pair(
+                    prefix_cover.words(),
+                    cand.cover.words(),
+                    joint.words_mut(),
+                    count,
+                );
                 // ALLOC: emission — see above; the joint cover itself goes
                 // into the pre-sized scratch pool, not a fresh allocation.
                 out.push(FrequentItemset {
                     itemset: Itemset::from_sorted_unchecked(prefix_items.clone()),
-                    accum: ctx.planes.accum(joint.words(), count),
+                    accum,
                 });
                 prefix_attrs.insert(cand.attr);
                 dfs(ctx, prefix_items, prefix_attrs, joint, idx + 1, rest, out);
@@ -372,10 +380,11 @@ pub(crate) fn vertical_run(
 }
 
 /// Parallel variant of [`vertical`]: the depth-first subtrees rooted at each
-/// frequent single item are independent, so they are distributed over
-/// `available_parallelism` worker threads (std scoped threads — no extra
-/// dependencies). Produces the same itemset multiset as [`vertical`], in a
-/// different order.
+/// frequent single item are independent, so they are distributed over worker
+/// threads ([`MiningConfig::threads`], default all cores; std scoped threads
+/// — no extra dependencies) by the work-stealing scheduler in
+/// [`crate::sched`]. Produces the same itemset multiset as [`vertical`], in
+/// a different order.
 pub fn vertical_parallel(
     transactions: &Transactions,
     catalog: &ItemCatalog,
@@ -402,10 +411,7 @@ pub fn vertical_parallel_governed(
     let frequent = frequent_items(transactions, catalog, min_count);
     let planes = OutcomePlanes::from_outcomes(transactions.outcomes());
 
-    let n_workers = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1)
-        .min(frequent.len().max(1));
+    let n_workers = config.n_workers(frequent.len());
 
     let ctx = DfsCtx {
         frequent: &frequent,
@@ -416,17 +422,22 @@ pub fn vertical_parallel_governed(
         cover_bytes: cover_bytes(n),
     };
 
+    let sched = crate::sched::RootScheduler::new(n_workers, frequent.len());
+
     let mut out: Vec<FrequentItemset> = Vec::new();
     let mut errors: Vec<MiningError> = Vec::new();
     std::thread::scope(|scope| {
         let ctx = &ctx;
+        let sched = &sched;
         let handles: Vec<_> = (0..n_workers)
             .map(|worker| {
                 scope.spawn(move || {
                     // Catch panics inside the worker so one crashing subtree
                     // degrades the run instead of killing it. The closure
                     // only reads shared state and writes a thread-local vec,
-                    // so unwinding cannot leave broken invariants behind.
+                    // so unwinding cannot leave broken invariants behind
+                    // (roots left in the panicking worker's deque are
+                    // stolen by the survivors' exit sweeps).
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         fail_point!("mining::vertical-worker");
                         hdx_obs::span!("worker", int worker);
@@ -438,10 +449,12 @@ pub fn vertical_parallel_governed(
                             MineScratchPoolBytes,
                             scratch.len() as u64 * cover_bytes(n)
                         );
-                        // Strided assignment of first-level subtrees balances
-                        // the skewed subtree sizes (early items have the
-                        // largest extension sets).
-                        for idx in (worker..ctx.frequent.len()).step_by(n_workers) {
+                        // Work-stealing assignment of first-level subtrees:
+                        // subtree sizes are heavily skewed (early items have
+                        // the largest extension sets), so idle workers steal
+                        // queued roots instead of waiting out a static
+                        // stride.
+                        while let Some(idx) = sched.next_root(worker) {
                             if !ctx.governor.keep_going()
                                 || !explore_root(
                                     ctx,

@@ -1,0 +1,98 @@
+//! hdx-loom models of the work-stealing deque behind the parallel vertical
+//! miner, run by `cargo xtask sanitize`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg hdx_loom" cargo test -p hdx-mining --test loom_models
+//! ```
+//!
+//! Under `--cfg hdx_loom` the crate's `sync` facade swaps its atomics for
+//! the modeled twins, so these tests drive the *real* [`WorkDeque`]
+//! push/pop/steal code through every interleaving of its atomic operations.
+//! Built as an empty test crate without the cfg.
+#![cfg(hdx_loom)]
+
+use hdx_mining::sched::{Steal, WorkDeque};
+use std::sync::Arc;
+
+/// Drains a thief's view of the deque, retrying on lost races.
+fn steal_all(deque: &WorkDeque) -> Vec<usize> {
+    let mut got = Vec::new();
+    loop {
+        match deque.steal() {
+            Steal::Stolen(item) => got.push(item),
+            Steal::Retry => {}
+            Steal::Empty => return got,
+        }
+    }
+}
+
+#[test]
+fn concurrent_push_and_steal_never_lose_or_duplicate() {
+    hdx_loom::model(|| {
+        let deque = Arc::new(WorkDeque::new(2));
+        let victim = Arc::clone(&deque);
+        let thief = hdx_loom::thread::spawn(move || steal_all(&victim));
+        deque.push(10);
+        deque.push(11);
+        let mut seen = thief.join().expect("thief panicked");
+        // Whatever the thief missed is still in the deque for the owner.
+        while let Some(item) = deque.pop() {
+            seen.push(item);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11], "an item was lost or duplicated");
+    });
+}
+
+#[test]
+fn last_item_goes_to_exactly_one_of_owner_and_thief() {
+    hdx_loom::model(|| {
+        let deque = Arc::new(WorkDeque::new(1));
+        deque.push(7);
+        let victim = Arc::clone(&deque);
+        let thief = hdx_loom::thread::spawn(move || loop {
+            match victim.steal() {
+                Steal::Stolen(item) => return Some(item),
+                Steal::Retry => {}
+                Steal::Empty => return None,
+            }
+        });
+        let popped = deque.pop();
+        let stolen = thief.join().expect("thief panicked");
+        match (popped, stolen) {
+            (Some(7), None) | (None, Some(7)) => {}
+            other => panic!("last item claimed {other:?}, want exactly once"),
+        }
+        assert_eq!(deque.pop(), None, "deque must stay empty after the race");
+    });
+}
+
+#[test]
+fn two_thieves_claim_disjoint_items() {
+    hdx_loom::model(|| {
+        let deque = Arc::new(WorkDeque::new(2));
+        deque.push(1);
+        deque.push(2);
+        let v1 = Arc::clone(&deque);
+        let v2 = Arc::clone(&deque);
+        // One steal attempt each keeps the interleaving space tractable; a
+        // lost race (`Retry`) leaves the item for the owner's drain below.
+        let one_attempt = |victim: Arc<WorkDeque>| {
+            move || match victim.steal() {
+                Steal::Stolen(item) => Some(item),
+                Steal::Retry | Steal::Empty => None,
+            }
+        };
+        let t1 = hdx_loom::thread::spawn(one_attempt(v1));
+        let t2 = hdx_loom::thread::spawn(one_attempt(v2));
+        let mut seen: Vec<usize> = [t1.join(), t2.join()]
+            .into_iter()
+            .flat_map(|r| r.expect("thief panicked"))
+            .collect();
+        while let Some(item) = deque.pop() {
+            seen.push(item);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2], "thieves overlapped or dropped an item");
+    });
+}

@@ -20,6 +20,12 @@ pub enum CounterId {
     MineCandidatesPrunedSubset,
     /// Frequent itemsets emitted into results: `hdx.mining.itemsets.emitted`.
     MineItemsetsEmitted,
+    /// Subtree roots stolen from another worker's deque by the parallel
+    /// miner's work-stealing scheduler: `hdx.mining.sched.steals`.
+    MineSchedSteals,
+    /// Idle parks (yield-and-resweep passes) of parallel-miner workers that
+    /// found no local, injected, or stealable work: `hdx.mining.sched.parks`.
+    MineSchedParks,
     /// Items excluded from a polarity-restricted mine (§V-C): `hdx.core.polarity.pruned_items`.
     PolarityItemsPruned,
     /// Itemsets found by both polarity mines and deduplicated: `hdx.core.polarity.deduped_itemsets`.
@@ -82,12 +88,14 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every registered counter, in telemetry order.
-    pub const ALL: [CounterId; 31] = [
+    pub const ALL: [CounterId; 33] = [
         CounterId::MineCandidatesGenerated,
         CounterId::MineCandidatesPrunedSupport,
         CounterId::MineCandidatesPrunedAttr,
         CounterId::MineCandidatesPrunedSubset,
         CounterId::MineItemsetsEmitted,
+        CounterId::MineSchedSteals,
+        CounterId::MineSchedParks,
         CounterId::PolarityItemsPruned,
         CounterId::PolarityItemsetsDeduped,
         CounterId::DiscretizeSplitsAccepted,
@@ -127,6 +135,8 @@ impl CounterId {
             CounterId::MineCandidatesPrunedAttr => "hdx.mining.candidates.pruned_attr",
             CounterId::MineCandidatesPrunedSubset => "hdx.mining.candidates.pruned_subset",
             CounterId::MineItemsetsEmitted => "hdx.mining.itemsets.emitted",
+            CounterId::MineSchedSteals => "hdx.mining.sched.steals",
+            CounterId::MineSchedParks => "hdx.mining.sched.parks",
             CounterId::PolarityItemsPruned => "hdx.core.polarity.pruned_items",
             CounterId::PolarityItemsetsDeduped => "hdx.core.polarity.deduped_itemsets",
             CounterId::DiscretizeSplitsAccepted => "hdx.discretize.split.accepted",

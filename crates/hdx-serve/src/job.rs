@@ -17,7 +17,7 @@ use hdx_checkpoint::CheckpointError;
 use crate::json::JsonValue;
 
 /// Manifest codec version (bump on layout change).
-const SPEC_VERSION: u8 = 1;
+const SPEC_VERSION: u8 = 2;
 /// Done-record codec version.
 const DONE_VERSION: u8 = 1;
 
@@ -140,6 +140,8 @@ pub struct JobSpec {
     pub max_itemsets: Option<u64>,
     /// Checkpoint cadence in mining levels.
     pub checkpoint_every: u64,
+    /// Worker-thread cap for the parallel miner (`None` = all cores).
+    pub threads: Option<u32>,
 }
 
 impl JobSpec {
@@ -166,6 +168,7 @@ impl JobSpec {
         w.put_bool(self.max_itemsets.is_some());
         w.put_u64(self.max_itemsets.unwrap_or(0));
         w.put_u64(self.checkpoint_every);
+        w.put_opt_u32(self.threads);
         w.into_bytes()
     }
 
@@ -197,6 +200,7 @@ impl JobSpec {
         let itemsets_set = r.bool()?;
         let itemsets_raw = r.u64()?;
         let checkpoint_every = r.u64()?;
+        let threads = r.opt_u32()?;
         r.finish()?;
         Ok(JobSpec {
             tenant,
@@ -213,6 +217,7 @@ impl JobSpec {
             deadline_ms: deadline_set.then_some(deadline_raw),
             max_itemsets: itemsets_set.then_some(itemsets_raw),
             checkpoint_every,
+            threads,
         })
     }
 }
@@ -276,7 +281,7 @@ fn uint_field(
 /// # Errors
 /// Returns a client-facing message (the service answers 400 with it).
 pub fn parse_submission(map: &BTreeMap<String, JsonValue>) -> Result<(JobSpec, String), String> {
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "tenant",
         "csv",
         "stat",
@@ -292,6 +297,7 @@ pub fn parse_submission(map: &BTreeMap<String, JsonValue>) -> Result<(JobSpec, S
         "deadline_ms",
         "max_itemsets",
         "checkpoint_every",
+        "threads",
     ];
     for key in map.keys() {
         if !KNOWN.contains(&key.as_str()) {
@@ -348,6 +354,10 @@ pub fn parse_submission(map: &BTreeMap<String, JsonValue>) -> Result<(JobSpec, S
         checkpoint_every: uint_field(map, "checkpoint_every", 1_000_000)?
             .unwrap_or(1)
             .max(1),
+        threads: match uint_field(map, "threads", u32::MAX as u64)? {
+            Some(0) => return Err("`threads` must be at least 1".into()),
+            other => other.map(|v| v as u32),
+        },
     };
     Ok((spec, csv))
 }
@@ -440,6 +450,8 @@ mod tests {
             (r#""stat":"target""#, "requires `target_col`"),
             (r#""max_len":2.5"#, "`max_len`"),
             (r#""deadline_ms":-1"#, "`deadline_ms`"),
+            (r#""threads":0"#, "`threads`"),
+            (r#""threads":1.5"#, "`threads`"),
             (r#""bogus_knob":1"#, "unknown field"),
         ];
         for (extra, want) in cases {
@@ -458,7 +470,7 @@ mod tests {
         let (mut spec, _) = parse_submission(&submission(
             r#""tenant":"acme","stat":"target","target_col":"score","max_len":3,
                "deadline_ms":1500,"max_itemsets":4096,"checkpoint_every":2,
-               "entropy":true,"base_mode":true,"separator":";""#,
+               "entropy":true,"base_mode":true,"separator":";","threads":2"#,
         ))
         .expect("valid");
         spec.support = 0.125;

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! # hdx-stats
 //!
 //! Statistics substrate for the H-DivExplorer reproduction:
@@ -16,14 +17,25 @@
 //!   the additive accumulator that lets the miners compute divergence in the
 //!   same pass as support;
 //! * [`OutcomePlanes`] — word-level bitplane kernels that fold a cover bitset
-//!   into a [`StatAccum`] with fused popcounts / masked sums (bitwise
-//!   identical to the scalar path);
+//!   into a [`StatAccum`] with fused popcounts / vectorized masked sums
+//!   (exact counts everywhere; sums bitwise identical to the scalar path for
+//!   integer-valued outcomes — see [`simd`] for the dispatch table and the
+//!   full exactness contract);
+//! * [`simd`] — the masked-sum kernel layer: portable lane kernel, optional
+//!   `std::simd` / AVX2 / NEON paths, runtime dispatch
+//!   ([`simd::active_kernel`]) and the `HDX_FORCE_SCALAR` escape hatch;
 //! * [`approx`] — epsilon-aware float comparisons (the only sanctioned way
 //!   to compare divergences/t-values for equality; see `hdx-lint`'s
 //!   `no-float-eq` rule).
 
 /// Tolerance-based floating-point comparison helpers.
 pub mod approx;
+
+/// Vectorized masked-sum kernels (portable / `std::simd` / AVX2 / NEON)
+/// behind one runtime dispatcher; see the module docs for the exactness
+/// contract.
+#[allow(unsafe_code)] // Audited intrinsics: see UNSAFE_LEDGER.md.
+pub mod simd;
 
 mod accum;
 mod dist;
@@ -41,5 +53,6 @@ pub use entropy::{binary_entropy, entropy_of_counts};
 pub use outcome::{Outcome, StatAccum};
 pub use plane::OutcomePlanes;
 pub use quantile::{quantile, quantiles};
+pub use simd::{active_kernel, available_kernels, KernelPath};
 pub use tdist::{t_cdf, t_p_value, t_quantile, welch_df, welch_p_value};
 pub use welch::{bernoulli_variance, welch_t, welch_t_from_counts};

@@ -22,11 +22,22 @@
 //!
 //! and `sum = sum_sq = k⁺` exactly (integer-valued `f64` sums are exact below
 //! 2⁵³), so the kernel result is **bit-for-bit identical** to the scalar
-//! path. For real-valued (or mixed) outcomes the kernel falls back to a
-//! masked word-chunked summation of `sum` / `sum_sq` over `cover ∧ valid`,
-//! visiting rows in the same ascending order as the scalar path — again
-//! bitwise-reproducing the scalar accumulator. This equivalence is the
-//! kernel's contract and is property-tested in `tests/property_kernel.rs`.
+//! path. For real-valued (or mixed) outcomes the kernel reduces `sum` /
+//! `sum_sq` over `cover ∧ valid` through the vectorized masked-sum kernels
+//! of [`crate::simd`] (dispatched once per process by
+//! [`simd::active_kernel`]): covers stream through in
+//! [`BLOCK_WORDS`](crate::simd::BLOCK_WORDS)-sized row blocks, each mask bit
+//! expanded into an all-ones/all-zero `f64` lane selector over
+//! [`LANES`](crate::simd::LANES) independent lane accumulators.
+//!
+//! **Exactness contract** (property-tested in `tests/property_kernel.rs`):
+//! counts (`n`, `n_valid`, and the whole boolean path) are exact on every
+//! kernel path; numeric sums are bitwise identical to the scalar path for
+//! *integer-valued* outcomes (every partial sum below 2⁵³ is exactly
+//! representable, so association doesn't matter), and within the 16-lane
+//! reassociation bound for arbitrary reals. All vector paths are bitwise
+//! identical *to each other*, and `HDX_FORCE_SCALAR` restores the historical
+//! ascending-order scalar reduction exactly.
 //!
 //! The planes operate on raw `&[u64]` word slices (least-significant bit =
 //! lowest row index, tail bits beyond the last row zero) so `hdx-stats`
@@ -34,6 +45,7 @@
 //! exactly this layout.
 
 use crate::outcome::{Outcome, StatAccum};
+use crate::simd::{self, SumsKernel, BLOCK_WORDS};
 
 /// Bitplane encoding of an outcome vector (see the [module docs](self)).
 ///
@@ -134,8 +146,7 @@ impl OutcomePlanes {
             }
             StatAccum::from_counts(n, n_valid, k_pos)
         } else {
-            let (n_valid, sum, sum_sq) = self.masked_sums(cover.iter().copied());
-            StatAccum::from_sums(n, n_valid, sum, sum_sq)
+            self.numeric_reduce(n, cover.iter().zip(&self.valid).map(|(&c, &v)| c & v))
         }
     }
 
@@ -161,43 +172,101 @@ impl OutcomePlanes {
             }
             StatAccum::from_counts(n, n_valid, k_pos)
         } else {
-            let (n_valid, sum, sum_sq) = self.masked_sums(a.iter().zip(b).map(|(x, y)| x & y));
-            StatAccum::from_sums(n, n_valid, sum, sum_sq)
+            self.numeric_reduce(
+                n,
+                a.iter()
+                    .zip(b)
+                    .zip(&self.valid)
+                    .map(|((&x, &y), &v)| x & y & v),
+            )
         }
     }
 
-    /// Masked word-chunked reduction for the numeric path: per word of
-    /// `cover ∧ valid`, drains set bits lowest-first so rows are visited in
-    /// the same ascending order as the scalar path (bitwise-identical sums).
+    /// The fused intersect-assign-accumulate kernel: writes `a ∧ b` into
+    /// `out` **and** folds its [`StatAccum`] in the same pass, streaming
+    /// [`BLOCK_WORDS`]-sized row blocks so each freshly written block is
+    /// consumed while still cache-hot — on multi-million-row inputs this
+    /// halves the memory traffic of the separate intersect-then-accumulate
+    /// sequence it replaces.
     ///
-    /// `cover_words` yields the cover's words in plane order; the values
-    /// slice is walked in lockstep 64-row chunks, so the reduction needs no
-    /// index arithmetic and no bounds checks.
-    fn masked_sums(&self, cover_words: impl Iterator<Item = u64>) -> (u64, f64, f64) {
-        let mut n_valid = 0u64;
-        let mut sum = 0.0f64;
-        let mut sum_sq = 0.0f64;
-        for ((&v, chunk), c) in self
-            .valid
-            .iter()
-            .zip(self.values.chunks(64))
-            .zip(cover_words)
-        {
-            let mut bits = c & v;
-            n_valid += u64::from(bits.count_ones());
-            while bits != 0 {
-                let tz = bits.trailing_zeros() as usize;
-                // The valid plane only sets bits for encoded rows, so `tz`
-                // is always within this 64-row chunk.
-                debug_assert!(tz < chunk.len(), "valid bit beyond encoded rows");
-                if let Some(&x) = chunk.get(tz) {
-                    sum += x;
-                    sum_sq += x * x;
-                }
-                bits &= bits - 1;
+    /// `n` is the popcount of `a ∧ b`, which the caller already knows from
+    /// count-first pruning. Tail bits of `a`/`b` beyond the last row must be
+    /// zero (both operands holding the clean-tail bitset invariant keeps the
+    /// written intersection's tail clean too).
+    ///
+    /// # Panics
+    /// Panics when `a`, `b` or `out` has a different word count than the
+    /// planes.
+    pub fn accum_assign_pair(&self, a: &[u64], b: &[u64], out: &mut [u64], n: u64) -> StatAccum {
+        assert_eq!(
+            a.len(),
+            self.valid.len(),
+            "cover word-count mismatch against outcome planes"
+        );
+        assert_eq!(a.len(), b.len(), "cover word-count mismatch");
+        assert_eq!(a.len(), out.len(), "output word-count mismatch");
+        if self.all_boolean {
+            let mut n_valid = 0u64;
+            let mut k_pos = 0u64;
+            for ((((&wa, &wb), &v), &p), o) in a
+                .iter()
+                .zip(b)
+                .zip(&self.valid)
+                .zip(&self.pos)
+                .zip(out.iter_mut())
+            {
+                let c = wa & wb;
+                *o = c;
+                n_valid += u64::from((c & v).count_ones());
+                k_pos += u64::from((c & p).count_ones());
+            }
+            StatAccum::from_counts(n, n_valid, k_pos)
+        } else {
+            self.numeric_reduce(
+                n,
+                a.iter()
+                    .zip(b)
+                    .zip(&self.valid)
+                    .zip(out.iter_mut())
+                    .map(|(((&x, &y), &v), o)| {
+                        let c = x & y;
+                        *o = c;
+                        c & v
+                    }),
+            )
+        }
+    }
+
+    /// Streams pre-masked words (`cover ∧ valid`, produced lazily by the
+    /// caller's iterator) through the active [`SumsKernel`] in
+    /// [`BLOCK_WORDS`]-sized blocks. Kernel lane state persists across
+    /// blocks, so the result is independent of the blocking geometry.
+    fn numeric_reduce(&self, n: u64, masked_words: impl Iterator<Item = u64>) -> StatAccum {
+        let mut kernel = SumsKernel::new(simd::active_kernel());
+        let mut buf = [0u64; BLOCK_WORDS];
+        let mut filled = 0usize;
+        let mut values_rest = self.values.as_slice();
+        for m in masked_words {
+            // BOUND: `filled < BLOCK_WORDS` — reset below whenever the
+            // buffer fills.
+            buf[filled] = m;
+            filled += 1;
+            if filled == BLOCK_WORDS {
+                let take = (BLOCK_WORDS * 64).min(values_rest.len());
+                let (vals, rest) = values_rest.split_at(take);
+                values_rest = rest;
+                kernel.update(&buf, vals);
+                filled = 0;
             }
         }
-        (n_valid, sum, sum_sq)
+        if filled > 0 {
+            let take = (filled * 64).min(values_rest.len());
+            let (vals, _) = values_rest.split_at(take);
+            let (masked, _) = buf.split_at(filled);
+            kernel.update(masked, vals);
+        }
+        let (n_valid, sum, sum_sq) = kernel.finish();
+        StatAccum::from_sums(n, n_valid, sum, sum_sq)
     }
 }
 

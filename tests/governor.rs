@@ -71,6 +71,7 @@ fn truncated_results_are_exact_subsets_for_every_miner() {
             min_support: 0.1,
             max_len: None,
             algorithm,
+            threads: None,
         };
         let full = mine(&transactions, &catalog, &config);
         assert_eq!(full.termination, Termination::Complete, "{algorithm:?}");
@@ -112,6 +113,7 @@ fn cancellation_stops_every_miner() {
             min_support: 0.1,
             max_len: None,
             algorithm,
+            threads: None,
         };
         let governor = Governor::with_token(RunBudget::unbounded(), token.clone());
         let result = mine_governed(&transactions, &catalog, &config, &governor);
@@ -133,6 +135,7 @@ fn expired_deadline_degrades_every_miner() {
             min_support: 0.1,
             max_len: None,
             algorithm,
+            threads: None,
         };
         let governor = Governor::new(RunBudget::unbounded().with_deadline(Duration::ZERO));
         let result = mine_governed(&transactions, &catalog, &config, &governor);

@@ -69,6 +69,7 @@ fn normalised(
         min_support,
         max_len: None,
         algorithm,
+        threads: None,
     };
     let result = mine(&db.transactions, &db.catalog, &config);
     let mut v: Vec<(Itemset, u64, u64, Option<f64>)> = result
@@ -153,7 +154,7 @@ proptest! {
         let result = mine(
             &db.transactions,
             &db.catalog,
-            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical },
+            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical, threads: None },
         );
         let min_count = (s * db.transactions.n_rows() as f64).ceil().max(1.0) as u64;
         for fi in &result.itemsets {
@@ -179,7 +180,7 @@ proptest! {
         let result = mine(
             &db.transactions,
             &db.catalog,
-            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::FpGrowth },
+            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::FpGrowth, threads: None },
         );
         let counts: HashMap<&Itemset, u64> = result
             .itemsets
@@ -205,7 +206,7 @@ proptest! {
         let result = mine(
             &db.transactions,
             &db.catalog,
-            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical },
+            &MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical, threads: None },
         );
         let min_count = (s * db.transactions.n_rows() as f64).ceil().max(1.0) as u64;
         for (item, acc) in db.transactions.item_stats() {
@@ -223,7 +224,7 @@ proptest! {
     /// the all-same-polarity itemsets (in particular every singleton).
     #[test]
     fn polarity_pruning_is_consistent(db in db_strategy(), s in 0.05f64..0.5) {
-        let config = MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical };
+        let config = MiningConfig { min_support: s, max_len: None, algorithm: MiningAlgorithm::Vertical, threads: None };
         let full = mine(&db.transactions, &db.catalog, &config);
         let pruned = mine_with_polarity(&db.transactions, &db.catalog, &config);
         let full_set: std::collections::HashSet<&Itemset> =
@@ -256,7 +257,7 @@ proptest! {
             MiningAlgorithm::Vertical,
             MiningAlgorithm::VerticalParallel,
         ] {
-            let config = MiningConfig { min_support: s, max_len: None, algorithm };
+            let config = MiningConfig { min_support: s, max_len: None, algorithm, threads: None };
             let result = mine(&db.transactions, &db.catalog, &config);
             let min_count = config.min_count(db.transactions.n_rows());
             let verdict = mining_invariants::validate_result(&result, &db.catalog, min_count);
@@ -273,6 +274,7 @@ proptest! {
             min_support: s,
             max_len: None,
             algorithm: MiningAlgorithm::Vertical,
+            threads: None,
         };
         let pruned = mine_with_polarity(&db.transactions, &db.catalog, &config);
         let verdict = validate_sign_homogeneity(&pruned, &db.transactions);
