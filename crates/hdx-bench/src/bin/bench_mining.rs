@@ -2,8 +2,9 @@
 //! the scalar reference path (micro), the three miners end to end
 //! (synthetic-peak and compas), and the parallel miner's rows × threads
 //! scaling curve, then writes machine-readable results to
-//! `BENCH_mining.json` (`hdx-bench/mining/v3`), with the run's hdx-obs
-//! telemetry — per-stage spans, pruning counters, scheduler steal/park
+//! `BENCH_mining.json` (`hdx-bench/mining/v4`), with the scheduler
+//! steal/park counters summarised as derived utilization rates under
+//! `"sched"` and the run's hdx-obs telemetry — per-stage spans, pruning
 //! counters, the `hdx.bench.iter.latency_ns` histogram — embedded under
 //! `"telemetry"`.
 //!
@@ -27,6 +28,9 @@
 //! Schema history: v3 added `"kernel_path"`, `"host_cpus"` and the
 //! `"scaling"` section, and re-sized the quick micro geometry (16 Ki → 32 Ki
 //! rows) so per-call setup no longer dominates the quick kernel timings.
+//! v4 added the `"sched"` section: the work-stealing scheduler's raw
+//! steal/park counters and their per-thousand-emitted-itemsets rates
+//! derived from the embedded telemetry.
 
 use hdx_bench::experiments::{outcomes_for, pipeline_for};
 use hdx_bench::splitmix64;
@@ -335,7 +339,7 @@ fn render_json(
 ) -> String {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"hdx-bench/mining/v4\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"kernel_path\": \"{}\",", active_kernel().as_str());
     let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
@@ -386,6 +390,16 @@ fn render_json(
         );
     }
     let _ = writeln!(json, "  ],");
+    // The parallel miner's scheduler health at a glance: raw steal/park
+    // counts plus utilization rates normalized per thousand emitted
+    // itemsets, so runs of different sizes compare directly.
+    let sched = telemetry.sched_rates();
+    let _ = writeln!(
+        json,
+        "  \"sched\": {{\"steals\": {}, \"parks\": {}, \
+         \"steals_per_1k_itemsets\": {:.3}, \"parks_per_1k_itemsets\": {:.3}}},",
+        sched.steals, sched.parks, sched.steals_per_1k_itemsets, sched.parks_per_1k_itemsets,
+    );
     // Embed the run telemetry verbatim (re-indented) so one artifact carries
     // both the headline numbers and the per-stage breakdown behind them.
     let nested = telemetry.to_json();

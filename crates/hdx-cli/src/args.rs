@@ -212,6 +212,9 @@ pub struct ServeOpts {
     pub timeout: Option<Duration>,
     /// Per-tenant itemset budget shared across a tenant's job slots.
     pub max_itemsets: Option<u64>,
+    /// Per-job event broadcast ring capacity (slow-stream-consumer lag
+    /// bound before drop-oldest kicks in).
+    pub events_ring_cap: usize,
 }
 
 /// `hdx validate-telemetry` options.
@@ -288,6 +291,12 @@ pub enum Command {
     Generate(GenerateOpts),
     /// Validate a run-telemetry artifact (CI `obs-smoke` gate).
     ValidateTelemetry(ValidateTelemetryOpts),
+    /// Validate a scraped `/metrics` page against the Prometheus
+    /// text-format 0.0.4 grammar (CI `serve-smoke` gate).
+    ValidateMetrics {
+        /// Path to a saved scrape page.
+        path: String,
+    },
     /// Run the fault-tolerant mining job server.
     Serve(ServeOpts),
     /// Print usage.
@@ -584,6 +593,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 retry_max: 2,
                 timeout: None,
                 max_itemsets: None,
+                events_ring_cap: 256,
             };
             while let Some(flag) = cur.args.next() {
                 match flag.as_str() {
@@ -597,13 +607,24 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                     "--retry-max" => opts.retry_max = cur.parse_value(&flag)?,
                     "--timeout" => opts.timeout = Some(parse_duration(&cur.value(&flag)?)?),
                     "--max-itemsets" => opts.max_itemsets = Some(cur.parse_value(&flag)?),
+                    "--events-ring-cap" => opts.events_ring_cap = cur.parse_value(&flag)?,
                     other => return Err(CliError::new(format!("unknown flag `{other}`"))),
                 }
             }
             if opts.workers == 0 {
                 return Err(CliError::new("--workers must be at least 1"));
             }
+            if opts.events_ring_cap == 0 {
+                return Err(CliError::new("--events-ring-cap must be at least 1"));
+            }
             Ok(Command::Serve(opts))
+        }
+        "validate-metrics" => {
+            let path = require_path(&mut cur, "validate-metrics")?;
+            if let Some(flag) = cur.args.next() {
+                return Err(CliError::new(format!("unknown flag `{flag}`")));
+            }
+            Ok(Command::ValidateMetrics { path })
         }
         "validate-telemetry" => {
             let path = require_path(&mut cur, "validate-telemetry")?;
@@ -942,6 +963,8 @@ mod tests {
             "30s",
             "--max-itemsets",
             "1000",
+            "--events-ring-cap",
+            "32",
         ]))
         .unwrap() else {
             panic!("wrong command");
@@ -956,6 +979,7 @@ mod tests {
         assert_eq!(o.retry_max, 3);
         assert_eq!(o.timeout, Some(Duration::from_secs(30)));
         assert_eq!(o.max_itemsets, Some(1000));
+        assert_eq!(o.events_ring_cap, 32);
         // Defaults.
         let Command::Serve(o) = parse(v(&["serve"])).unwrap() else {
             panic!("wrong command");
@@ -963,11 +987,28 @@ mod tests {
         assert_eq!(o.addr, "127.0.0.1:8373");
         assert_eq!(o.workers, 2);
         assert_eq!(o.timeout, None);
+        assert_eq!(o.events_ring_cap, 256);
         assert!(parse(v(&["serve", "--workers", "0"]))
             .unwrap_err()
             .0
             .contains("at least 1"));
+        assert!(parse(v(&["serve", "--events-ring-cap", "0"]))
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
         assert!(parse(v(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn validate_metrics_options() {
+        let Command::ValidateMetrics { path } =
+            parse(v(&["validate-metrics", "page.prom"])).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(path, "page.prom");
+        assert!(parse(v(&["validate-metrics"])).is_err());
+        assert!(parse(v(&["validate-metrics", "p", "--bogus"])).is_err());
     }
 
     #[test]

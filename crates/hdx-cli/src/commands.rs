@@ -71,6 +71,7 @@ pub fn run(command: Command) -> Result<RunOutput, CliError> {
         Command::Baselines(opts) => baselines(&opts).map(RunOutput::complete),
         Command::Generate(opts) => generate(&opts).map(RunOutput::complete),
         Command::ValidateTelemetry(opts) => validate_telemetry(&opts).map(RunOutput::complete),
+        Command::ValidateMetrics { path } => validate_metrics(&path).map(RunOutput::complete),
         Command::Serve(opts) => serve(&opts),
     }
 }
@@ -93,6 +94,7 @@ fn serve(opts: &ServeOpts) -> Result<RunOutput, CliError> {
         retry_max: opts.retry_max,
         tenant_deadline_ms: opts.timeout.map(|d| d.as_millis() as u64),
         tenant_max_itemsets: opts.max_itemsets,
+        events_ring_cap: opts.events_ring_cap,
         ..hdx_serve::ServeConfig::default()
     };
     let server = hdx_serve::Server::bind(config)
@@ -583,6 +585,16 @@ fn validate_telemetry(opts: &ValidateTelemetryOpts) -> Result<String, CliError> 
         telemetry.spans.len(),
         telemetry.counters.len(),
     ))
+}
+
+/// Validates a saved `GET /metrics` scrape against the text-format 0.0.4
+/// grammar (the CI `serve-smoke` gate for the exposition endpoint).
+fn validate_metrics(path: &str) -> Result<String, CliError> {
+    let page = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    hdx_core::obs::expo::check_grammar(&page).map_err(|e| CliError(format!("`{path}`: {e}")))?;
+    let families = page.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    Ok(format!("{path}: valid exposition ({families} families)\n"))
 }
 
 fn discretize(opts: &DiscretizeOpts) -> Result<String, CliError> {
@@ -1156,6 +1168,22 @@ mod tests {
         std::fs::write(&path, "{\"schema\": \"bogus\"}").unwrap();
         assert!(run_args(&["validate-telemetry", &path]).is_err());
         assert!(run_args(&["validate-telemetry", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn validate_metrics_accepts_expositions_and_rejects_garbage() {
+        // A page rendered the same way `GET /metrics` renders one.
+        let mut page = hdx_core::obs::expo::Exposition::new();
+        hdx_core::obs::expo::render_registry(&mut page, &hdx_core::obs::RunTelemetry::empty());
+        let good = tmp("scrape.prom");
+        std::fs::write(&good, page.finish()).unwrap();
+        let verdict = run_args(&["validate-metrics", &good]).unwrap();
+        assert!(verdict.contains("valid exposition"), "{verdict}");
+
+        let bad = tmp("scrape-bad.prom");
+        std::fs::write(&bad, "# TYPE x counter\nx{oops 1\n").unwrap();
+        assert!(run_args(&["validate-metrics", &bad]).is_err());
+        assert!(run_args(&["validate-metrics", "/nonexistent.prom"]).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ USAGE:
   hdx resume <ckpt-dir> [options]      resume an interrupted checkpointed explore
   hdx serve [options]                  run the fault-tolerant mining job server
   hdx validate-telemetry <file> [options]  check a --metrics-out artifact
+  hdx validate-metrics <file>          check a saved /metrics scrape page
   hdx help                             show this text
 
 INPUT OPTIONS (explore / discretize / baselines):
@@ -107,10 +108,16 @@ SERVE OPTIONS (submit jobs with POST /jobs; stop with POST /shutdown):
   --timeout <dur>        per-tenant wall-clock budget, split across the
                          tenant's job slots at admission [unbounded]
   --max-itemsets <n>     per-tenant itemset budget, split likewise [unbounded]
+  --events-ring-cap <n>  per-job event broadcast ring size: how many lines a
+                         slow GET /jobs/<id>/events consumer may lag before
+                         drop-oldest backpressure skips it ahead [256]
 
 VALIDATE-TELEMETRY OPTIONS:
   --require-stage <name>    fail unless the stage recorded non-zero time
                             (repeatable; e.g. discretize, mine, explore)
   --require-counter <name>  fail unless the counter is present and non-zero
                             (repeatable; e.g. hdx.mining.candidates.generated)
+
+VALIDATE-METRICS: no options — the file must parse as a Prometheus
+text-format 0.0.4 exposition (what GET /metrics serves).
 ";

@@ -745,21 +745,30 @@ impl Governor {
         }
     }
 
-    /// Records the current [`GovernorSnapshot`] into the hdx-obs recorder,
-    /// tagged with the mining `level` it was sampled at (0 = end of stage).
-    /// Compiled only under the `obs` feature; the miners call it once per
-    /// lattice level so telemetry shows budget consumption over time.
+    /// The current consumption as an `hdx_obs::SnapshotSample`, tagged with
+    /// the mining `level` it was sampled at (0 = end of stage). Compiled
+    /// only under the `obs` feature.
     #[cfg(feature = "obs")]
-    pub fn record_obs_snapshot(&self, level: u64) {
+    pub fn obs_sample(&self, level: u64) -> hdx_obs::SnapshotSample {
         let s = self.snapshot();
-        hdx_obs::record_snapshot(hdx_obs::SnapshotSample {
+        hdx_obs::SnapshotSample {
             level,
             elapsed_ns: s.elapsed.as_nanos() as u64,
             deadline_remaining_ns: s.deadline_remaining.map(|d| d.as_nanos() as u64),
             itemsets: s.itemsets,
             candidate_bytes: s.candidate_bytes,
             tree_nodes: s.tree_nodes,
-        });
+        }
+    }
+
+    /// Records the current [`GovernorSnapshot`] into the hdx-obs recorder
+    /// (see [`Self::obs_sample`]). The miners call it once per lattice level
+    /// so telemetry shows budget consumption over time; samples also flow
+    /// through the live tap (`hdx_obs::SnapshotObserver`) when one is
+    /// installed, which is how hdx-serve streams per-level progress.
+    #[cfg(feature = "obs")]
+    pub fn record_obs_snapshot(&self, level: u64) {
+        hdx_obs::record_snapshot(self.obs_sample(level));
     }
 }
 

@@ -53,12 +53,28 @@ pub mod metrics;
 /// validation and the human summary table.
 pub mod telemetry;
 
+/// Prometheus text-format 0.0.4 exposition of the registry, with its
+/// hand-rolled grammar self-check.
+pub mod expo;
+
 /// Bridge forwarding recorded spans/events to a `tracing` subscriber.
 #[cfg(feature = "obs-tracing")]
 pub mod bridge;
 
 pub use metrics::{CounterId, GaugeId, HistId, HistStat, HIST_BUCKETS};
-pub use telemetry::{RunTelemetry, SnapshotSample, SpanStat, TELEMETRY_SCHEMA};
+pub use telemetry::{RunTelemetry, SchedRates, SnapshotSample, SpanStat, TELEMETRY_SCHEMA};
+
+/// A live tap over governor budget samples, called synchronously from
+/// [`record_snapshot`] on the recording thread *before* the sample lands in
+/// the thread-local sink. Installed process-globally (at most once) via
+/// [`set_snapshot_observer`]; hdx-serve uses it to stream per-level
+/// progress to `GET /jobs/<id>/events` while a mine is still running.
+/// Implementations must be cheap and non-blocking — they run inside the
+/// miner's level loop.
+pub trait SnapshotObserver: Send + Sync {
+    /// Called for every recorded sample, on the thread that recorded it.
+    fn on_snapshot(&self, sample: &SnapshotSample);
+}
 
 /// The optional argument of a span segment, rendered as `label:arg`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +108,7 @@ mod record;
 #[cfg(feature = "obs")]
 pub use record::{
     collect, counter_add, flush_thread, gauge_max, gauge_set, hist_record, instant, now_ns,
-    record_snapshot, reset, time_hist_fn, SpanGuard,
+    record_snapshot, reset, set_snapshot_observer, time_hist_fn, SpanGuard,
 };
 
 #[cfg(not(feature = "obs"))]
@@ -170,11 +186,18 @@ mod stub {
     /// Does nothing.
     #[inline(always)]
     pub fn flush_thread() {}
+
+    /// Drops the observer and reports `false`: with `obs` off nothing ever
+    /// records a snapshot, so no tap can be installed.
+    #[inline(always)]
+    pub fn set_snapshot_observer(_observer: Box<dyn crate::SnapshotObserver>) -> bool {
+        false
+    }
 }
 #[cfg(not(feature = "obs"))]
 pub use stub::{
     collect, counter_add, flush_thread, gauge_max, gauge_set, hist_record, instant, now_ns,
-    record_snapshot, reset, time_hist_fn, SpanGuard,
+    record_snapshot, reset, set_snapshot_observer, time_hist_fn, SpanGuard,
 };
 
 /// Wall-clock timing helpers shared by benches and the CLI (every sample
@@ -357,10 +380,16 @@ mod disabled_tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
+        struct NopTap;
+        impl SnapshotObserver for NopTap {
+            fn on_snapshot(&self, _sample: &SnapshotSample) {
+                unreachable!("disabled builds never install a tap");
+            }
+        }
         for case in 0..256 {
             let len = (next() % 64) as usize;
             for _ in 0..len {
-                match next() % 6 {
+                match next() % 7 {
                     0 => {
                         let _g = SpanGuard::enter("p", SpanArg::Int(1));
                     }
@@ -368,6 +397,10 @@ mod disabled_tests {
                     2 => counter_add(CounterId::MineItemsetsEmitted, 3),
                     3 => gauge_set(GaugeId::DiscretizeTreeNodes, 9),
                     4 => hist_record(HistId::BenchIterNs, 17),
+                    5 => assert!(
+                        !set_snapshot_observer(Box::new(NopTap)),
+                        "disabled tap install must refuse"
+                    ),
                     _ => record_snapshot(SnapshotSample {
                         level: 1,
                         elapsed_ns: 2,

@@ -165,6 +165,74 @@ impl CounterId {
             CounterId::ServeWorkerRespawned => "hdx.serve.worker.respawned",
         }
     }
+
+    /// One-line description used as the `# HELP` text of the Prometheus
+    /// exposition ([`crate::expo`]).
+    pub const fn help(self) -> &'static str {
+        match self {
+            CounterId::MineCandidatesGenerated => "Candidate itemsets generated by all miners.",
+            CounterId::MineCandidatesPrunedSupport => {
+                "Candidates discarded for support below min_sup."
+            }
+            CounterId::MineCandidatesPrunedAttr => {
+                "Candidates discarded by the one-item-per-attribute rule."
+            }
+            CounterId::MineCandidatesPrunedSubset => {
+                "Apriori candidates discarded by the subset (anti-monotonicity) check."
+            }
+            CounterId::MineItemsetsEmitted => "Frequent itemsets emitted into results.",
+            CounterId::MineSchedSteals => {
+                "Subtree roots stolen from another worker's deque by the parallel miner."
+            }
+            CounterId::MineSchedParks => {
+                "Idle parks of parallel-miner workers that found no work to claim or steal."
+            }
+            CounterId::PolarityItemsPruned => "Items excluded from a polarity-restricted mine.",
+            CounterId::PolarityItemsetsDeduped => {
+                "Itemsets found by both polarity mines and deduplicated."
+            }
+            CounterId::DiscretizeSplitsAccepted => "Discretization splits accepted into a tree.",
+            CounterId::DiscretizeSplitsRejected => {
+                "Candidate splits evaluated but rejected (no gain / support)."
+            }
+            CounterId::GovernorTripBudget => "Governor trips with Termination::BudgetExhausted.",
+            CounterId::GovernorTripDeadline => "Governor trips with Termination::DeadlineExceeded.",
+            CounterId::GovernorTripCancelled => "Governor trips with Termination::Cancelled.",
+            CounterId::GovernorFailpointHits => "Armed fail points that fired.",
+            CounterId::GovernorItemsetsCharged => "Itemsets charged against the run budget.",
+            CounterId::GovernorCandidateBytesCharged => {
+                "Candidate-cover bytes charged against the run budget."
+            }
+            CounterId::GovernorTreeNodesCharged => {
+                "Discretization-tree nodes charged against the run budget."
+            }
+            CounterId::CheckpointWrites => "Checkpoints written durably.",
+            CounterId::CheckpointWriteBytes => "Envelope bytes written durably.",
+            CounterId::CheckpointWritesFailed => "Checkpoint writes that failed (non-fatal).",
+            CounterId::CheckpointLoads => "Checkpoints loaded successfully.",
+            CounterId::CheckpointLoadsRejected => {
+                "Checkpoint files rejected as corrupt during load."
+            }
+            CounterId::DataCellsQuarantined => {
+                "Non-finite continuous cells quarantined to missing during ingestion."
+            }
+            CounterId::DataRowsQuarantined => {
+                "Malformed rows quarantined (dropped) during ingestion."
+            }
+            CounterId::DatasetsNullsInjected => "Cells nulled by the missing-value injector.",
+            CounterId::ServeJobsSubmitted => "Jobs admitted by the mining service.",
+            CounterId::ServeJobsCompleted => {
+                "Service jobs that finished with a result (complete or partial)."
+            }
+            CounterId::ServeJobsFailed => "Service jobs that failed permanently.",
+            CounterId::ServeJobsRetried => {
+                "Transiently failed service jobs re-enqueued with backoff."
+            }
+            CounterId::ServeRequestsShed => "Submissions shed by admission control (429).",
+            CounterId::ServeJobsResumed => "Orphaned incomplete jobs resumed by the startup scan.",
+            CounterId::ServeWorkerRespawned => "Worker threads respawned after a panic.",
+        }
+    }
 }
 
 /// Point-in-time values. Concurrent recordings merge by **maximum** (the
@@ -205,6 +273,21 @@ impl GaugeId {
             GaugeId::ServeQueueDepth => "hdx.serve.queue.depth",
         }
     }
+
+    /// One-line description used as the `# HELP` text of the Prometheus
+    /// exposition ([`crate::expo`]).
+    pub const fn help(self) -> &'static str {
+        match self {
+            GaugeId::MineScratchPoolBytes => {
+                "High-water bytes held by the vertical miner's per-root scratch pools."
+            }
+            GaugeId::DiscretizeTreeNodes => {
+                "High-water nodes interned across all discretization trees."
+            }
+            GaugeId::ServeUptimeMs => "Milliseconds since the serving process started.",
+            GaugeId::ServeQueueDepth => "High-water depth of the service's bounded job queue.",
+        }
+    }
 }
 
 /// Latency / size distributions (values are nanoseconds unless noted).
@@ -235,6 +318,16 @@ impl HistId {
             HistId::MineLevelLatencyNs => "hdx.mining.level.latency_ns",
             HistId::DiscretizeSplitGainNs => "hdx.discretize.split.gain_eval_ns",
             HistId::BenchIterNs => "hdx.bench.iter.latency_ns",
+        }
+    }
+
+    /// One-line description used as the `# HELP` text of the Prometheus
+    /// exposition ([`crate::expo`]).
+    pub const fn help(self) -> &'static str {
+        match self {
+            HistId::MineLevelLatencyNs => "Wall nanoseconds of one Apriori mining level.",
+            HistId::DiscretizeSplitGainNs => "Wall nanoseconds of one best_split gain evaluation.",
+            HistId::BenchIterNs => "Wall nanoseconds of one timed bench-harness iteration.",
         }
     }
 }

@@ -219,8 +219,24 @@ pub fn time_hist_fn<R>(id: HistId, f: impl FnOnce() -> R) -> R {
     result
 }
 
-/// Records a governor budget sample.
+fn snapshot_observer() -> &'static OnceLock<Box<dyn crate::SnapshotObserver>> {
+    static OBSERVER: OnceLock<Box<dyn crate::SnapshotObserver>> = OnceLock::new();
+    &OBSERVER
+}
+
+/// Installs the process-global live snapshot tap ([`crate::SnapshotObserver`]).
+/// Returns `false` (dropping `observer`) if a tap is already installed —
+/// same first-install-wins contract as the `obs-tracing` bridge.
+pub fn set_snapshot_observer(observer: Box<dyn crate::SnapshotObserver>) -> bool {
+    snapshot_observer().set(observer).is_ok()
+}
+
+/// Records a governor budget sample, forwarding it to the live tap first
+/// (on this thread) so streaming consumers see it before any `collect()`.
 pub fn record_snapshot(sample: SnapshotSample) {
+    if let Some(tap) = snapshot_observer().get() {
+        tap.on_snapshot(&sample);
+    }
     with_sink(|s| s.snapshots.borrow_mut().push(sample));
 }
 
@@ -530,6 +546,44 @@ mod tests {
         assert_eq!(t.snapshots.len(), 2);
         assert_eq!(t.snapshots[0].level, 1);
         assert_eq!(t.snapshots[1].level, 2);
+    }
+
+    #[test]
+    fn snapshot_tap_sees_samples_before_collect() {
+        let _guard = serial();
+        reset();
+        // The tap is process-global and first-install-wins; use a static
+        // collector and assert on this test's unique sample values so other
+        // tests' snapshots flowing through it are harmless.
+        static SEEN: std::sync::Mutex<Vec<SnapshotSample>> = std::sync::Mutex::new(Vec::new());
+        struct Tap;
+        impl crate::SnapshotObserver for Tap {
+            fn on_snapshot(&self, sample: &SnapshotSample) {
+                SEEN.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(sample.clone());
+            }
+        }
+        let installed = set_snapshot_observer(Box::new(Tap));
+        let again = set_snapshot_observer(Box::new(Tap));
+        assert!(installed || !again, "at most one install succeeds");
+        record_snapshot(SnapshotSample {
+            level: 777,
+            elapsed_ns: 1,
+            deadline_remaining_ns: None,
+            itemsets: 9,
+            candidate_bytes: 0,
+            tree_nodes: 0,
+        });
+        let seen = SEEN.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            seen.iter().any(|s| s.level == 777 && s.itemsets == 9),
+            "tap saw the sample synchronously"
+        );
+        drop(seen);
+        // The sample still lands in the sink for the end-of-run artifact.
+        let t = collect();
+        assert!(t.snapshots.iter().any(|s| s.level == 777));
     }
 
     #[test]

@@ -157,6 +157,64 @@ pub fn respond_error(stream: &mut TcpStream, status: u16, reason: &str, message:
     respond_json(stream, status, reason, &body);
 }
 
+/// A streaming response using `Transfer-Encoding: chunked` — the one place
+/// the codec departs from "one buffered body per connection", used by the
+/// live event stream (`GET /jobs/<id>/events`) whose length is unknown
+/// while the job is still running.
+///
+/// Unlike [`respond`], write errors are *returned*: for a stream the error
+/// is the signal that the consumer went away and the producer loop should
+/// stop following the ring.
+#[derive(Debug)]
+pub struct ChunkedResponse<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedResponse<'a> {
+    /// Writes the status line and headers and switches to chunked framing.
+    ///
+    /// # Errors
+    /// The underlying socket write failure.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Writes one chunk (empty input is skipped — a zero-length chunk would
+    /// terminate the stream) and flushes so consumers see it immediately.
+    ///
+    /// # Errors
+    /// The underlying socket write failure (consumer hung up).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero-length chunk.
+    ///
+    /// # Errors
+    /// The underlying socket write failure.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +267,32 @@ mod tests {
         let err = roundtrip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 64)
             .expect_err("chunked");
         assert!(matches!(err, HttpError::Bad(_)));
+    }
+
+    #[test]
+    fn chunked_responses_frame_and_terminate() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut raw = Vec::new();
+            s.read_to_end(&mut raw).expect("read");
+            String::from_utf8(raw).expect("utf8")
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut resp =
+            ChunkedResponse::begin(&mut conn, 200, "OK", "application/x-ndjson").expect("begin");
+        resp.chunk(b"{\"seq\":0}\n").expect("chunk");
+        resp.chunk(b"").expect("empty chunk is a no-op");
+        resp.chunk(b"{\"seq\":1}\n").expect("chunk");
+        resp.finish().expect("finish");
+        drop(conn);
+        let raw = reader.join().expect("reader");
+        assert!(raw.contains("Transfer-Encoding: chunked"), "{raw}");
+        // Each chunk: hex length, CRLF, payload, CRLF; then the 0 terminator.
+        assert!(raw.contains("a\r\n{\"seq\":0}\n\r\n"), "{raw}");
+        assert!(raw.contains("a\r\n{\"seq\":1}\n\r\n"), "{raw}");
+        assert!(raw.ends_with("0\r\n\r\n"), "{raw}");
     }
 
     #[test]

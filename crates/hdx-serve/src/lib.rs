@@ -31,8 +31,10 @@
 //! | `POST /jobs`             | Submit a job (flat JSON; returns job id)  |
 //! | `GET /jobs/<id>`         | Status + crash-surviving progress         |
 //! | `GET /jobs/<id>/result`  | Ranked-results JSON (byte-stable)         |
+//! | `GET /jobs/<id>/events`  | NDJSON event stream (live or replay)      |
 //! | `POST /jobs/<id>/cancel` | Cooperative cancel (user reason)          |
 //! | `POST /shutdown`         | Begin a graceful drain                    |
+//! | `GET /metrics`           | Prometheus text-format 0.0.4 exposition   |
 //! | `GET /healthz`           | Liveness                                  |
 //! | `GET /readyz`            | Readiness (503 while draining)            |
 //!
@@ -42,14 +44,22 @@
 //! `serve::job`, and `serve::done` fail points inject faults for chaos
 //! tests.
 
+/// The per-job event vocabulary and its deterministic NDJSON encoding.
+pub mod events;
 /// Minimal HTTP/1.1 request parsing and response writing over `TcpStream`.
 pub mod http;
 /// Job identity, specs, lifecycle states, and the durable job registry.
 pub mod job;
+/// The durable per-job event journal (`events.ndjson`, atomic appends).
+pub mod journal;
 /// A flat JSON parser/escaper for the submission wire format.
 pub mod json;
+/// The live plane: job channels, the snapshot tap, the flight recorder.
+pub mod live;
 /// Bounded admission queue with per-tenant caps and shed decisions.
 pub mod queue;
+/// Bounded broadcast ring with drop-oldest backpressure for event streams.
+pub mod ring;
 /// The worker-side job runner: mining, checkpointing, and sealing results.
 pub mod runner;
 /// The TCP accept loop, request routing, supervisor, and drain protocol.
@@ -58,7 +68,11 @@ pub mod server;
 /// The dataset file persisted at admission inside each job directory.
 pub const DATA_FILE: &str = "data.csv";
 
+pub use events::JobEvent;
 pub use job::{DoneRecord, JobSpec, StatKind};
+pub use journal::EVENTS_FILE;
+pub use live::{EventsSource, LivePlane};
 pub use queue::{AdmissionQueue, Shed};
+pub use ring::{BroadcastRing, RingUpdate};
 pub use runner::JobRunOutcome;
 pub use server::{ServeConfig, Server};

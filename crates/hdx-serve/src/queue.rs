@@ -159,6 +159,20 @@ impl AdmissionQueue {
     pub fn depth(&self) -> usize {
         self.lock().ready.len()
     }
+
+    /// Per-tenant in-flight (queued + running) counts, sorted by tenant name
+    /// for deterministic output — the `/metrics` exposition renders these as
+    /// one labeled gauge sample per tenant.
+    pub fn tenants(&self) -> Vec<(String, usize)> {
+        let inner = self.lock();
+        let mut out: Vec<(String, usize)> = inner
+            .in_flight
+            .iter()
+            .map(|(tenant, n)| (tenant.clone(), *n))
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +195,20 @@ mod tests {
         admit_and_enqueue(&q, "j-3", "b").expect("admitted");
         assert_eq!(q.admit("c"), Err(Shed::QueueFull));
         assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn tenants_lists_in_flight_counts_sorted() {
+        let q = AdmissionQueue::new(8, 4);
+        admit_and_enqueue(&q, "j-1", "zen").expect("admitted");
+        admit_and_enqueue(&q, "j-2", "acme").expect("admitted");
+        admit_and_enqueue(&q, "j-3", "acme").expect("admitted");
+        assert_eq!(
+            q.tenants(),
+            vec![("acme".to_string(), 2), ("zen".to_string(), 1)]
+        );
+        q.release("zen");
+        assert_eq!(q.tenants(), vec![("acme".to_string(), 2)]);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! A bounded broadcast ring with drop-oldest backpressure.
+//!
+//! One ring per live job fans its encoded event lines out to any number of
+//! streaming consumers. The producer side (`push`) is a bounded O(1)
+//! enqueue that **never blocks and never waits for consumers**: when the
+//! ring is full the oldest entry is dropped. A consumer that falls behind
+//! therefore observes a gap in the sequence numbers — visible, bounded
+//! staleness — while the miner thread never stalls, which is the service's
+//! priority ordering. Consumers wait condvar-style (`wait_next`) and catch
+//! up from the durable journal, so a gap only exists for consumers slower
+//! than the ring is deep.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// What a consumer's [`BroadcastRing::wait_next`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingUpdate {
+    /// New lines at or after the requested cursor, in sequence order.
+    /// The consumer's next cursor is `last seq + 1`.
+    Lines(Vec<(u64, String)>),
+    /// Nothing new within the wait window; poll again.
+    TimedOut,
+    /// The stream is closed and nothing at or after the cursor remains.
+    Closed,
+}
+
+struct Inner {
+    /// `(seq, encoded line)`, oldest first; seqs are strictly increasing.
+    entries: VecDeque<(u64, String)>,
+    /// Set once when the job reaches a terminal state.
+    closed: bool,
+}
+
+/// The per-job broadcast ring. See the module docs for the backpressure
+/// contract.
+pub struct BroadcastRing {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+    cap: usize,
+}
+
+impl BroadcastRing {
+    /// A ring holding at most `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                closed: false,
+            }),
+            changed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Bookkeeping-only critical sections: poisoning cannot leave the
+        // deque inconsistent, so keep serving.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one line, dropping the oldest entry when full. O(1), never
+    /// blocks on consumers. A push after [`BroadcastRing::close`] is
+    /// ignored (terminal means terminal).
+    pub fn push(&self, seq: u64, line: String) {
+        let mut inner = self.lock();
+        if inner.closed {
+            return;
+        }
+        if inner.entries.len() >= self.cap {
+            inner.entries.pop_front();
+        }
+        inner.entries.push_back((seq, line));
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Closes the stream: consumers drain what remains and then observe
+    /// [`RingUpdate::Closed`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether [`BroadcastRing::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Returns every buffered line with `seq >= cursor`, waiting up to
+    /// `wait` for one to arrive. Lines older than the cursor are invisible
+    /// (already consumed); lines dropped by backpressure simply skip the
+    /// cursor forward — the returned seqs tell the consumer how much it
+    /// missed.
+    pub fn wait_next(&self, cursor: u64, wait: Duration) -> RingUpdate {
+        let mut inner = self.lock();
+        let ready = |inner: &Inner| inner.entries.back().is_some_and(|(s, _)| *s >= cursor);
+        if !ready(&inner) && !inner.closed {
+            let (guard, _) = self
+                .changed
+                .wait_timeout(inner, wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+        let lines: Vec<(u64, String)> = inner
+            .entries
+            .iter()
+            .filter(|(s, _)| *s >= cursor)
+            .cloned()
+            .collect();
+        if !lines.is_empty() {
+            RingUpdate::Lines(lines)
+        } else if inner.closed {
+            RingUpdate::Closed
+        } else {
+            RingUpdate::TimedOut
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn push_is_bounded_and_drops_oldest() {
+        let ring = BroadcastRing::new(3);
+        for seq in 0..10u64 {
+            ring.push(seq, format!("line-{seq}"));
+        }
+        // Only the newest 3 survive; the consumer sees the gap via seqs.
+        match ring.wait_next(0, Duration::from_millis(1)) {
+            RingUpdate::Lines(lines) => {
+                let seqs: Vec<u64> = lines.iter().map(|(s, _)| *s).collect();
+                assert_eq!(seqs, [7, 8, 9]);
+            }
+            other => panic!("expected lines, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_never_blocks_regardless_of_consumers() {
+        // No consumer ever reads; 10k pushes into a cap-4 ring must finish
+        // quickly. This is the slow-consumer half of the drop-oldest
+        // contract at the ring level (the end-to-end version lives in
+        // tests/events.rs).
+        let ring = BroadcastRing::new(4);
+        let start = Instant::now();
+        for seq in 0..10_000u64 {
+            ring.push(seq, "x".repeat(64));
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "bounded pushes must not wait on consumers"
+        );
+    }
+
+    #[test]
+    fn wait_next_wakes_on_push_and_drains_after_close() {
+        let ring = Arc::new(BroadcastRing::new(8));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.wait_next(0, Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        ring.push(0, "first".into());
+        match consumer.join().expect("consumer") {
+            RingUpdate::Lines(lines) => assert_eq!(lines[0].1, "first"),
+            other => panic!("expected lines, got {other:?}"),
+        }
+        ring.close();
+        assert!(ring.is_closed());
+        // Buffered lines still drain after close; past them, Closed.
+        assert!(matches!(
+            ring.wait_next(0, Duration::from_millis(1)),
+            RingUpdate::Lines(_)
+        ));
+        assert_eq!(
+            ring.wait_next(1, Duration::from_millis(1)),
+            RingUpdate::Closed
+        );
+        // Pushes after close are ignored.
+        ring.push(9, "late".into());
+        assert_eq!(
+            ring.wait_next(1, Duration::from_millis(1)),
+            RingUpdate::Closed
+        );
+    }
+
+    #[test]
+    fn empty_open_ring_times_out() {
+        let ring = BroadcastRing::new(2);
+        assert_eq!(
+            ring.wait_next(0, Duration::from_millis(5)),
+            RingUpdate::TimedOut
+        );
+    }
+}

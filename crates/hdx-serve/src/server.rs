@@ -26,11 +26,13 @@ use std::time::{Duration, Instant};
 
 use hdx_checkpoint::{list_manifests, write_sealed, CheckpointStore, COMPLETE_FILE, MANIFEST_FILE};
 use hdx_governor::{fail_point, CancelToken, RunBudget};
-use hdx_obs::{counter_add, flush_thread, gauge_max, job_span};
+use hdx_obs::{counter_add, flush_thread, gauge_max, job_span, RunTelemetry};
 
+use crate::events::JobEvent;
 use crate::http::{read_request, respond, respond_error, respond_json, HttpError, Request};
 use crate::job::{parse_submission, DoneRecord, JobSpec};
 use crate::json::escape;
+use crate::live::{EventsSource, LivePlane};
 use crate::queue::{AdmissionQueue, Shed};
 use crate::runner::{self, JobRunOutcome};
 use crate::DATA_FILE;
@@ -73,6 +75,10 @@ pub struct ServeConfig {
     /// Per-tenant itemset budget, split evenly across the tenant's
     /// concurrent job slots at admission.
     pub tenant_max_itemsets: Option<u64>,
+    /// Per-job event broadcast ring capacity: how many recent event lines
+    /// a slow `GET /jobs/<id>/events` consumer may lag before it observes
+    /// a sequence gap (drop-oldest backpressure).
+    pub events_ring_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +97,7 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             tenant_deadline_ms: None,
             tenant_max_itemsets: None,
+            events_ring_cap: 256,
         }
     }
 }
@@ -144,6 +151,13 @@ struct Shared {
     next_id: AtomicU64,
     active_connections: AtomicUsize,
     started: Instant,
+    /// Per-job event channels, the snapshot tap, and the flight recorder
+    /// (a zero-sized no-op when the `obs` feature is off).
+    plane: LivePlane,
+    /// Process-lifetime metric accumulator behind `GET /metrics`: each
+    /// scrape drains the worker pool's thread-local sinks into it, so
+    /// counters are cumulative across scrapes as Prometheus expects.
+    telemetry: Mutex<RunTelemetry>,
 }
 
 impl Shared {
@@ -210,6 +224,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(config.queue_depth, config.tenant_max_jobs),
+            plane: LivePlane::new(config.events_ring_cap),
             config,
             jobs_dir,
             registry: Mutex::new(HashMap::new()),
@@ -217,6 +232,7 @@ impl Server {
             next_id: AtomicU64::new(1),
             active_connections: AtomicUsize::new(0),
             started: Instant::now(),
+            telemetry: Mutex::new(RunTelemetry::empty()),
         });
         let recovery_notes = recover(&shared).map_err(io::Error::other)?;
         Ok(Self {
@@ -392,6 +408,11 @@ fn resume_orphan(shared: &Arc<Shared>, job_id: &str, spec: JobSpec, notes: &mut 
             retry_log: Vec::new(),
         },
     );
+    // Reopening the journal continues the previous process's sequence
+    // numbering, so the resumed `admitted` line extends the stream.
+    shared
+        .plane
+        .open_job(job_id, &shared.job_dir(job_id), &tenant, true);
     shared.queue.reserve_slot(&tenant);
     shared.queue.enqueue(job_id);
 }
@@ -460,6 +481,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     if let Some(job) = shared.lock_registry().get_mut(&job_id) {
                         job.phase = JobPhase::Drained;
                     }
+                    shared.plane.finish(&job_id, &JobEvent::Drained);
                     continue;
                 }
                 let lease = JobLease {
@@ -498,15 +520,36 @@ impl Drop for JobLease<'_> {
     fn drop(&mut self) {
         if !self.settled {
             counter_add!(ServeJobsFailed, 1);
+            // This Drop runs while the worker thread unwinds from a panic
+            // that escaped per-job isolation: dump the thread's flight ring
+            // next to the job it was holding, then settle the job.
+            let reason = "worker lost while running this job";
+            self.shared.plane.emit(
+                &self.job_id,
+                &JobEvent::Panicked {
+                    error: reason.to_string(),
+                },
+            );
+            self.shared
+                .plane
+                .dump_flight(&self.shared.job_dir(&self.job_id), reason);
             self.shared.finish(
                 &self.job_id,
                 DoneRecord {
                     ok: false,
                     termination: "failed".to_string(),
                     attempts: 0,
-                    body: "worker lost while running this job".to_string(),
+                    body: reason.to_string(),
                 },
                 true,
+            );
+            self.shared.plane.finish(
+                &self.job_id,
+                &JobEvent::Done {
+                    ok: false,
+                    state: "failed".to_string(),
+                    termination: "failed".to_string(),
+                },
             );
         }
     }
@@ -530,15 +573,30 @@ impl JobLease<'_> {
                 return;
             };
             job_span!(&self.job_id, tenant & spec.tenant);
+            self.shared
+                .plane
+                .emit(&self.job_id, &JobEvent::Started { attempt });
             let dir = self.shared.job_dir(&self.job_id);
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                runner::execute(&spec, &dir, cancel, attempt)
-            }));
+            let outcome = {
+                // Scope the snapshot tap to this job for the execution:
+                // every governor level sample the runner records streams
+                // out as a `level` event on the job's channel.
+                let _scope = self.shared.plane.job_scope(&self.job_id);
+                catch_unwind(AssertUnwindSafe(|| {
+                    runner::execute(&spec, &dir, cancel, attempt)
+                }))
+            };
             match outcome {
                 Err(panic) => {
                     // Isolated: the job fails, the worker survives.
                     let msg = panic_message(&panic);
                     counter_add!(ServeJobsFailed, 1);
+                    self.shared
+                        .plane
+                        .emit(&self.job_id, &JobEvent::Panicked { error: msg.clone() });
+                    self.shared
+                        .plane
+                        .dump_flight(&dir, &format!("worker panicked: {msg}"));
                     self.shared.finish(
                         &self.job_id,
                         DoneRecord {
@@ -549,13 +607,29 @@ impl JobLease<'_> {
                         },
                         true,
                     );
+                    self.finish_event(false, "failed");
                     self.settled = true;
                     return;
                 }
                 Ok(JobRunOutcome::Done(record)) => {
                     counter_add!(ServeJobsCompleted, 1);
+                    if record.ok && record.termination != "complete" {
+                        // A governor trip sealed partial results: surface
+                        // the degradation and keep the flight context.
+                        self.shared.plane.emit(
+                            &self.job_id,
+                            &JobEvent::Degraded {
+                                termination: record.termination.clone(),
+                            },
+                        );
+                        self.shared
+                            .plane
+                            .dump_flight(&dir, &format!("degraded: {}", record.termination));
+                    }
+                    let (ok, termination) = (record.ok, record.termination.clone());
                     // The runner already sealed the marker.
                     self.shared.finish(&self.job_id, record, false);
+                    self.finish_event(ok, &termination);
                     self.settled = true;
                     return;
                 }
@@ -563,6 +637,7 @@ impl JobLease<'_> {
                     if let Some(job) = self.shared.lock_registry().get_mut(&self.job_id) {
                         job.phase = JobPhase::Drained;
                     }
+                    self.shared.plane.finish(&self.job_id, &JobEvent::Drained);
                     self.settled = true;
                     return;
                 }
@@ -578,6 +653,7 @@ impl JobLease<'_> {
                         },
                         true,
                     );
+                    self.finish_event(false, "failed");
                     self.settled = true;
                     return;
                 }
@@ -601,10 +677,18 @@ impl JobLease<'_> {
                             },
                             true,
                         );
+                        self.finish_event(false, "failed");
                         self.settled = true;
                         return;
                     }
                     counter_add!(ServeJobsRetried, 1);
+                    self.shared.plane.emit(
+                        &self.job_id,
+                        &JobEvent::Retry {
+                            attempt,
+                            error: msg.clone(),
+                        },
+                    );
                     self.backoff(attempt);
                     if self.shared.draining() {
                         // Don't start another attempt mid-drain; the job is
@@ -612,12 +696,27 @@ impl JobLease<'_> {
                         if let Some(job) = self.shared.lock_registry().get_mut(&self.job_id) {
                             job.phase = JobPhase::Drained;
                         }
+                        self.shared.plane.finish(&self.job_id, &JobEvent::Drained);
                         self.settled = true;
                         return;
                     }
                 }
             }
         }
+    }
+
+    /// Emits the terminal `done` event and retires the job's channel.
+    /// Runs after [`Shared::finish`] so a consumer that sees the `done`
+    /// line can immediately fetch the result.
+    fn finish_event(&self, ok: bool, termination: &str) {
+        self.shared.plane.finish(
+            &self.job_id,
+            &JobEvent::Done {
+                ok,
+                state: if ok { "done" } else { "failed" }.to_string(),
+                termination: termination.to_string(),
+            },
+        );
     }
 
     /// Sleeps out the backoff for `attempt`, in small slices so a drain is
@@ -709,11 +808,14 @@ fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
             start_drain(shared);
             respond_json(stream, 202, "Accepted", "{\"status\":\"draining\"}");
         }
+        ("GET", "/metrics") => metrics(shared, stream),
         ("POST", "/jobs") => submit(shared, stream, &request.body),
         ("GET", _) if path.starts_with("/jobs/") => {
             let rest = &path["/jobs/".len()..];
             if let Some(job_id) = rest.strip_suffix("/result") {
                 job_result(shared, stream, job_id);
+            } else if let Some(job_id) = rest.strip_suffix("/events") {
+                job_events(shared, stream, job_id);
             } else if !rest.contains('/') {
                 job_status(shared, stream, rest);
             } else {
@@ -821,6 +923,9 @@ fn submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
             retry_log: Vec::new(),
         },
     );
+    shared
+        .plane
+        .open_job(&job_id, &dir, &spec.tenant, /* resumed */ false);
     shared.queue.enqueue(&job_id);
     counter_add!(ServeJobsSubmitted, 1);
     gauge_max!(ServeQueueDepth, shared.queue.depth() as u64);
@@ -875,6 +980,22 @@ fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
             .last()
             .map_or("null".to_string(), u64::to_string),
     );
+    // The latest governor snapshot (live channel first, journal fallback):
+    // mining level reached, itemsets emitted so far, and what remains of
+    // the deadline budget. Absent until the first level completes or when
+    // the build has observability compiled out.
+    if let Some(sample) = shared.plane.latest(job_id, &shared.job_dir(job_id)) {
+        body.push_str(&format!(
+            ",\"progress\":{{\"level\":{},\"itemsets\":{},\"elapsed_ns\":{},\
+             \"deadline_remaining_ns\":{}}}",
+            sample.level,
+            sample.itemsets,
+            sample.elapsed_ns,
+            sample
+                .deadline_remaining_ns
+                .map_or("null".to_string(), |d| d.to_string()),
+        ));
+    }
     if !retry_log.is_empty() {
         let entries: Vec<String> = retry_log
             .iter()
@@ -933,4 +1054,165 @@ fn job_cancel(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
             respond_json(stream, 202, "Accepted", "{\"status\":\"cancelling\"}");
         }
     }
+}
+
+/// `GET /metrics`: one Prometheus text-format 0.0.4 scrape page.
+///
+/// Each scrape drains the thread-local/retired obs sinks into the server's
+/// process-lifetime accumulator (so counters are cumulative, the way
+/// Prometheus models them), renders the full typed registry, and appends
+/// instantaneous serve-level gauges the registry's high-water gauges can't
+/// express: live queue depth, per-tenant in-flight jobs, worker-pool
+/// utilization, and the scheduler steal/park rates derived from the PR 8
+/// work-stealing counters. With `obs` compiled out the registry collects
+/// as all-zero, which is still a valid exposition — the endpoint never
+/// disappears, it just flatlines.
+fn metrics(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    gauge_max!(ServeUptimeMs, shared.started.elapsed().as_millis() as u64);
+    gauge_max!(ServeQueueDepth, shared.queue.depth() as u64);
+    let scraped = {
+        let collected = hdx_obs::collect();
+        let mut telemetry = shared
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        telemetry.merge_from(&collected);
+        // Spans and snapshots have no exposition mapping; dropping them
+        // after each merge keeps the accumulator bounded by the registry
+        // size no matter how many jobs the process has run.
+        telemetry.spans.clear();
+        telemetry.snapshots.clear();
+        telemetry.clone()
+    };
+    let mut page = hdx_obs::expo::Exposition::new();
+    hdx_obs::expo::render_registry(&mut page, &scraped);
+    page.gauge(
+        "hdx_serve_live_queue_depth",
+        "Jobs currently waiting in the admission queue.",
+        shared.queue.depth() as f64,
+    );
+    let tenants: Vec<(String, f64)> = shared
+        .queue
+        .tenants()
+        .into_iter()
+        .map(|(tenant, n)| (tenant, n as f64))
+        .collect();
+    page.labeled_gauge(
+        "hdx_serve_live_tenant_inflight",
+        "In-flight (queued + running) jobs per tenant.",
+        "tenant",
+        &tenants,
+    );
+    let busy = shared
+        .lock_registry()
+        .values()
+        .filter(|job| matches!(job.phase, JobPhase::Running | JobPhase::Backoff))
+        .count();
+    let pool = shared.config.workers.max(1);
+    page.gauge(
+        "hdx_serve_live_workers_busy",
+        "Worker threads currently executing or backing off a job.",
+        busy as f64,
+    );
+    page.gauge(
+        "hdx_serve_live_worker_utilization",
+        "Busy workers as a fraction of the pool size.",
+        busy as f64 / pool as f64,
+    );
+    let rates = scraped.sched_rates();
+    page.gauge(
+        "hdx_mining_sched_steals_per_1k_itemsets",
+        "Work-stealing scheduler steals per thousand emitted itemsets.",
+        rates.steals_per_1k_itemsets,
+    );
+    page.gauge(
+        "hdx_mining_sched_parks_per_1k_itemsets",
+        "Work-stealing scheduler parks per thousand emitted itemsets.",
+        rates.parks_per_1k_itemsets,
+    );
+    let body = page.finish();
+    debug_assert!(
+        hdx_obs::expo::check_grammar(&body).is_ok(),
+        "{:?}",
+        hdx_obs::expo::check_grammar(&body)
+    );
+    respond(
+        stream,
+        200,
+        "OK",
+        hdx_obs::expo::EXPOSITION_CONTENT_TYPE,
+        &body,
+        &[],
+    );
+}
+
+/// `GET /jobs/<id>/events`: the job's NDJSON event stream.
+///
+/// Live jobs get a chunked response — the durable journal as catch-up,
+/// then new lines as they happen until the job reaches a terminal state.
+/// Terminal jobs replay their journal verbatim (the byte-identity
+/// surface). The handler writes with the connection's 5s write timeout, so
+/// a consumer that stops reading costs this handler thread, never a miner:
+/// the producer side only ever pushes into the bounded drop-oldest ring.
+fn job_events(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
+    if !shared.lock_registry().contains_key(job_id) {
+        respond_error(stream, 404, "Not Found", "unknown job");
+        return;
+    }
+    match shared.plane.subscribe(job_id, &shared.job_dir(job_id)) {
+        #[cfg(feature = "obs")]
+        EventsSource::Live {
+            catchup,
+            channel,
+            cursor,
+        } => stream_live(shared, stream, &catchup, &channel, cursor),
+        EventsSource::Replay(bytes) => {
+            respond(stream, 200, "OK", "application/x-ndjson", &bytes, &[]);
+        }
+        EventsSource::Unavailable(reason) => {
+            respond_error(stream, 404, "Not Found", reason);
+        }
+    }
+}
+
+/// Follows a live job's ring after sending the journal catch-up, chunk by
+/// chunk, until the stream closes (terminal event), the consumer goes away
+/// (write error — including the 5s write timeout for stalled readers), or
+/// a drain ends the show.
+#[cfg(feature = "obs")]
+fn stream_live(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    catchup: &str,
+    channel: &crate::live::JobChannel,
+    mut cursor: u64,
+) {
+    use crate::ring::RingUpdate;
+    let Ok(mut response) =
+        crate::http::ChunkedResponse::begin(stream, 200, "OK", "application/x-ndjson")
+    else {
+        return;
+    };
+    if response.chunk(catchup.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        match channel.wait_next(cursor, Duration::from_millis(250)) {
+            RingUpdate::Lines(lines) => {
+                for (seq, line) in lines {
+                    if response.chunk(line.as_bytes()).is_err() {
+                        return;
+                    }
+                    cursor = seq + 1;
+                }
+            }
+            RingUpdate::TimedOut => {
+                if shared.draining() {
+                    break;
+                }
+            }
+            RingUpdate::Closed => break,
+        }
+    }
+    let _ = response.finish();
 }

@@ -302,6 +302,52 @@ fn drain_then_restart_resumes_the_job_to_identical_bytes() {
 }
 
 #[test]
+fn metrics_scrape_is_valid_exposition_in_every_build() {
+    let state = tmp_state_dir("metrics");
+    let (addr, handle) = start(config(state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(100), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &job_id), "done");
+
+    let scrape = http(addr, "GET", "/metrics", "");
+    assert_eq!(scrape.status, 200, "{}", scrape.body);
+    assert!(
+        scrape.headers.contains("text/plain; version=0.0.4"),
+        "exposition content type: {}",
+        scrape.headers
+    );
+    // The grammar self-check is the contract: whatever this build records
+    // (all-zero without `obs`), the page must parse as text-format 0.0.4.
+    hdx_obs::expo::check_grammar(&scrape.body).expect("scrape page grammar");
+    for family in [
+        "hdx_serve_jobs_submitted_total",
+        "hdx_serve_live_queue_depth",
+        "hdx_serve_live_worker_utilization",
+        "hdx_mining_sched_steals_per_1k_itemsets",
+        "hdx_mining_level_latency_ns_bucket",
+    ] {
+        assert!(scrape.body.contains(family), "missing `{family}`");
+    }
+    // Counters must be cumulative across scrapes (Prometheus semantics):
+    // a second scrape parses too and never goes backwards.
+    let again = http(addr, "GET", "/metrics", "");
+    hdx_obs::expo::check_grammar(&again.body).expect("second scrape grammar");
+    let submitted = |body: &str| {
+        body.lines()
+            .find(|l| l.starts_with("hdx_serve_jobs_submitted_total "))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("submitted counter sample")
+    };
+    assert!(submitted(&again.body) >= submitted(&scrape.body));
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
 fn oversized_bodies_are_refused_before_they_are_read() {
     let state = tmp_state_dir("toobig");
     let mut cfg = config(state.clone());
