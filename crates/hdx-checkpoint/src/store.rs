@@ -114,6 +114,22 @@ impl CheckpointStore {
             path: self.dir.clone(),
             message,
         });
+        #[cfg(feature = "hdx-fail")]
+        if let Some(fault) = hdx_governor::failpoint::io_hit("checkpoint::write") {
+            if matches!(fault, hdx_governor::failpoint::IoFault::ShortWrite) {
+                // Enact the torn write: a prefix of the sealed bytes lands
+                // in the scratch file, exactly what a crash mid-write
+                // leaves behind. The rename never happens, so the previous
+                // checkpoint stays intact — which is what the recovery
+                // tests assert.
+                let sealed = envelope::seal(&state.encode());
+                let _ = fs::write(self.dir.join(TMP_NAME), &sealed[..sealed.len() / 2]);
+            }
+            return Err(CheckpointError::Io {
+                path: self.dir.clone(),
+                message: fault.to_error().to_string(),
+            });
+        }
         let seq = self.sequences()?.last().map_or(0, |s| s + 1);
         let sealed = envelope::seal(&state.encode());
 

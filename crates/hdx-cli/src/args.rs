@@ -217,6 +217,19 @@ pub struct ServeOpts {
     pub events_ring_cap: usize,
 }
 
+/// `hdx append` options: durable local ingestion into a row WAL.
+#[derive(Debug, Clone)]
+pub struct AppendOpts {
+    /// CSV file of rows to append (no header; blank lines skipped).
+    pub rows_path: String,
+    /// WAL directory (created on first append).
+    pub wal_dir: String,
+    /// Seal the open segment after the append.
+    pub seal: bool,
+    /// Sliding window: retire oldest sealed segments beyond this count.
+    pub window: Option<usize>,
+}
+
 /// `hdx validate-telemetry` options.
 #[derive(Debug, Clone)]
 pub struct ValidateTelemetryOpts {
@@ -287,6 +300,8 @@ pub enum Command {
     Baselines(BaselinesOpts),
     /// Resume an interrupted `explore --checkpoint-dir` run.
     Resume(ResumeOpts),
+    /// Append rows durably to an ingest WAL.
+    Append(AppendOpts),
     /// Generate a synthetic dataset.
     Generate(GenerateOpts),
     /// Validate a run-telemetry artifact (CI `obs-smoke` gate).
@@ -518,6 +533,38 @@ pub fn parse(args: Vec<String>) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Resume(opts))
+        }
+        "append" => {
+            let rows_path = require_path(&mut cur, "append")?;
+            let mut opts = AppendOpts {
+                rows_path,
+                wal_dir: String::new(),
+                seal: false,
+                window: None,
+            };
+            while let Some(flag) = cur.args.next() {
+                match flag.as_str() {
+                    "--wal" => opts.wal_dir = cur.value(&flag)?,
+                    "--seal" => opts.seal = true,
+                    "--window" => {
+                        let n: usize = cur.parse_value(&flag)?;
+                        if n == 0 {
+                            return Err(CliError::new("--window must be at least 1"));
+                        }
+                        opts.window = Some(n);
+                    }
+                    other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+                }
+            }
+            if opts.wal_dir.is_empty() {
+                return Err(CliError::new("hdx append requires --wal <dir>"));
+            }
+            if opts.window.is_some() && !opts.seal {
+                // A window is counted in sealed segments; without sealing
+                // the open segment the count never moves.
+                return Err(CliError::new("--window requires --seal"));
+            }
+            Ok(Command::Append(opts))
         }
         "discretize" => {
             let mut opts = DiscretizeOpts {
@@ -880,6 +927,40 @@ mod tests {
             .0
             .contains("checkpoint directory"));
         assert!(parse(v(&["resume", "ckpt", "--support", "0.1"])).is_err());
+    }
+
+    #[test]
+    fn append_options() {
+        let Command::Append(o) = parse(v(&[
+            "append", "rows.csv", "--wal", "w", "--seal", "--window", "4",
+        ]))
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.rows_path, "rows.csv");
+        assert_eq!(o.wal_dir, "w");
+        assert!(o.seal);
+        assert_eq!(o.window, Some(4));
+        // Defaults.
+        let Command::Append(o) = parse(v(&["append", "rows.csv", "--wal", "w"])).unwrap() else {
+            panic!("wrong command");
+        };
+        assert!(!o.seal);
+        assert_eq!(o.window, None);
+        assert!(parse(v(&["append", "rows.csv"]))
+            .unwrap_err()
+            .0
+            .contains("--wal"));
+        assert!(parse(v(&["append"])).unwrap_err().0.contains("CSV path"));
+        assert!(parse(v(&["append", "r.csv", "--wal", "w", "--window", "0"]))
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse(v(&["append", "r.csv", "--wal", "w", "--window", "2"]))
+            .unwrap_err()
+            .0
+            .contains("requires --seal"));
+        assert!(parse(v(&["append", "r.csv", "--wal", "w", "--bogus"])).is_err());
     }
 
     #[test]

@@ -18,8 +18,8 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts, InputOpts,
-    ResumeOpts, ServeOpts, Stat, ValidateTelemetryOpts,
+    parse, AppendOpts, BaselinesOpts, CliError, Command, DiscretizeOpts, ExploreOpts, GenerateOpts,
+    InputOpts, ResumeOpts, ServeOpts, Stat, ValidateTelemetryOpts,
 };
 pub use commands::{run, RunOutput};
 
@@ -34,6 +34,7 @@ USAGE:
   hdx generate <dataset> [options]     write a synthetic benchmark dataset as CSV
   hdx describe <data.csv>              summarise the dataset's attributes
   hdx resume <ckpt-dir> [options]      resume an interrupted checkpointed explore
+  hdx append <rows.csv> --wal <dir>    append rows durably to an ingest WAL
   hdx serve [options]                  run the fault-tolerant mining job server
   hdx validate-telemetry <file> [options]  check a --metrics-out artifact
   hdx validate-metrics <file>          check a saved /metrics scrape page
@@ -76,6 +77,14 @@ RESUME OPTIONS (configuration comes from the sealed manifest; budgets are
 per-invocation and output flags may be chosen afresh):
   --top <k>, --non-redundant, --json, --metrics-out <file>, --trace-summary,
   --timeout <dur>, --max-itemsets <n>   as for explore
+
+APPEND OPTIONS (rows are CRC-framed and fsynced before the command reports
+success; torn or corrupt bytes found from an earlier crash are quarantined
+with a stderr note and exit code 3 — the valid rows still land):
+  --wal <dir>            WAL directory (created on first append; required)
+  --seal                 seal the open segment into an immutable envelope
+  --window <n>           keep at most n sealed segments, retiring the oldest
+                         (sliding-window ingestion; requires --seal)
 
 DISCRETIZE OPTIONS:
   --st <f>, --criterion <...> as above

@@ -33,6 +33,39 @@ pub enum FailAction {
     Stall(Duration),
     /// Surface the message as an error to the caller.
     Error(String),
+    /// Inject a structured I/O fault at sites that call
+    /// [`io_hit`]. Invisible to [`hit`]: the plain channel never fires for
+    /// an `Io` arming (and vice versa), so a site probing both channels
+    /// counts each arming exactly once.
+    Io(IoFault),
+}
+
+/// A structured injectable I/O fault (see [`FailAction::Io`]). Unlike
+/// [`FailAction::Error`]'s opaque message, the call site can *enact* these:
+/// a short write really leaves a torn prefix on disk before erroring, which
+/// is what WAL torn-tail recovery tests need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The device is full: fail before writing a single byte.
+    Enospc,
+    /// A torn write: persist only a prefix of the payload, then fail.
+    ShortWrite,
+}
+
+impl IoFault {
+    /// The `std::io::Error` this fault surfaces as.
+    pub fn to_error(self) -> std::io::Error {
+        match self {
+            IoFault::Enospc => std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected fault: no space left on device",
+            ),
+            IoFault::ShortWrite => std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected fault: short write (torn tail)",
+            ),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -101,6 +134,10 @@ pub fn hit(name: &str) -> Option<String> {
     let fired: Option<FailAction> = {
         let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         reg.get_mut(name).and_then(|armed| {
+            if matches!(armed.action, FailAction::Io(_)) {
+                // Armed for the io channel: invisible here, not counted.
+                return None;
+            }
             armed.hits += 1;
             let fires = if armed.once {
                 armed.hits == armed.nth
@@ -121,7 +158,36 @@ pub fn hit(name: &str) -> Option<String> {
             None
         }
         Some(FailAction::Error(msg)) => Some(msg),
+        // Unreachable (filtered above); kept total for exhaustiveness.
+        Some(FailAction::Io(fault)) => Some(fault.to_error().to_string()),
     }
+}
+
+/// Hits the *io channel* of fail point `name`: returns the armed
+/// [`IoFault`] when a [`FailAction::Io`] arming is due, `None` otherwise.
+/// Armings of any other action are invisible here (and not counted), the
+/// mirror image of [`hit`], so a call site probing both channels gives each
+/// arming exactly one hit per passage.
+pub fn io_hit(name: &str) -> Option<IoFault> {
+    let fired: Option<IoFault> = {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.get_mut(name).and_then(|armed| {
+            let FailAction::Io(fault) = armed.action else {
+                return None;
+            };
+            armed.hits += 1;
+            let fires = if armed.once {
+                armed.hits == armed.nth
+            } else {
+                armed.hits >= armed.nth
+            };
+            fires.then_some(fault)
+        })
+    };
+    if fired.is_some() {
+        hdx_obs::counter_add!(GovernorFailpointHits, 1);
+    }
+    fired
 }
 
 /// How many times `name` has been hit since it was (re-)armed.
@@ -190,6 +256,39 @@ mod tests {
         assert_eq!(hit("fp-tests::once"), None, "one-shot points rearm-safe");
         assert_eq!(hit_count("fp-tests::once"), 3);
         disarm("fp-tests::once");
+    }
+
+    #[test]
+    fn io_channel_is_invisible_to_the_plain_channel_and_vice_versa() {
+        arm("fp-tests::io", FailAction::Io(IoFault::Enospc), 2);
+        assert_eq!(hit("fp-tests::io"), None, "plain channel never fires Io");
+        assert_eq!(hit_count("fp-tests::io"), 0, "and does not count it");
+        assert_eq!(io_hit("fp-tests::io"), None, "1st io hit: pass through");
+        assert_eq!(io_hit("fp-tests::io"), Some(IoFault::Enospc));
+        assert_eq!(io_hit("fp-tests::io"), Some(IoFault::Enospc), "keeps firing");
+        disarm("fp-tests::io");
+
+        arm("fp-tests::io-vv", FailAction::Error("boom".into()), 1);
+        assert_eq!(io_hit("fp-tests::io-vv"), None, "io channel ignores Error");
+        assert_eq!(hit_count("fp-tests::io-vv"), 0);
+        assert_eq!(hit("fp-tests::io-vv"), Some("boom".into()));
+        disarm("fp-tests::io-vv");
+    }
+
+    #[test]
+    fn io_faults_render_as_io_errors() {
+        let e = IoFault::Enospc.to_error();
+        assert!(e.to_string().contains("no space left"), "{e}");
+        let e = IoFault::ShortWrite.to_error();
+        assert!(e.to_string().contains("short write"), "{e}");
+    }
+
+    #[test]
+    fn io_arm_once_fires_exactly_once() {
+        arm_once("fp-tests::io-once", FailAction::Io(IoFault::ShortWrite), 1);
+        assert_eq!(io_hit("fp-tests::io-once"), Some(IoFault::ShortWrite));
+        assert_eq!(io_hit("fp-tests::io-once"), None, "one-shot");
+        disarm("fp-tests::io-once");
     }
 
     #[test]

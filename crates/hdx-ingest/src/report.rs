@@ -1,0 +1,91 @@
+//! The ingest data-quality report: what recovery quarantined instead of
+//! dying on.
+
+/// What WAL recovery dropped, in the style of hdx-data's
+/// `DataQualityReport`: corrupt bytes are counted and explained, never
+/// silently discarded and never fatal. Surfaced by `GET /jobs/<id>` and the
+/// `hdx append` CLI so operators see dropped frames without reading logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Complete frames dropped from a torn or corrupt open-segment tail.
+    pub quarantined_frames: u64,
+    /// Bytes moved aside by quarantine (torn tails + corrupt segments).
+    pub quarantined_bytes: u64,
+    /// Whole sealed segments that failed envelope validation and were
+    /// moved aside. Each one is also a [`IngestReport::notes`] line.
+    pub quarantined_segments: u64,
+    /// One human-readable line per quarantine decision.
+    pub notes: Vec<String>,
+}
+
+impl IngestReport {
+    /// `true` when recovery found nothing to quarantine.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_frames == 0
+            && self.quarantined_bytes == 0
+            && self.quarantined_segments == 0
+            && self.notes.is_empty()
+    }
+
+    /// Records a quarantine decision.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Folds another report into this one (recovery merges the per-segment
+    /// findings into one job-level report).
+    pub fn merge(&mut self, other: &IngestReport) {
+        self.quarantined_frames += other.quarantined_frames;
+        self.quarantined_bytes += other.quarantined_bytes;
+        self.quarantined_segments += other.quarantined_segments;
+        self.notes.extend(other.notes.iter().cloned());
+    }
+
+    /// A one-line operator summary, or `None` when the report is clean.
+    pub fn summary(&self) -> Option<String> {
+        if self.is_clean() {
+            return None;
+        }
+        Some(format!(
+            "ingest quarantine: {} frame(s), {} byte(s), {} sealed segment(s) dropped",
+            self.quarantined_frames, self.quarantined_bytes, self.quarantined_segments
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_has_no_summary() {
+        let r = IngestReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), None);
+    }
+
+    #[test]
+    fn merge_accumulates_and_summary_renders() {
+        let mut a = IngestReport {
+            quarantined_frames: 1,
+            quarantined_bytes: 10,
+            quarantined_segments: 0,
+            notes: vec!["torn tail".into()],
+        };
+        let b = IngestReport {
+            quarantined_frames: 2,
+            quarantined_bytes: 90,
+            quarantined_segments: 1,
+            notes: vec!["bad segment".into()],
+        };
+        a.merge(&b);
+        assert!(!a.is_clean());
+        assert_eq!(a.quarantined_frames, 3);
+        assert_eq!(a.quarantined_bytes, 100);
+        assert_eq!(a.quarantined_segments, 1);
+        assert_eq!(a.notes.len(), 2);
+        let s = a.summary().expect("dirty report summarises");
+        assert!(s.contains("3 frame(s)"), "{s}");
+        assert!(s.contains("100 byte(s)"), "{s}");
+    }
+}

@@ -68,6 +68,7 @@ const LIB_CRATES: &[&str] = &[
     "hdx-discretize",
     "hdx-data",
     "hdx-serve",
+    "hdx-ingest",
 ];
 
 /// One allowlist entry: `rule path [max=N]`.

@@ -84,11 +84,36 @@ pub enum CounterId {
     /// Worker threads respawned after a panic escaped a job:
     /// `hdx.serve.worker.respawned`.
     ServeWorkerRespawned,
+    /// Rows appended to an ingest WAL's open segment: `hdx.ingest.wal.rows_appended`.
+    IngestRowsAppended,
+    /// WAL commits (fsync of the open segment, the durability ack point):
+    /// `hdx.ingest.wal.commits`.
+    IngestCommits,
+    /// Open segments sealed into envelope segments: `hdx.ingest.wal.segments_sealed`.
+    IngestSegmentsSealed,
+    /// Torn/corrupt frames quarantined by WAL recovery:
+    /// `hdx.ingest.recover.frames_quarantined`.
+    IngestFramesQuarantined,
+    /// Bytes moved aside by WAL recovery quarantine:
+    /// `hdx.ingest.recover.bytes_quarantined`.
+    IngestBytesQuarantined,
+    /// Rows folded into a live lattice view: `hdx.ingest.fold.rows_applied`.
+    IngestFoldRowsApplied,
+    /// Itemset accumulators touched by single-row folds:
+    /// `hdx.ingest.fold.itemsets_touched`.
+    IngestFoldItemsetsTouched,
+    /// Rows accepted by `POST /jobs/<id>/append`: `hdx.serve.ingest.appends`.
+    ServeIngestAppends,
+    /// Append requests shed by ingest backpressure (429 + `Retry-After`):
+    /// `hdx.serve.ingest.shed`.
+    ServeIngestShed,
+    /// Incremental re-mines triggered by appended rows: `hdx.serve.ingest.remines`.
+    ServeIngestRemines,
 }
 
 impl CounterId {
     /// Every registered counter, in telemetry order.
-    pub const ALL: [CounterId; 33] = [
+    pub const ALL: [CounterId; 43] = [
         CounterId::MineCandidatesGenerated,
         CounterId::MineCandidatesPrunedSupport,
         CounterId::MineCandidatesPrunedAttr,
@@ -122,6 +147,16 @@ impl CounterId {
         CounterId::ServeRequestsShed,
         CounterId::ServeJobsResumed,
         CounterId::ServeWorkerRespawned,
+        CounterId::IngestRowsAppended,
+        CounterId::IngestCommits,
+        CounterId::IngestSegmentsSealed,
+        CounterId::IngestFramesQuarantined,
+        CounterId::IngestBytesQuarantined,
+        CounterId::IngestFoldRowsApplied,
+        CounterId::IngestFoldItemsetsTouched,
+        CounterId::ServeIngestAppends,
+        CounterId::ServeIngestShed,
+        CounterId::ServeIngestRemines,
     ];
 
     /// Number of registered counters.
@@ -163,6 +198,16 @@ impl CounterId {
             CounterId::ServeRequestsShed => "hdx.serve.admission.shed",
             CounterId::ServeJobsResumed => "hdx.serve.recovery.resumed",
             CounterId::ServeWorkerRespawned => "hdx.serve.worker.respawned",
+            CounterId::IngestRowsAppended => "hdx.ingest.wal.rows_appended",
+            CounterId::IngestCommits => "hdx.ingest.wal.commits",
+            CounterId::IngestSegmentsSealed => "hdx.ingest.wal.segments_sealed",
+            CounterId::IngestFramesQuarantined => "hdx.ingest.recover.frames_quarantined",
+            CounterId::IngestBytesQuarantined => "hdx.ingest.recover.bytes_quarantined",
+            CounterId::IngestFoldRowsApplied => "hdx.ingest.fold.rows_applied",
+            CounterId::IngestFoldItemsetsTouched => "hdx.ingest.fold.itemsets_touched",
+            CounterId::ServeIngestAppends => "hdx.serve.ingest.appends",
+            CounterId::ServeIngestShed => "hdx.serve.ingest.shed",
+            CounterId::ServeIngestRemines => "hdx.serve.ingest.remines",
         }
     }
 
@@ -231,6 +276,22 @@ impl CounterId {
             CounterId::ServeRequestsShed => "Submissions shed by admission control (429).",
             CounterId::ServeJobsResumed => "Orphaned incomplete jobs resumed by the startup scan.",
             CounterId::ServeWorkerRespawned => "Worker threads respawned after a panic.",
+            CounterId::IngestRowsAppended => "Rows appended to an ingest WAL's open segment.",
+            CounterId::IngestCommits => {
+                "WAL commits (fsync of the open segment, the durability ack point)."
+            }
+            CounterId::IngestSegmentsSealed => "Open WAL segments sealed into envelope segments.",
+            CounterId::IngestFramesQuarantined => {
+                "Torn or corrupt frames quarantined by WAL recovery."
+            }
+            CounterId::IngestBytesQuarantined => "Bytes moved aside by WAL recovery quarantine.",
+            CounterId::IngestFoldRowsApplied => "Rows folded into a live lattice view.",
+            CounterId::IngestFoldItemsetsTouched => {
+                "Itemset accumulators touched by single-row folds."
+            }
+            CounterId::ServeIngestAppends => "Rows accepted by POST /jobs/<id>/append.",
+            CounterId::ServeIngestShed => "Append requests shed by ingest backpressure (429).",
+            CounterId::ServeIngestRemines => "Incremental re-mines triggered by appended rows.",
         }
     }
 }

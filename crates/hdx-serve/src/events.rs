@@ -59,6 +59,21 @@ pub enum JobEvent {
         /// Captured panic payload.
         error: String,
     },
+    /// Rows were appended to the job's ingest WAL (durable: acknowledged
+    /// only after the WAL fsync).
+    IngestAppended {
+        /// Rows in this append batch.
+        rows: u64,
+        /// Total durable WAL rows after the batch.
+        durable_rows: u64,
+    },
+    /// WAL recovery quarantined torn or corrupt data instead of dying.
+    IngestQuarantined {
+        /// Frames dropped (cumulative for the job).
+        frames: u64,
+        /// Bytes moved aside (cumulative for the job).
+        bytes: u64,
+    },
     /// The service drained before a worker picked the job up.
     Drained,
     /// Terminal state reached; no further events will ever be emitted.
@@ -108,6 +123,14 @@ pub fn encode_line(seq: u64, event: &JobEvent) -> String {
         JobEvent::Panicked { error } => format!(
             "{{\"seq\":{seq},\"event\":\"panicked\",\"error\":\"{}\"}}\n",
             json::escape(error)
+        ),
+        JobEvent::IngestAppended { rows, durable_rows } => format!(
+            "{{\"seq\":{seq},\"event\":\"ingest.appended\",\"rows\":{rows},\
+             \"durable_rows\":{durable_rows}}}\n"
+        ),
+        JobEvent::IngestQuarantined { frames, bytes } => format!(
+            "{{\"seq\":{seq},\"event\":\"ingest.quarantined\",\"frames\":{frames},\
+             \"bytes\":{bytes}}}\n"
         ),
         JobEvent::Drained => format!("{{\"seq\":{seq},\"event\":\"drained\"}}\n"),
         JobEvent::Done {
@@ -182,6 +205,11 @@ mod tests {
             JobEvent::Panicked {
                 error: "boom".into(),
             },
+            JobEvent::IngestAppended {
+                rows: 3,
+                durable_rows: 12,
+            },
+            JobEvent::IngestQuarantined { frames: 1, bytes: 6 },
             JobEvent::Drained,
             JobEvent::Done {
                 ok: true,

@@ -29,7 +29,8 @@
 //! | Method & path            | Purpose                                   |
 //! |--------------------------|-------------------------------------------|
 //! | `POST /jobs`             | Submit a job (flat JSON; returns job id)  |
-//! | `GET /jobs/<id>`         | Status + crash-surviving progress         |
+//! | `POST /jobs/<id>/append` | Append CSV rows to the job's durable WAL  |
+//! | `GET /jobs/<id>`         | Status + progress + ingest/quarantine     |
 //! | `GET /jobs/<id>/result`  | Ranked-results JSON (byte-stable)         |
 //! | `GET /jobs/<id>/events`  | NDJSON event stream (live or replay)      |
 //! | `POST /jobs/<id>/cancel` | Cooperative cancel (user reason)          |
@@ -38,11 +39,24 @@
 //! | `GET /healthz`           | Liveness                                  |
 //! | `GET /readyz`            | Readiness (503 while draining)            |
 //!
+//! ## Streaming ingestion
+//!
+//! `POST /jobs/<id>/append` takes raw CSV rows (no header) and lands them
+//! in the job's crash-safe row WAL (`hdx_ingest::Wal`, one CRC frame per
+//! row, fsync before the `202` ack). Appended rows change the dataset, so
+//! the job is re-queued: the re-mine runs the full pipeline over the
+//! concatenated base + WAL rows — byte-identical to a cold run on the
+//! same data — under the same governor budgets as the original admission.
+//! Backlogged appends (durable-but-unfolded rows past the configured cap)
+//! shed with `429 Retry-After` plus a jittered `retry_after_ms` hint.
+//! Torn or corrupt WAL tails found at recovery are quarantined into the
+//! status JSON's `ingest` block instead of failing the job.
+//!
 //! Under the `obs` feature the service records `hdx.serve.*` counters and
 //! gauges and tags per-job work with `tenant`/`job` spans; under
 //! `hdx-fail` the `serve::accept`, `serve::queue`, `serve::worker`,
-//! `serve::job`, and `serve::done` fail points inject faults for chaos
-//! tests.
+//! `serve::job`, `serve::done`, `serve::ingest::append`, and
+//! `serve::ingest::fold` fail points inject faults for chaos tests.
 
 /// The per-job event vocabulary and its deterministic NDJSON encoding.
 pub mod events;
@@ -67,6 +81,9 @@ pub mod server;
 
 /// The dataset file persisted at admission inside each job directory.
 pub const DATA_FILE: &str = "data.csv";
+
+/// The ingest WAL directory inside each job directory.
+pub const WAL_DIR: &str = "wal";
 
 pub use events::JobEvent;
 pub use job::{DoneRecord, JobSpec, StatKind};

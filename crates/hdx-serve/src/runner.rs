@@ -147,7 +147,7 @@ fn execute_inner(
     attempt: u32,
 ) -> Result<JobRunOutcome, Injected> {
     fail_point!("serve::job", Injected);
-    let csv = match std::fs::read_to_string(job_dir.join(crate::DATA_FILE)) {
+    let mut csv = match std::fs::read_to_string(job_dir.join(crate::DATA_FILE)) {
         Ok(csv) => csv,
         // The dataset was persisted at admission; failure to read it back is
         // an infrastructure problem, not a bad job.
@@ -157,6 +157,31 @@ fn execute_inner(
             )))
         }
     };
+    // Streamed appends: the effective dataset is base ⧺ the WAL's durable
+    // prefix, read without healing (the append path owns recovery). Mining
+    // is a pure function of that concatenation, so replaying it after any
+    // crash — mid-append, mid-fold, mid-seal — reproduces the exact bytes a
+    // cold run on the same rows produces, and re-running never double-counts.
+    let wal_rows = match hdx_ingest::replay_dir(&job_dir.join(crate::WAL_DIR)) {
+        Ok((rows, _report)) => rows,
+        Err(e) => {
+            return Ok(JobRunOutcome::Transient(format!(
+                "cannot replay ingest WAL: {e}"
+            )))
+        }
+    };
+    let n_wal_rows = wal_rows.len() as u64;
+    if !wal_rows.is_empty() {
+        fail_point!("serve::ingest::fold", Injected);
+        if !csv.ends_with('\n') {
+            csv.push('\n');
+        }
+        for row in &wal_rows {
+            csv.push_str(&String::from_utf8_lossy(row));
+            csv.push('\n');
+        }
+        hdx_obs::counter_add!(ServeIngestRemines, 1);
+    }
     let (frame, outcomes) = match load(spec, &csv) {
         Ok(v) => v,
         Err(msg) => return Ok(JobRunOutcome::Permanent(msg)),
@@ -244,7 +269,22 @@ fn execute_inner(
         body: report_to_json(&run.result.report, &run.result.catalog),
     };
     match write_sealed(&job_dir.join(COMPLETE_FILE), &record.encode()) {
-        Ok(()) => Ok(JobRunOutcome::Done(record)),
+        Ok(()) => {
+            // Advance the ingest cursor only after the result is durable:
+            // the cursor is scheduling metadata (how many WAL rows the
+            // sealed result covers). Best-effort — losing it degrades to
+            // one redundant re-mine, never to wrong results.
+            let prior = hdx_ingest::IngestCursor::load(&job_dir.join(hdx_ingest::CURSOR_FILE))
+                .ok()
+                .flatten()
+                .unwrap_or_default();
+            let _ = hdx_ingest::IngestCursor {
+                rows_folded: n_wal_rows,
+                ..prior
+            }
+            .save(&job_dir.join(hdx_ingest::CURSOR_FILE));
+            Ok(JobRunOutcome::Done(record))
+        }
         Err(e) => Ok(JobRunOutcome::Transient(format!(
             "cannot seal completion marker: {e}"
         ))),

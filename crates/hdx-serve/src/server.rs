@@ -79,6 +79,10 @@ pub struct ServeConfig {
     /// a slow `GET /jobs/<id>/events` consumer may lag before it observes
     /// a sequence gap (drop-oldest backpressure).
     pub events_ring_cap: usize,
+    /// Ingest backpressure: maximum durable-but-unfolded WAL rows a job may
+    /// accumulate before `POST /jobs/<id>/append` sheds with
+    /// `429 Retry-After` and a jittered `retry_after_ms` hint.
+    pub append_backlog_max_rows: u64,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +102,7 @@ impl Default for ServeConfig {
             tenant_deadline_ms: None,
             tenant_max_itemsets: None,
             events_ring_cap: 256,
+            append_backlog_max_rows: 100_000,
         }
     }
 }
@@ -130,6 +135,28 @@ impl JobPhase {
     }
 }
 
+/// The in-memory shadow of a job's ingest WAL: durable row counts and
+/// quarantine totals, kept current by the append handler and the recovery
+/// scan. The durable truth is the WAL directory plus the sealed cursor.
+#[derive(Debug, Clone, Copy, Default)]
+struct IngestState {
+    /// Rows durable in the WAL (acknowledged appends).
+    durable_rows: u64,
+    /// Rows covered by the last sealed mining result (the cursor).
+    folded_rows: u64,
+    /// Lifetime torn/corrupt frames quarantined for this job.
+    quarantined_frames: u64,
+    /// Lifetime quarantined bytes for this job.
+    quarantined_bytes: u64,
+}
+
+impl IngestState {
+    /// Durable rows not yet covered by a sealed result.
+    fn pending_rows(self) -> u64 {
+        self.durable_rows.saturating_sub(self.folded_rows)
+    }
+}
+
 /// One job's in-memory state. The durable twin lives in its state dir.
 struct JobRecord {
     spec: JobSpec,
@@ -139,6 +166,8 @@ struct JobRecord {
     resumed: bool,
     /// Transient-failure messages accumulated across retries.
     retry_log: Vec<String>,
+    /// Streaming-append bookkeeping (zero for jobs never appended to).
+    ingest: IngestState,
 }
 
 /// State shared by the accept loop, connection handlers, and workers.
@@ -158,6 +187,11 @@ struct Shared {
     /// scrape drains the worker pool's thread-local sinks into it, so
     /// counters are cumulative across scrapes as Prometheus expects.
     telemetry: Mutex<RunTelemetry>,
+    /// Per-job append serialization: WAL healing-open, append, and commit
+    /// must not interleave across connection handlers. (The mining runner
+    /// never takes these — it reads the WAL through the read-only
+    /// `replay_dir`, which is safe against concurrent atomic appends.)
+    append_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
 }
 
 impl Shared {
@@ -233,6 +267,7 @@ impl Server {
             active_connections: AtomicUsize::new(0),
             started: Instant::now(),
             telemetry: Mutex::new(RunTelemetry::empty()),
+            append_locks: Mutex::new(HashMap::new()),
         });
         let recovery_notes = recover(&shared).map_err(io::Error::other)?;
         Ok(Self {
@@ -355,11 +390,18 @@ fn recover(shared: &Arc<Shared>) -> Result<Vec<String>, String> {
                 continue;
             }
         };
+        // Heal the job's ingest WAL (if any) before deciding its fate:
+        // recovery is the one moment no append handler can hold the WAL, so
+        // torn tails and corrupt segments are quarantined here — into notes
+        // and the status JSON, never into a failure.
+        let ingest = recover_ingest(&run.dir, &job_id, &mut notes);
         match &run.completion {
             Some(payload) => {
-                // Finished before the crash: keep the result queryable.
+                // Finished before the crash: keep the result queryable —
+                // unless durable rows arrived after the sealed result, in
+                // which case the job owes its clients a re-mine.
                 match DoneRecord::decode(payload) {
-                    Ok(record) => {
+                    Ok(record) if ingest.pending_rows() == 0 => {
                         shared.lock_registry().insert(
                             job_id,
                             JobRecord {
@@ -369,24 +411,87 @@ fn recover(shared: &Arc<Shared>) -> Result<Vec<String>, String> {
                                 cancel: CancelToken::new(),
                                 resumed: false,
                                 retry_log: Vec::new(),
+                                ingest,
                             },
                         );
+                    }
+                    Ok(_) => {
+                        notes.push(format!(
+                            "re-mining `{job_id}`: {} appended row(s) beyond its sealed result",
+                            ingest.pending_rows()
+                        ));
+                        resume_orphan(shared, &job_id, spec, &mut notes);
+                        set_ingest(shared, &job_id, ingest);
                     }
                     Err(e) => {
                         notes.push(format!(
                             "re-running `{job_id}`: undecodable completion marker ({e})"
                         ));
                         resume_orphan(shared, &job_id, spec, &mut notes);
+                        set_ingest(shared, &job_id, ingest);
                     }
                 }
             }
-            None => resume_orphan(shared, &job_id, spec, &mut notes),
+            None => {
+                resume_orphan(shared, &job_id, spec, &mut notes);
+                set_ingest(shared, &job_id, ingest);
+            }
         }
     }
     // ORDERING: Relaxed — recovery runs before any worker or connection
     // thread exists; the store is just initialization.
     shared.next_id.store(max_id + 1, Ordering::Relaxed);
     Ok(notes)
+}
+
+/// Opens (and thereby heals) one job's ingest WAL at startup, returning
+/// its in-memory shadow. Quarantine findings land in `notes` and in the
+/// durable cursor's lifetime totals. A job without a WAL directory gets a
+/// zero state; a WAL that cannot even be scanned degrades to zero too
+/// (the job still runs on its base dataset).
+fn recover_ingest(job_dir: &std::path::Path, job_id: &str, notes: &mut Vec<String>) -> IngestState {
+    let wal_dir = job_dir.join(crate::WAL_DIR);
+    if !wal_dir.is_dir() {
+        return IngestState::default();
+    }
+    let (wal, report) = match hdx_ingest::Wal::open(&wal_dir, hdx_ingest::WalConfig::default()) {
+        Ok(v) => v,
+        Err(e) => {
+            notes.push(format!("cannot recover ingest WAL of `{job_id}`: {e}"));
+            return IngestState::default();
+        }
+    };
+    let cursor_path = job_dir.join(hdx_ingest::CURSOR_FILE);
+    let cursor = hdx_ingest::IngestCursor::load(&cursor_path)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
+    let state = IngestState {
+        durable_rows: wal.total_rows(),
+        folded_rows: cursor.rows_folded,
+        quarantined_frames: cursor.quarantined_frames + report.quarantined_frames,
+        quarantined_bytes: cursor.quarantined_bytes + report.quarantined_bytes,
+    };
+    if !report.is_clean() {
+        for line in &report.notes {
+            notes.push(format!("`{job_id}`: {line}"));
+        }
+        // Persist the new lifetime totals so they survive the next crash.
+        let _ = hdx_ingest::IngestCursor {
+            rows_folded: cursor.rows_folded,
+            quarantined_frames: state.quarantined_frames,
+            quarantined_bytes: state.quarantined_bytes,
+        }
+        .save(&cursor_path);
+    }
+    state
+}
+
+/// Stamps a recovered ingest shadow onto a just-registered job.
+fn set_ingest(shared: &Arc<Shared>, job_id: &str, ingest: IngestState) {
+    if let Some(job) = shared.lock_registry().get_mut(job_id) {
+        job.ingest = ingest;
+    }
 }
 
 /// Registers one orphaned (incomplete) job and re-queues it.
@@ -406,6 +511,7 @@ fn resume_orphan(shared: &Arc<Shared>, job_id: &str, spec: JobSpec, notes: &mut 
             cancel: CancelToken::new(),
             resumed: true,
             retry_log: Vec::new(),
+            ingest: IngestState::default(),
         },
     );
     // Reopening the journal continues the previous process's sequence
@@ -630,6 +736,9 @@ impl JobLease<'_> {
                     // The runner already sealed the marker.
                     self.shared.finish(&self.job_id, record, false);
                     self.finish_event(ok, &termination);
+                    // Rows appended while this run was folding are durable
+                    // but not in the sealed result — re-queue immediately.
+                    requeue_if_rows_pending(&self.shared, &self.job_id);
                     self.settled = true;
                     return;
                 }
@@ -826,6 +935,10 @@ fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
             let job_id = &path["/jobs/".len()..path.len() - "/cancel".len()];
             job_cancel(shared, stream, job_id);
         }
+        ("POST", _) if path.starts_with("/jobs/") && path.ends_with("/append") => {
+            let job_id = &path["/jobs/".len()..path.len() - "/append".len()];
+            job_append(shared, stream, job_id, &request.body);
+        }
         _ => respond_error(stream, 404, "Not Found", "no such endpoint"),
     }
 }
@@ -921,6 +1034,7 @@ fn submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
             cancel: CancelToken::new(),
             resumed: false,
             retry_log: Vec::new(),
+            ingest: IngestState::default(),
         },
     );
     shared
@@ -945,7 +1059,7 @@ fn persist_admission(dir: &std::path::Path, spec: &JobSpec, csv: &str) -> Result
 }
 
 fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
-    let Some((phase, attempts, resumed, tenant, retry_log, phase_record)) = ({
+    let Some((phase, attempts, resumed, tenant, retry_log, phase_record, ingest)) = ({
         let registry = shared.lock_registry();
         registry.get(job_id).map(|job| {
             (
@@ -958,6 +1072,7 @@ fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
                     JobPhase::Finished(record) => Some(record.clone()),
                     _ => None,
                 },
+                job.ingest,
             )
         })
     }) else {
@@ -1010,6 +1125,21 @@ fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
             record.ok
         ));
     }
+    // The streaming-ingest ledger: how many rows are durable in the WAL,
+    // how many the sealed result covers, and the data-quality quarantine
+    // totals (frames dropped during recovery instead of failing the job).
+    if ingest.durable_rows > 0 || ingest.quarantined_frames > 0 {
+        body.push_str(&format!(
+            ",\"ingest\":{{\"durable_rows\":{},\"folded_rows\":{},\
+             \"pending_rows\":{},\"quarantined_frames\":{},\
+             \"quarantined_bytes\":{}}}",
+            ingest.durable_rows,
+            ingest.folded_rows,
+            ingest.pending_rows(),
+            ingest.quarantined_frames,
+            ingest.quarantined_bytes,
+        ));
+    }
     body.push('}');
     respond_json(stream, 200, "OK", &body);
 }
@@ -1042,6 +1172,235 @@ fn job_result(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str) {
             escape(&record.termination)
         );
         respond_json(stream, 409, "Conflict", &body);
+    }
+}
+
+/// `POST /jobs/<id>/append`: lands raw CSV rows (no header) in the job's
+/// durable WAL and re-queues the job for an incremental re-mine.
+///
+/// The `202` ack is sent only after the WAL commit (fsync), so an
+/// acknowledged row survives `kill -9`. Rows beyond the configured unfolded
+/// backlog shed with `429 Retry-After` plus a jittered `retry_after_ms`
+/// hint (clients should retry with jittered exponential backoff). The whole
+/// batch is atomic from the client's view: it is validated, then appended
+/// and committed as one unit, or rejected as one unit.
+fn job_append(shared: &Arc<Shared>, stream: &mut TcpStream, job_id: &str, body: &[u8]) {
+    if shared.draining() {
+        respond_error(stream, 503, "Service Unavailable", "draining");
+        return;
+    }
+    #[cfg(feature = "hdx-fail")]
+    if let Some(msg) = hdx_governor::failpoint::hit("serve::ingest::append") {
+        respond_error(
+            stream,
+            503,
+            "Service Unavailable",
+            &format!("injected append failure: {msg}"),
+        );
+        return;
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        respond_error(stream, 400, "Bad Request", "body is not UTF-8");
+        return;
+    };
+    let rows: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if rows.is_empty() {
+        respond_error(stream, 400, "Bad Request", "no rows in body");
+        return;
+    }
+    // Snapshot the job under the registry lock; hold nothing across I/O.
+    let Some((separator, ingest)) = ({
+        let registry = shared.lock_registry();
+        registry
+            .get(job_id)
+            .map(|job| (job.spec.separator as char, job.ingest))
+    }) else {
+        respond_error(stream, 404, "Not Found", "unknown job");
+        return;
+    };
+    // Schema check against the admitted dataset's header: every appended
+    // row must carry exactly the admitted column count. Rejecting the batch
+    // here keeps the WAL free of rows the loader would quarantine later.
+    let dir = shared.job_dir(job_id);
+    let fields = match expected_fields(&dir, separator) {
+        Ok(n) => n,
+        Err(e) => {
+            respond_error(stream, 500, "Internal Server Error", &e);
+            return;
+        }
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let got = row.split(separator).count();
+        if got != fields {
+            respond_error(
+                stream,
+                400,
+                "Bad Request",
+                &format!("row {i} has {got} field(s), dataset has {fields}"),
+            );
+            return;
+        }
+    }
+    // Backpressure: durable-but-unfolded rows are bounded. 429 is the
+    // degrade-not-die answer — the WAL never grows past what re-mining can
+    // absorb, and the client gets explicit, jittered retry guidance.
+    let pending = ingest.pending_rows() + rows.len() as u64;
+    if pending > shared.config.append_backlog_max_rows {
+        counter_add!(ServeIngestShed, 1);
+        let base_ms = shared.config.retry_after_secs.saturating_mul(1000).max(1);
+        let jitter = splitmix64(seed_of(job_id) ^ pending) % base_ms;
+        let body = format!(
+            "{{\"error\":\"append backlog full ({} unfolded rows)\",\
+             \"retry_after_ms\":{},\"retry\":\"jittered exponential backoff\"}}",
+            ingest.pending_rows(),
+            base_ms + jitter,
+        );
+        respond(
+            stream,
+            429,
+            "Too Many Requests",
+            "application/json",
+            &body,
+            &[("Retry-After", shared.config.retry_after_secs.to_string())],
+        );
+        return;
+    }
+    // Serialize WAL access per job: healing-open + append + commit must not
+    // interleave across handler threads.
+    let lock = {
+        let mut locks = shared
+            .append_locks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(locks.entry(job_id.to_string()).or_default())
+    };
+    let guard = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let appended = append_to_wal(&dir, &rows);
+    drop(guard);
+    let (durable_rows, report) = match appended {
+        Ok(v) => v,
+        Err(e) => {
+            respond_error(
+                stream,
+                500,
+                "Internal Server Error",
+                &format!("append failed: {e}"),
+            );
+            return;
+        }
+    };
+    counter_add!(ServeIngestAppends, rows.len() as u64);
+    // Update the in-memory shadow and decide whether to re-queue: only a
+    // terminal job needs a fresh slot; queued/running jobs will observe the
+    // new rows at their next (or post-finish) WAL comparison.
+    let (requeue, tenant, quarantined) = {
+        let mut registry = shared.lock_registry();
+        let Some(job) = registry.get_mut(job_id) else {
+            respond_error(stream, 404, "Not Found", "job vanished");
+            return;
+        };
+        job.ingest.durable_rows = durable_rows;
+        job.ingest.quarantined_frames += report.quarantined_frames;
+        job.ingest.quarantined_bytes += report.quarantined_bytes;
+        let requeue = matches!(job.phase, JobPhase::Finished(_));
+        if requeue {
+            job.phase = JobPhase::Queued;
+            job.cancel = CancelToken::new();
+        }
+        (
+            requeue,
+            job.spec.tenant.clone(),
+            (job.ingest.quarantined_frames, job.ingest.quarantined_bytes),
+        )
+    };
+    if requeue {
+        // The finished job's event channel was retired; reopen it so the
+        // re-mine's events extend the same journal.
+        shared.plane.open_job(job_id, &dir, &tenant, true);
+    }
+    shared.plane.emit(
+        job_id,
+        &JobEvent::IngestAppended {
+            rows: rows.len() as u64,
+            durable_rows,
+        },
+    );
+    if !report.is_clean() {
+        shared.plane.emit(
+            job_id,
+            &JobEvent::IngestQuarantined {
+                frames: quarantined.0,
+                bytes: quarantined.1,
+            },
+        );
+    }
+    if requeue {
+        shared.queue.reserve_slot(&tenant);
+        shared.queue.enqueue(job_id);
+    }
+    let body = format!(
+        "{{\"job_id\":\"{job_id}\",\"appended\":{},\"durable_rows\":{durable_rows},\
+         \"requeued\":{requeue}}}",
+        rows.len()
+    );
+    respond_json(stream, 202, "Accepted", &body);
+}
+
+/// Column count of the admitted dataset (from its header line).
+fn expected_fields(dir: &std::path::Path, separator: char) -> Result<usize, String> {
+    let data = std::fs::File::open(dir.join(DATA_FILE))
+        .map_err(|e| format!("cannot open dataset: {e}"))?;
+    let mut header = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(data), &mut header)
+        .map_err(|e| format!("cannot read dataset header: {e}"))?;
+    Ok(header.trim_end().split(separator).count())
+}
+
+/// Opens (healing), appends, and commits one batch into a job's WAL.
+/// Returns the durable row total and the recovery report of the open.
+fn append_to_wal(
+    dir: &std::path::Path,
+    rows: &[&str],
+) -> Result<(u64, hdx_ingest::IngestReport), hdx_ingest::IngestError> {
+    let (mut wal, report) =
+        hdx_ingest::Wal::open(dir.join(crate::WAL_DIR), hdx_ingest::WalConfig::default())?;
+    for row in rows {
+        wal.append_row(row.as_bytes())?;
+    }
+    let durable = wal.commit()?;
+    Ok((durable, report))
+}
+
+/// After a job finishes, compare the WAL's durable extent against the
+/// freshly sealed cursor: rows that arrived *during* the run re-queue the
+/// job immediately, so clients never wait on an append that landed in the
+/// window between fold and seal.
+fn requeue_if_rows_pending(shared: &Arc<Shared>, job_id: &str) {
+    let cursor_path = shared.job_dir(job_id).join(hdx_ingest::CURSOR_FILE);
+    let cursor = hdx_ingest::IngestCursor::load(&cursor_path)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
+    let (requeue, tenant) = {
+        let mut registry = shared.lock_registry();
+        let Some(job) = registry.get_mut(job_id) else {
+            return;
+        };
+        job.ingest.folded_rows = cursor.rows_folded.max(job.ingest.folded_rows);
+        let requeue =
+            job.ingest.pending_rows() > 0 && matches!(job.phase, JobPhase::Finished(_));
+        if requeue {
+            job.phase = JobPhase::Queued;
+            job.cancel = CancelToken::new();
+        }
+        (requeue, job.spec.tenant.clone())
+    };
+    if requeue {
+        shared
+            .plane
+            .open_job(job_id, &shared.job_dir(job_id), &tenant, true);
+        shared.queue.reserve_slot(&tenant);
+        shared.queue.enqueue(job_id);
     }
 }
 

@@ -1,0 +1,382 @@
+//! Streaming-ingestion tests over real TCP: appended rows re-mine to the
+//! byte-identical result a cold run on the concatenated dataset produces,
+//! backlogged appends shed with `429 Retry-After` plus a jittered retry
+//! hint, malformed rows are rejected before they reach the WAL, and a torn
+//! WAL tail is quarantined into the status document instead of failing
+//! recovery.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hdx_serve::{ServeConfig, Server};
+
+struct Response {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(_) if !raw.is_empty() => break,
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    let raw = String::from_utf8_lossy(&raw).into_owned();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("blank line");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    Response {
+        status,
+        headers: head.to_string(),
+        body: payload.to_string(),
+    }
+}
+
+fn tmp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdx-ingest-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_rows(range: std::ops::Range<usize>) -> String {
+    let mut csv = String::new();
+    for r in range {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            u8::from(r % 3 == 0),
+            u8::from(r % 4 == 0),
+            r % 23,
+            (r * 37) % 101,
+            ["a", "b", "c", "d"][r % 4],
+        ));
+    }
+    csv
+}
+
+fn sample_csv(rows: usize) -> String {
+    format!("class,pred,age,income,grp\n{}", sample_rows(0..rows))
+}
+
+fn submission(csv: &str, tenant: &str) -> String {
+    format!(
+        r#"{{"csv":"{}","tenant":"{tenant}","stat":"fpr","support":0.02,"checkpoint_every":1}}"#,
+        hdx_serve::json::escape(csv)
+    )
+}
+
+fn config(state_dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir,
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn json_str_field(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":\"");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no `{key}` in {body}"))
+        + marker.len();
+    let rest = &body[start..];
+    rest[..rest.find('"').expect("closing quote")].to_string()
+}
+
+fn json_u64_field(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no `{key}` in {body}"))
+        + marker.len();
+    body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("`{key}` not a number in {body}: {e}"))
+}
+
+fn await_terminal(addr: SocketAddr, job_id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+        assert_eq!(status.status, 200, "{}", status.body);
+        let state = json_str_field(&status.body, "state");
+        if !matches!(state.as_str(), "queued" | "running" | "backoff") {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{job_id}` stuck in `{state}`"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls until the job's sealed result covers every durable WAL row (the
+/// append endpoint re-queues finished jobs, so "done" alone can still be
+/// the *pre-append* result for a moment).
+fn await_folded(addr: SocketAddr, job_id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let state = await_terminal(addr, job_id);
+        let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+        if !status.body.contains("\"ingest\"")
+            || json_u64_field(&status.body, "pending_rows") == 0
+        {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{job_id}` never folded its appends: {}",
+            status.body
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn extract_job_id(body: &str) -> String {
+    json_str_field(body, "job_id")
+}
+
+/// The acceptance bar for the whole ingestion pipeline: a job that grows by
+/// streamed appends — including appends landing after the job finished —
+/// must serve the byte-identical ranked results a cold submission of the
+/// concatenated CSV produces.
+#[test]
+fn appended_rows_remine_to_the_cold_run_bytes() {
+    let state = tmp_state_dir("remine");
+    let (addr, handle) = start(config(state.clone()));
+
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(300), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &job_id), "done");
+
+    // Two append batches: the first against a finished job (explicit
+    // re-queue), the second racing whatever state the first left behind.
+    let batch_a = sample_rows(300..360);
+    let appended = http(addr, "POST", &format!("/jobs/{job_id}/append"), &batch_a);
+    assert_eq!(appended.status, 202, "{}", appended.body);
+    assert_eq!(json_u64_field(&appended.body, "durable_rows"), 60);
+    let batch_b = sample_rows(360..400);
+    let appended = http(addr, "POST", &format!("/jobs/{job_id}/append"), &batch_b);
+    assert_eq!(appended.status, 202, "{}", appended.body);
+    assert_eq!(json_u64_field(&appended.body, "durable_rows"), 100);
+
+    assert_eq!(await_folded(addr, &job_id), "done");
+    let streamed = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+
+    let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+    assert_eq!(json_u64_field(&status.body, "durable_rows"), 100);
+    assert_eq!(json_u64_field(&status.body, "folded_rows"), 100);
+    assert_eq!(json_u64_field(&status.body, "pending_rows"), 0);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    // Control: one cold submission of the full 400-row dataset.
+    let control_state = tmp_state_dir("remine-control");
+    let (addr, handle) = start(config(control_state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(400), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let control_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &control_id), "done");
+    let control = http(addr, "GET", &format!("/jobs/{control_id}/result"), "");
+    assert_eq!(control.status, 200);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    assert_eq!(
+        streamed.body, control.body,
+        "streamed appends must serve the cold run's bytes"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&control_state);
+}
+
+#[test]
+fn append_backlog_sheds_with_jittered_retry_guidance() {
+    let state = tmp_state_dir("backlog");
+    let mut cfg = config(state.clone());
+    cfg.append_backlog_max_rows = 2;
+    let (addr, handle) = start(cfg);
+
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(50), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &job_id), "done");
+
+    // Three rows against a two-row backlog cap: shed, whole batch refused.
+    let shed = http(
+        addr,
+        "POST",
+        &format!("/jobs/{job_id}/append"),
+        &sample_rows(50..53),
+    );
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(
+        shed.headers.contains("Retry-After:"),
+        "shed appends advise a retry: {}",
+        shed.headers
+    );
+    assert!(
+        json_u64_field(&shed.body, "retry_after_ms") >= 1,
+        "{}",
+        shed.body
+    );
+    assert!(shed.body.contains("jittered exponential backoff"));
+    // Nothing landed: the WAL directory stays absent or empty of rows.
+    let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+    assert!(
+        !status.body.contains("\"ingest\""),
+        "a fully-shed append must not create durable rows: {}",
+        status.body
+    );
+
+    // A batch within the cap is accepted.
+    let ok = http(
+        addr,
+        "POST",
+        &format!("/jobs/{job_id}/append"),
+        &sample_rows(50..52),
+    );
+    assert_eq!(ok.status, 202, "{}", ok.body);
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn malformed_appends_are_rejected_before_the_wal() {
+    let state = tmp_state_dir("badrows");
+    let (addr, handle) = start(config(state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(50), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+
+    // Wrong column count: the dataset has five fields.
+    let bad = http(addr, "POST", &format!("/jobs/{job_id}/append"), "1,0,3\n");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("field(s)"), "{}", bad.body);
+    // Empty body.
+    let empty = http(addr, "POST", &format!("/jobs/{job_id}/append"), "\n\n");
+    assert_eq!(empty.status, 400, "{}", empty.body);
+    // Unknown job.
+    let lost = http(addr, "POST", "/jobs/j-9999999999/append", "1,0,3,4,a\n");
+    assert_eq!(lost.status, 404, "{}", lost.body);
+
+    assert_eq!(await_terminal(addr, &job_id), "done");
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Degrade-not-die: a torn frame at the WAL tail (the bytes a `kill -9`
+/// mid-append leaves behind) is quarantined at the next recovery — the job
+/// still re-mines the durable prefix and the status document reports the
+/// dropped bytes instead of the service failing the job.
+#[test]
+fn torn_wal_tail_is_quarantined_into_the_status_document() {
+    let state = tmp_state_dir("torn");
+    let (addr, handle) = start(config(state.clone()));
+    let accepted = http(addr, "POST", "/jobs", &submission(&sample_csv(300), "acme"));
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id = extract_job_id(&accepted.body);
+    assert_eq!(await_terminal(addr, &job_id), "done");
+    let appended = http(
+        addr,
+        "POST",
+        &format!("/jobs/{job_id}/append"),
+        &sample_rows(300..320),
+    );
+    assert_eq!(appended.status, 202, "{}", appended.body);
+    assert_eq!(await_folded(addr, &job_id), "done");
+    let clean = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(clean.status, 200);
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+
+    // Simulate the torn tail: a frame header promising more bytes than the
+    // file holds, exactly what an interrupted append leaves.
+    let open_log = state
+        .join("jobs")
+        .join(&job_id)
+        .join("wal")
+        .join(hdx_ingest::OPEN_FILE);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&open_log)
+            .expect("open WAL tail");
+        f.write_all(&[0xFF, 0x00, 0x00, 0x00, 0xAA, 0xBB])
+            .expect("tear the tail");
+    }
+
+    // Restart over the same state directory: recovery quarantines the torn
+    // bytes, notes it, and the job still serves its (unchanged) result.
+    let server = Server::bind(config(state.clone())).expect("rebind");
+    assert!(
+        server
+            .recovery_notes
+            .iter()
+            .any(|n| n.contains(&job_id) && n.contains("quarantin")),
+        "recovery notes must mention the quarantine: {:?}",
+        server.recovery_notes
+    );
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("serve"));
+    assert_eq!(await_folded(addr, &job_id), "done");
+    let status = http(addr, "GET", &format!("/jobs/{job_id}"), "");
+    assert!(
+        json_u64_field(&status.body, "quarantined_frames") >= 1,
+        "{}",
+        status.body
+    );
+    assert!(
+        json_u64_field(&status.body, "quarantined_bytes") >= 6,
+        "{}",
+        status.body
+    );
+    assert_eq!(json_u64_field(&status.body, "durable_rows"), 20);
+    let after = http(addr, "GET", &format!("/jobs/{job_id}/result"), "");
+    assert_eq!(after.status, 200);
+    assert_eq!(
+        after.body, clean.body,
+        "quarantining the torn tail must not change the durable rows' result"
+    );
+    assert_eq!(http(addr, "POST", "/shutdown", "").status, 202);
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -18,7 +18,8 @@
 //! * [`datasets`] — synthetic-peak and the synthetic dataset stand-ins;
 //! * [`baselines`] — Slice Finder and SliceLine;
 //! * [`governor`] — run budgets, deadlines and cooperative cancellation;
-//! * [`checkpoint`] — crash-safe checkpoint/resume for mining runs.
+//! * [`checkpoint`] — crash-safe checkpoint/resume for mining runs;
+//! * [`ingest`] — crash-safe streaming row ingestion (durable WAL, fold).
 
 pub use hdx_baselines as baselines;
 pub use hdx_checkpoint as checkpoint;
@@ -27,6 +28,7 @@ pub use hdx_data as data;
 pub use hdx_datasets as datasets;
 pub use hdx_discretize as discretize;
 pub use hdx_governor as governor;
+pub use hdx_ingest as ingest;
 pub use hdx_items as items;
 pub use hdx_mining as mining;
 pub use hdx_model as model;

@@ -61,6 +61,7 @@ fn killed_worker_degrades_instead_of_dying() {
         min_support: 0.1,
         max_len: None,
         algorithm: MiningAlgorithm::VerticalParallel,
+        threads: None,
     };
     let full = mine(&transactions, &catalog, &config);
 
@@ -232,6 +233,81 @@ fn checkpoint_write_faults_do_not_lose_the_run() {
     assert_eq!(run.result.report.records.len(), plain.report.records.len());
 }
 
+/// Injected *I/O* faults at the checkpoint-write fail point — ENOSPC and a
+/// torn (short) write, not just clean typed errors — degrade persistence
+/// only: the previous checkpoint stays loadable, the torn scratch file is
+/// ignored by recovery, and a retry after the "device recovers" advances
+/// the sequence normally.
+#[test]
+fn checkpoint_io_faults_preserve_the_previous_checkpoint() {
+    use h_divexplorer::checkpoint::CheckpointStore;
+    use h_divexplorer::data::{DataFrameBuilder, Value};
+    use h_divexplorer::governor::failpoint::IoFault;
+
+    let mut b = DataFrameBuilder::new();
+    b.add_continuous("x").unwrap();
+    b.add_categorical("g").unwrap();
+    let mut outcomes = Vec::new();
+    for i in 0..200usize {
+        let x = (i % 50) as f64;
+        let g = if i % 2 == 0 { "a" } else { "b" };
+        b.push_row(vec![Value::Num(x), Value::Cat(g.to_string())])
+            .unwrap();
+        outcomes.push(Outcome::Bool(x > 30.0 && g == "b"));
+    }
+    let df = b.finish();
+    let config = HDivExplorerConfig {
+        min_support: 0.1,
+        ..HDivExplorerConfig::default()
+    };
+
+    // A clean checkpointed run seeds the store with real state.
+    let dir = std::env::temp_dir().join(format!("hdx-fp-ckpt-io-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::create(&dir).unwrap();
+    h_divexplorer::core::HDivExplorer::new(config)
+        .fit_checkpointed(&df, &outcomes, ExplorationMode::Generalized, store, 1)
+        .unwrap();
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    let seqs = store.sequences().unwrap();
+    assert!(!seqs.is_empty(), "the clean run must have checkpointed");
+    let loaded = store.load_latest().unwrap();
+    let state = loaded.state;
+
+    // ENOSPC: fails before a byte lands; nothing on disk changes.
+    failpoint::arm("checkpoint::write", FailAction::Io(IoFault::Enospc), 1);
+    let err = store.write(&state).expect_err("injected ENOSPC");
+    failpoint::disarm("checkpoint::write");
+    assert!(err.to_string().contains("no space left"), "{err}");
+    assert_eq!(store.sequences().unwrap(), seqs);
+
+    // Short write: half the sealed bytes land in the scratch file — the
+    // crash-mid-write artifact — and recovery must skip it.
+    failpoint::arm(
+        "checkpoint::write",
+        FailAction::Io(IoFault::ShortWrite),
+        1,
+    );
+    let err = store.write(&state).expect_err("injected short write");
+    failpoint::disarm("checkpoint::write");
+    assert!(err.to_string().contains("short write"), "{err}");
+    let tmp = dir.join("ckpt.tmp");
+    assert!(tmp.exists(), "the torn scratch file must really exist");
+    assert!(std::fs::metadata(&tmp).unwrap().len() > 0);
+    assert_eq!(store.sequences().unwrap(), seqs, "no sequence consumed");
+    let reloaded = store.load_latest().unwrap();
+    assert_eq!(
+        reloaded.state, state,
+        "the previous checkpoint survives both faults"
+    );
+
+    // Device "recovers": the next write advances the sequence normally.
+    let next = store.write(&state).unwrap();
+    assert_eq!(next, seqs.last().unwrap() + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An injected panic in a single-threaded miner *does* propagate (there is
 /// no worker boundary to absorb it) — but the governor's budget machinery
 /// still prevents the partial state from leaking: the caller sees a clean
@@ -247,6 +323,7 @@ fn single_thread_miner_panics_are_clean_unwinds() {
             min_support: 0.1,
             max_len: None,
             algorithm: MiningAlgorithm::Vertical,
+            threads: None,
         };
         mine_governed(
             &transactions,
